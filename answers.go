@@ -1,0 +1,85 @@
+package topkclean
+
+import (
+	"github.com/probdb/topkclean/internal/quality"
+	"github.com/probdb/topkclean/internal/topkq"
+)
+
+// Result bundles the three probabilistic top-k query answers and the
+// quality score, all derived from a single PSR pass (the computation
+// sharing of Section IV-C: the paper measures the quality overhead at as
+// little as 6% of query time this way).
+type Result struct {
+	K         int
+	Threshold float64 // PT-k threshold used
+
+	UKRanks    []RankedAnswer // most likely tuple per rank
+	PTK        []ScoredAnswer // tuples with top-k probability >= Threshold
+	GlobalTopK []ScoredAnswer // k tuples with the highest top-k probability
+
+	Quality float64            // PWS-quality of the top-k query
+	Eval    *QualityEvaluation // full TP evaluation (for cleaning)
+	Info    *RankInfo          // the shared rank-probability information
+}
+
+// Evaluate runs a probabilistic top-k query on db, answering all three
+// semantics and computing the PWS-quality from one shared rank-probability
+// computation. ptkThreshold is the PT-k probability threshold (the paper's
+// default is 0.1).
+func Evaluate(db *Database, k int, ptkThreshold float64) (*Result, error) {
+	info, err := topkq.RankProbabilities(db, k)
+	if err != nil {
+		return nil, err
+	}
+	uk, err := topkq.UKRanks(db, info)
+	if err != nil {
+		return nil, err
+	}
+	ev, err := quality.TPFromInfo(db, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		K:          k,
+		Threshold:  ptkThreshold,
+		UKRanks:    uk,
+		PTK:        topkq.PTK(db, info, ptkThreshold),
+		GlobalTopK: topkq.GlobalTopK(db, info),
+		Quality:    ev.S,
+		Eval:       ev,
+		Info:       info,
+	}, nil
+}
+
+// UKRanks evaluates only the U-kRanks query.
+func UKRanks(db *Database, k int) ([]RankedAnswer, error) {
+	info, err := topkq.RankProbabilities(db, k)
+	if err != nil {
+		return nil, err
+	}
+	return topkq.UKRanks(db, info)
+}
+
+// PTK evaluates only the PT-k query.
+func PTK(db *Database, k int, threshold float64) ([]ScoredAnswer, error) {
+	info, err := topkq.TopKProbabilities(db, k)
+	if err != nil {
+		return nil, err
+	}
+	return topkq.PTK(db, info, threshold), nil
+}
+
+// GlobalTopK evaluates only the Global-topk query.
+func GlobalTopK(db *Database, k int) ([]ScoredAnswer, error) {
+	info, err := topkq.TopKProbabilities(db, k)
+	if err != nil {
+		return nil, err
+	}
+	return topkq.GlobalTopK(db, info), nil
+}
+
+// FormatScored renders a scored answer list like "{t1, t2, t5}".
+func FormatScored(answers []ScoredAnswer) string { return topkq.FormatScored(answers) }
+
+// FormatRanked renders a U-kRanks answer list like "1:t2 2:t2".
+func FormatRanked(answers []RankedAnswer) string { return topkq.FormatRanked(answers) }

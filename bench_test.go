@@ -1,0 +1,658 @@
+package topkclean
+
+// One benchmark family per table/figure of the paper's evaluation section
+// (Section VI). Time-based figures (4d-4f, 5a-5d, 6d, 6e) are measured by
+// ns/op; value-based figures (4a-4c, 6a-6c, 6f, 6g) additionally report
+// the plotted quantity (quality score or expected improvement) via
+// b.ReportMetric, so `go test -bench=.` regenerates both the timings and
+// the series. cmd/experiments prints the same series as readable tables.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/probdb/topkclean/internal/cleaning"
+	"github.com/probdb/topkclean/internal/gen"
+	"github.com/probdb/topkclean/internal/quality"
+	"github.com/probdb/topkclean/internal/topkq"
+)
+
+// Dataset cache: benchmarks share generated databases (generation itself is
+// not the subject of any figure).
+var (
+	benchMu    sync.Mutex
+	benchCache = map[string]*Database{}
+)
+
+func benchDB(b *testing.B, key string, build func() (*Database, error)) *Database {
+	b.Helper()
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	if db, ok := benchCache[key]; ok {
+		return db
+	}
+	db, err := build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchCache[key] = db
+	return db
+}
+
+// benchSynthetic returns the paper's synthetic dataset with the given
+// number of x-tuples (10 tuples each).
+func benchSynthetic(b *testing.B, xtuples int) *Database {
+	return benchDB(b, fmt.Sprintf("syn-%d", xtuples), func() (*Database, error) {
+		cfg := gen.DefaultSynthetic()
+		cfg.NumXTuples = xtuples
+		return gen.Synthetic(cfg)
+	})
+}
+
+// benchSyntheticPDF returns the Figure 4(b) variants.
+func benchSyntheticPDF(b *testing.B, kind gen.PDFKind, sigma float64) *Database {
+	return benchDB(b, fmt.Sprintf("syn-pdf-%d-%g", kind, sigma), func() (*Database, error) {
+		cfg := gen.DefaultSynthetic()
+		cfg.NumXTuples = 2000
+		cfg.PDF = kind
+		cfg.Sigma = sigma
+		return gen.Synthetic(cfg)
+	})
+}
+
+// benchMOV returns the MOV-like dataset.
+func benchMOV(b *testing.B) *Database {
+	return benchDB(b, "mov", func() (*Database, error) {
+		return gen.MOV(gen.DefaultMOV())
+	})
+}
+
+// benchSpec returns the paper's default cleaning environment for db.
+func benchSpec(b *testing.B, db *Database) CleaningSpec {
+	spec, err := gen.DefaultCleanSpec(db.NumGroups(), 77)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return spec
+}
+
+func benchCtx(b *testing.B, db *Database, k, budget int) *CleaningContext {
+	ctx, err := cleaning.NewContext(db, k, benchSpec(b, db), budget)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ctx
+}
+
+// --- Figure 4(a): quality vs k (synthetic) --------------------------------
+
+func BenchmarkFig4a_QualityVsK(b *testing.B) {
+	db := benchSynthetic(b, 5000)
+	for _, k := range []int{1, 5, 15, 30} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			var s float64
+			for i := 0; i < b.N; i++ {
+				ev, err := quality.TP(db, k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s = ev.S
+			}
+			b.ReportMetric(s, "quality")
+		})
+	}
+}
+
+// --- Figure 4(b): quality vs uncertainty pdf ------------------------------
+
+func BenchmarkFig4b_QualityVsPDF(b *testing.B) {
+	cases := []struct {
+		name  string
+		kind  gen.PDFKind
+		sigma float64
+	}{
+		{"G10", gen.PDFGaussian, 10},
+		{"G30", gen.PDFGaussian, 30},
+		{"G50", gen.PDFGaussian, 50},
+		{"G100", gen.PDFGaussian, 100},
+		{"Uniform", gen.PDFUniform, 0},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			db := benchSyntheticPDF(b, c.kind, c.sigma)
+			var s float64
+			for i := 0; i < b.N; i++ {
+				ev, err := quality.TP(db, 15)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s = ev.S
+			}
+			b.ReportMetric(s, "quality")
+		})
+	}
+}
+
+// --- Figure 4(c): quality vs k (MOV) --------------------------------------
+
+func BenchmarkFig4c_QualityVsK_MOV(b *testing.B) {
+	db := benchMOV(b)
+	for _, k := range []int{1, 5, 15, 30} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			var s float64
+			for i := 0; i < b.N; i++ {
+				ev, err := quality.TP(db, k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s = ev.S
+			}
+			b.ReportMetric(s, "quality")
+		})
+	}
+}
+
+// --- Figure 4(d): quality time vs DB size (small, k=5), PW vs PWR vs TP ---
+
+func BenchmarkFig4d_PW(b *testing.B) {
+	for _, n := range []int{10, 30, 50} {
+		b.Run(fmt.Sprintf("tuples=%d", n), func(b *testing.B) {
+			db := benchSynthetic(b, n/10)
+			if db.NumGroups() < 5 {
+				b.Skipf("needs >= 5 x-tuples")
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := quality.PW(db, 5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig4d_PWR(b *testing.B) {
+	for _, n := range []int{50, 100, 1000, 10000} {
+		b.Run(fmt.Sprintf("tuples=%d", n), func(b *testing.B) {
+			db := benchSynthetic(b, n/10)
+			for i := 0; i < b.N; i++ {
+				if _, err := quality.PWR(db, 5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig4d_TP(b *testing.B) {
+	for _, n := range []int{50, 100, 1000, 10000} {
+		b.Run(fmt.Sprintf("tuples=%d", n), func(b *testing.B) {
+			db := benchSynthetic(b, n/10)
+			for i := 0; i < b.N; i++ {
+				if _, err := quality.TP(db, 5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Figure 4(e): quality time vs DB size (large, k=15), TP ---------------
+
+func BenchmarkFig4e_TP(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000, 1000000} {
+		b.Run(fmt.Sprintf("tuples=%d", n), func(b *testing.B) {
+			db := benchSynthetic(b, n/10)
+			if db.NumGroups() < 15 {
+				b.Skip("needs >= 15 x-tuples")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := quality.TP(db, 15); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Figure 4(f): quality time vs k, PWR vs TP ----------------------------
+
+func BenchmarkFig4f_PWR(b *testing.B) {
+	db := benchSynthetic(b, 5000)
+	for _, k := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := quality.PWR(db, k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig4f_TP(b *testing.B) {
+	db := benchSynthetic(b, 5000)
+	for _, k := range []int{1, 10, 100, 1000} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := quality.TP(db, k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Figure 5(a): query+quality, sharing vs non-sharing -------------------
+
+func BenchmarkFig5a_NonSharing(b *testing.B) {
+	db := benchSynthetic(b, 5000)
+	for _, k := range []int{15, 100} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				info, err := topkq.TopKProbabilities(db, k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = topkq.PTK(db, info, 0.1)
+				if _, err := quality.TP(db, k); err != nil { // second PSR pass
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig5a_Sharing(b *testing.B) {
+	db := benchSynthetic(b, 5000)
+	for _, k := range []int{15, 100} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				info, err := topkq.TopKProbabilities(db, k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = topkq.PTK(db, info, 0.1)
+				if _, err := quality.TPFromInfo(db, info); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Figure 5(b): PT-k evaluation vs the extra quality computation --------
+
+func BenchmarkFig5b_PTK(b *testing.B) {
+	db := benchSynthetic(b, 5000)
+	for _, k := range []int{15, 50, 100} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				info, err := topkq.TopKProbabilities(db, k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = topkq.PTK(db, info, 0.1)
+			}
+		})
+	}
+}
+
+func BenchmarkFig5b_QualityExtra(b *testing.B) {
+	db := benchSynthetic(b, 5000)
+	for _, k := range []int{15, 50, 100} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			info, err := topkq.TopKProbabilities(db, k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := quality.TPFromInfo(db, info); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Figure 5(c): the three query semantics vs quality --------------------
+
+func BenchmarkFig5c_UKRanks(b *testing.B) {
+	db := benchSynthetic(b, 5000)
+	for i := 0; i < b.N; i++ {
+		info, err := topkq.RankProbabilities(db, 15)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := topkq.UKRanks(db, info); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5c_GlobalTopK(b *testing.B) {
+	db := benchSynthetic(b, 5000)
+	for i := 0; i < b.N; i++ {
+		info, err := topkq.TopKProbabilities(db, 15)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = topkq.GlobalTopK(db, info)
+	}
+}
+
+func BenchmarkFig5c_PTK(b *testing.B) {
+	db := benchSynthetic(b, 5000)
+	for i := 0; i < b.N; i++ {
+		info, err := topkq.TopKProbabilities(db, 15)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = topkq.PTK(db, info, 0.1)
+	}
+}
+
+func BenchmarkFig5c_QualityOnly(b *testing.B) {
+	db := benchSynthetic(b, 5000)
+	info, err := topkq.TopKProbabilities(db, 15)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := quality.TPFromInfo(db, info); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 5(d): PT-k vs quality on MOV ----------------------------------
+
+func BenchmarkFig5d_MOV_PTK(b *testing.B) {
+	db := benchMOV(b)
+	for _, k := range []int{15, 100} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				info, err := topkq.TopKProbabilities(db, k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = topkq.PTK(db, info, 0.1)
+			}
+		})
+	}
+}
+
+func BenchmarkFig5d_MOV_QualityExtra(b *testing.B) {
+	db := benchMOV(b)
+	for _, k := range []int{15, 100} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			info, err := topkq.TopKProbabilities(db, k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := quality.TPFromInfo(db, info); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Figure 6(a): expected improvement vs budget (synthetic) --------------
+
+func BenchmarkFig6a_Improvement(b *testing.B) {
+	db := benchSynthetic(b, 5000)
+	for _, c := range []int{10, 100, 1000} {
+		for _, m := range []Method{MethodDP, MethodGreedy, MethodRandP, MethodRandU} {
+			b.Run(fmt.Sprintf("C=%d/%s", c, m), func(b *testing.B) {
+				ctx := benchCtx(b, db, 15, c)
+				var imp float64
+				for i := 0; i < b.N; i++ {
+					plan, err := PlanCleaning(ctx, m, int64(i))
+					if err != nil {
+						b.Fatal(err)
+					}
+					imp = ExpectedImprovement(ctx, plan)
+				}
+				b.ReportMetric(imp, "improvement")
+			})
+		}
+	}
+}
+
+// --- Figure 6(b): improvement vs sc-pdf -----------------------------------
+
+func BenchmarkFig6b_ImprovementVsSCPdf(b *testing.B) {
+	db := benchSynthetic(b, 5000)
+	pdfs := []gen.SCPdf{
+		gen.NormalSC{Mean: 0.5, Sigma: 0.13},
+		gen.NormalSC{Mean: 0.5, Sigma: 0.3},
+		gen.UniformSC{Lo: 0, Hi: 1},
+	}
+	for _, pdf := range pdfs {
+		b.Run(pdf.String(), func(b *testing.B) {
+			spec, err := gen.CleanSpec(db.NumGroups(), 1, 10, pdf, 77)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx, err := cleaning.NewContext(db, 15, spec, 100)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var imp float64
+			for i := 0; i < b.N; i++ {
+				plan, err := cleaning.Greedy(ctx)
+				if err != nil {
+					b.Fatal(err)
+				}
+				imp = cleaning.ExpectedImprovement(ctx, plan)
+			}
+			b.ReportMetric(imp, "improvement")
+		})
+	}
+}
+
+// --- Figure 6(c): improvement vs average sc-probability -------------------
+
+func BenchmarkFig6c_ImprovementVsAvgSC(b *testing.B) {
+	db := benchSynthetic(b, 5000)
+	for _, lo := range []float64{0, 0.5, 1} {
+		b.Run(fmt.Sprintf("avg=%.2f", (1+lo)/2), func(b *testing.B) {
+			spec, err := gen.CleanSpec(db.NumGroups(), 1, 10, gen.UniformSC{Lo: lo, Hi: 1}, 77)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx, err := cleaning.NewContext(db, 15, spec, 100)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var imp float64
+			for i := 0; i < b.N; i++ {
+				plan, err := cleaning.Greedy(ctx)
+				if err != nil {
+					b.Fatal(err)
+				}
+				imp = cleaning.ExpectedImprovement(ctx, plan)
+			}
+			b.ReportMetric(imp, "improvement")
+		})
+	}
+}
+
+// --- Figure 6(d): planning time vs budget ---------------------------------
+
+func BenchmarkFig6d_DP(b *testing.B) {
+	db := benchSynthetic(b, 5000)
+	for _, c := range []int{10, 100, 1000, 10000} {
+		b.Run(fmt.Sprintf("C=%d", c), func(b *testing.B) {
+			ctx := benchCtx(b, db, 15, c)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cleaning.DP(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig6d_Greedy(b *testing.B) {
+	db := benchSynthetic(b, 5000)
+	for _, c := range []int{10, 100, 1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("C=%d", c), func(b *testing.B) {
+			ctx := benchCtx(b, db, 15, c)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cleaning.Greedy(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig6d_RandP(b *testing.B) {
+	db := benchSynthetic(b, 5000)
+	rng := rand.New(rand.NewSource(1))
+	for _, c := range []int{100, 10000} {
+		b.Run(fmt.Sprintf("C=%d", c), func(b *testing.B) {
+			ctx := benchCtx(b, db, 15, c)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cleaning.RandP(ctx, rng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig6d_RandU(b *testing.B) {
+	db := benchSynthetic(b, 5000)
+	rng := rand.New(rand.NewSource(1))
+	for _, c := range []int{100, 10000} {
+		b.Run(fmt.Sprintf("C=%d", c), func(b *testing.B) {
+			ctx := benchCtx(b, db, 15, c)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cleaning.RandU(ctx, rng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Figure 6(e): planning time vs k --------------------------------------
+
+func BenchmarkFig6e_DP(b *testing.B) {
+	db := benchSynthetic(b, 5000)
+	for _, k := range []int{5, 15, 30} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			ctx := benchCtx(b, db, k, 100)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cleaning.DP(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig6e_Greedy(b *testing.B) {
+	db := benchSynthetic(b, 5000)
+	for _, k := range []int{5, 15, 30} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			ctx := benchCtx(b, db, k, 100)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cleaning.Greedy(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Figure 6(f): improvement vs budget (MOV) ------------------------------
+
+func BenchmarkFig6f_MOV_Improvement(b *testing.B) {
+	db := benchMOV(b)
+	for _, c := range []int{10, 100, 1000} {
+		for _, m := range []Method{MethodDP, MethodGreedy} {
+			b.Run(fmt.Sprintf("C=%d/%s", c, m), func(b *testing.B) {
+				ctx := benchCtx(b, db, 15, c)
+				var imp float64
+				for i := 0; i < b.N; i++ {
+					plan, err := PlanCleaning(ctx, m, int64(i))
+					if err != nil {
+						b.Fatal(err)
+					}
+					imp = ExpectedImprovement(ctx, plan)
+				}
+				b.ReportMetric(imp, "improvement")
+			})
+		}
+	}
+}
+
+// --- Figure 6(g): improvement vs avg sc-probability (MOV) ------------------
+
+func BenchmarkFig6g_MOV_ImprovementVsAvgSC(b *testing.B) {
+	db := benchMOV(b)
+	for _, lo := range []float64{0, 0.5, 1} {
+		b.Run(fmt.Sprintf("avg=%.2f", (1+lo)/2), func(b *testing.B) {
+			spec, err := gen.CleanSpec(db.NumGroups(), 1, 10, gen.UniformSC{Lo: lo, Hi: 1}, 77)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx, err := cleaning.NewContext(db, 15, spec, 100)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var imp float64
+			for i := 0; i < b.N; i++ {
+				plan, err := cleaning.Greedy(ctx)
+				if err != nil {
+					b.Fatal(err)
+				}
+				imp = cleaning.ExpectedImprovement(ctx, plan)
+			}
+			b.ReportMetric(imp, "improvement")
+		})
+	}
+}
+
+// --- Running example (Tables I/II, Figures 2-3) ----------------------------
+
+func BenchmarkTables12_UDB1AllAlgorithms(b *testing.B) {
+	db := paperUDB1(b)
+	b.Run("PW", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := quality.PW(db, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("PWR", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := quality.PWR(db, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("TP", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := quality.TP(db, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

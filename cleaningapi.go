@@ -1,0 +1,149 @@
+package topkclean
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/probdb/topkclean/internal/cleaning"
+)
+
+// Cleaning types, re-exported.
+type (
+	// CleaningSpec holds per-x-tuple cleaning costs and success
+	// probabilities.
+	CleaningSpec = cleaning.Spec
+	// CleaningPlan maps x-tuple index to the number of cleaning operations.
+	CleaningPlan = cleaning.Plan
+	// CleaningContext bundles a database, query, quality evaluation, spec,
+	// and budget for the planners.
+	CleaningContext = cleaning.Context
+	// CleaningOutcome reports one simulated execution of a plan.
+	CleaningOutcome = cleaning.Outcome
+	// CleanChoices records which x-tuples resolved to which alternative.
+	CleanChoices = cleaning.CleanChoices
+)
+
+// Method selects a cleaning planner.
+type Method string
+
+// The four planners of Section V-D.
+const (
+	MethodDP     Method = "dp"     // optimal dynamic program
+	MethodGreedy Method = "greedy" // near-optimal, heap-based
+	MethodRandP  Method = "randp"  // random, weighted by top-k probability
+	MethodRandU  Method = "randu"  // random, uniform
+)
+
+// Methods lists all planner names, in decreasing expected effectiveness.
+func Methods() []Method { return []Method{MethodDP, MethodGreedy, MethodRandP, MethodRandU} }
+
+// UniformCleaningSpec builds a spec with identical cost and sc-probability
+// for every x-tuple.
+func UniformCleaningSpec(m, cost int, scProb float64) CleaningSpec {
+	return cleaning.UniformSpec(m, cost, scProb)
+}
+
+// NewCleaningContext evaluates the query quality on db and prepares a
+// planning context with the given spec and budget.
+func NewCleaningContext(db *Database, k int, spec CleaningSpec, budget int) (*CleaningContext, error) {
+	return cleaning.NewContext(db, k, spec, budget)
+}
+
+// PlanCleaning selects the x-tuples to clean and the number of operations
+// for each, maximizing the expected quality improvement within the
+// context's budget, using the requested method. seed drives the random
+// planners (MethodRandU/MethodRandP) and is ignored by DP and Greedy.
+func PlanCleaning(ctx *CleaningContext, method Method, seed int64) (CleaningPlan, error) {
+	switch method {
+	case MethodDP:
+		return cleaning.DP(ctx)
+	case MethodGreedy:
+		return cleaning.Greedy(ctx)
+	case MethodRandU:
+		return cleaning.RandU(ctx, rand.New(rand.NewSource(seed)))
+	case MethodRandP:
+		return cleaning.RandP(ctx, rand.New(rand.NewSource(seed)))
+	default:
+		return nil, fmt.Errorf("topkclean: unknown cleaning method %q", method)
+	}
+}
+
+// ExpectedImprovement computes the expected quality improvement of a plan
+// in closed form (Theorem 2), in O(|plan|) time.
+func ExpectedImprovement(ctx *CleaningContext, plan CleaningPlan) float64 {
+	return cleaning.ExpectedImprovement(ctx, plan)
+}
+
+// ExecuteCleaning simulates the cleaning agent carrying out the plan with
+// the given random source: operations succeed with each x-tuple's
+// sc-probability, successful x-tuples resolve according to their
+// alternatives' probabilities, and the cleaned database's quality is
+// evaluated.
+func ExecuteCleaning(ctx *CleaningContext, plan CleaningPlan, rng *rand.Rand) (*CleaningOutcome, error) {
+	return cleaning.Execute(ctx, plan, rng)
+}
+
+// ApplyCleaning builds the database that results from the given successful
+// cleaning outcomes (each x-tuple collapses to the chosen alternative).
+func ApplyCleaning(db *Database, choices CleanChoices) (*Database, error) {
+	return cleaning.BuildCleaned(db, choices)
+}
+
+// CleaningCandidate describes one x-tuple worth cleaning, with the
+// quantities that drive the planners' decisions.
+type CleaningCandidate = cleaning.Candidate
+
+// CleaningCandidates returns the x-tuples worth cleaning (nonzero removable
+// deficit, nonzero success probability, affordable), sorted by descending
+// first-operation improvement per unit cost — the order Greedy starts
+// taking them. Useful for explaining plans to an operator.
+func CleaningCandidates(ctx *CleaningContext) ([]CleaningCandidate, error) {
+	return cleaning.Candidates(ctx)
+}
+
+// VerifyImprovement cross-checks Theorem 2's closed-form expected
+// improvement for a plan against a parallel Monte-Carlo simulation of the
+// cleaning agent, returning (analytical, simulated). Useful to build trust
+// in a plan before spending a real budget on it.
+func VerifyImprovement(ctx *CleaningContext, plan CleaningPlan, seed int64, trials, workers int) (analytical, simulated float64, err error) {
+	analytical = cleaning.ExpectedImprovement(ctx, plan)
+	simulated, err = cleaning.MonteCarloImprovementParallel(ctx, plan, seed, trials, workers)
+	return analytical, simulated, err
+}
+
+// AdaptiveOutcome reports a multi-round adaptive cleaning session.
+type AdaptiveOutcome = cleaning.AdaptiveOutcome
+
+// AdaptiveCleaning runs the re-planning loop the paper's Section V-A poses
+// as future work: plan, execute, and feed the budget refunded by early
+// successes into fresh plans against the partially cleaned database, for
+// up to maxRounds rounds. Only deterministic planners are supported.
+func AdaptiveCleaning(ctx *CleaningContext, method Method, rng *rand.Rand, maxRounds int) (*AdaptiveOutcome, error) {
+	var planner func(*CleaningContext) (CleaningPlan, error)
+	switch method {
+	case MethodDP:
+		planner = cleaning.DP
+	case MethodGreedy:
+		planner = cleaning.Greedy
+	default:
+		return nil, fmt.Errorf("topkclean: AdaptiveCleaning needs a deterministic method, got %q", method)
+	}
+	return cleaning.AdaptiveExecute(ctx, planner, rng, maxRounds)
+}
+
+// MinBudgetForTarget returns the smallest budget whose optimal (or greedy,
+// depending on method) expected post-cleaning quality reaches target, with
+// the corresponding plan. This implements the extension the paper's
+// conclusion poses as future work.
+func MinBudgetForTarget(ctx *CleaningContext, target float64, maxBudget int, method Method) (int, CleaningPlan, error) {
+	var planner func(*CleaningContext) (CleaningPlan, error)
+	switch method {
+	case MethodDP:
+		planner = cleaning.DP
+	case MethodGreedy:
+		planner = cleaning.Greedy
+	default:
+		return 0, nil, fmt.Errorf("topkclean: MinBudgetForTarget needs a deterministic method, got %q", method)
+	}
+	return cleaning.MinBudgetForTarget(ctx, target, maxBudget, planner)
+}

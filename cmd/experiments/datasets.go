@@ -1,0 +1,51 @@
+package main
+
+import (
+	"fmt"
+
+	"github.com/probdb/topkclean/internal/gen"
+	"github.com/probdb/topkclean/internal/uncertain"
+)
+
+// defaultK is the paper's default query size.
+const defaultK = 15
+
+// defaultThreshold is the paper's default PT-k threshold.
+const defaultThreshold = 0.1
+
+// synthetic returns the default synthetic dataset, scaled down in quick
+// mode (500 x-tuples instead of 5000).
+func synthetic(cfg config) (*uncertain.Database, error) {
+	c := gen.DefaultSynthetic()
+	c.Seed = cfg.seed
+	if cfg.quick {
+		c.NumXTuples = 500
+	}
+	return gen.Synthetic(c)
+}
+
+// syntheticSized returns the synthetic dataset with the given number of
+// tuples (x-tuples = tuples/10).
+func syntheticSized(cfg config, tuples int) (*uncertain.Database, error) {
+	x := tuples / 10
+	if x < 1 {
+		x = 1
+	}
+	return gen.SyntheticSized(x, cfg.seed)
+}
+
+// mov returns the MOV-like dataset, scaled down in quick mode.
+func mov(cfg config) (*uncertain.Database, error) {
+	c := gen.DefaultMOV()
+	c.Seed = cfg.seed + 100
+	if cfg.quick {
+		c.NumXTuples = 499
+	}
+	return gen.MOV(c)
+}
+
+// describe prints a one-line dataset summary so readers can relate the
+// series to the paper's setup.
+func describe(cfg config, name string, db *uncertain.Database) {
+	fmt.Fprintf(cfg.out, "dataset %s: %s\n\n", name, db.ComputeStats())
+}

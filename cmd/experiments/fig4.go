@@ -1,0 +1,226 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/probdb/topkclean/internal/exp"
+	"github.com/probdb/topkclean/internal/gen"
+	"github.com/probdb/topkclean/internal/quality"
+	"github.com/probdb/topkclean/internal/world"
+)
+
+// runFig4a: quality vs k on the default synthetic dataset. Paper shape:
+// monotone decrease from ~0 to about -140 at k=30.
+func runFig4a(cfg config) error {
+	db, err := synthetic(cfg)
+	if err != nil {
+		return err
+	}
+	describe(cfg, "synthetic", db)
+	tab := exp.NewTable("Figure 4(a): quality S vs k (synthetic)", "k", "S")
+	for k := 1; k <= 30; k++ {
+		ev, err := quality.TP(db, k)
+		if err != nil {
+			return err
+		}
+		tab.AddRow(k, ev.S)
+	}
+	return renderTable(cfg, tab)
+}
+
+// runFig4b: quality for Gaussian pdfs with sigma 10/30/50/100 and the
+// uniform pdf, at k=15. Paper shape: tighter Gaussian -> higher quality;
+// uniform worst.
+func runFig4b(cfg config) error {
+	tab := exp.NewTable("Figure 4(b): quality S vs uncertainty pdf (k=15)", "pdf", "S")
+	run := func(label string, pdf gen.PDFKind, sigma float64) error {
+		c := gen.DefaultSynthetic()
+		c.Seed = cfg.seed
+		c.PDF = pdf
+		c.Sigma = sigma
+		if cfg.quick {
+			c.NumXTuples = 500
+		}
+		db, err := gen.Synthetic(c)
+		if err != nil {
+			return err
+		}
+		ev, err := quality.TP(db, defaultK)
+		if err != nil {
+			return err
+		}
+		tab.AddRow(label, ev.S)
+		return nil
+	}
+	for _, g := range []float64{10, 30, 50, 100} {
+		if err := run(fmt.Sprintf("G%.0f", g), gen.PDFGaussian, g); err != nil {
+			return err
+		}
+	}
+	if err := run("Uniform", gen.PDFUniform, 0); err != nil {
+		return err
+	}
+	return renderTable(cfg, tab)
+}
+
+// runFig4c: quality vs k on the MOV-like dataset. Paper shape: decreasing,
+// but higher (less negative) than the synthetic data at equal k because MOV
+// x-tuples carry only ~2 alternatives.
+func runFig4c(cfg config) error {
+	db, err := mov(cfg)
+	if err != nil {
+		return err
+	}
+	describe(cfg, "MOV", db)
+	tab := exp.NewTable("Figure 4(c): quality S vs k (MOV)", "k", "S")
+	for k := 1; k <= 30; k++ {
+		ev, err := quality.TP(db, k)
+		if err != nil {
+			return err
+		}
+		tab.AddRow(k, ev.S)
+	}
+	return renderTable(cfg, tab)
+}
+
+// pwrResultCap bounds PWR work in the harness, standing in for the paper's
+// experiment timeouts ("PWR cannot return the quality score in a
+// reasonable time").
+func pwrResultCap(cfg config) int {
+	if cfg.quick {
+		return 3_000_000
+	}
+	return 20_000_000
+}
+
+// runFig4d: quality computation time on small databases at k=5, comparing
+// PW, PWR, and TP. Paper shape: PW explodes immediately (36 minutes at 100
+// tuples); PWR polynomial; TP flat.
+func runFig4d(cfg config) error {
+	sizes := []int{10, 30, 50, 70, 100, 500, 1000, 10000}
+	if cfg.quick {
+		sizes = []int{10, 30, 50, 100, 1000}
+	}
+	const k = 5
+	tab := exp.NewTable("Figure 4(d): quality time (ms) vs DB size, k=5", "tuples", "PW", "PWR", "TP")
+	for _, n := range sizes {
+		db, err := syntheticSized(cfg, n)
+		if err != nil {
+			return err
+		}
+		if db.NumGroups() < k {
+			continue
+		}
+		pwCell := "-"
+		if world.Enumerable(db) {
+			ms := exp.TimeMs(func() {
+				if _, err2 := quality.PW(db, k); err2 != nil {
+					err = err2
+				}
+			})
+			if err != nil {
+				return err
+			}
+			pwCell = fmt.Sprintf("%.3f", ms)
+		}
+		pwrCell := "-"
+		{
+			var perr error
+			ms := exp.TimeMs(func() { _, perr = quality.PWRLimited(db, k, pwrResultCap(cfg)) })
+			switch {
+			case perr == nil:
+				pwrCell = fmt.Sprintf("%.3f", ms)
+			case errors.Is(perr, quality.ErrResultLimit):
+				pwrCell = ">cap"
+			default:
+				return perr
+			}
+		}
+		var terr error
+		tpMs := exp.BenchMs(func() { _, terr = quality.TP(db, k) })
+		if terr != nil {
+			return terr
+		}
+		tab.AddRow(n, pwCell, pwrCell, tpMs)
+	}
+	return renderTable(cfg, tab)
+}
+
+// runFig4e: quality time on large databases at k=15: PWR vs TP. Paper
+// shape: PWR blows up quickly; TP linear in n.
+func runFig4e(cfg config) error {
+	sizes := []int{1000, 5000, 10000, 50000, 100000, 1000000}
+	if cfg.quick {
+		sizes = []int{1000, 10000, 100000}
+	}
+	tab := exp.NewTable("Figure 4(e): quality time (ms) vs DB size, k=15", "tuples", "PWR", "TP")
+	for _, n := range sizes {
+		db, err := syntheticSized(cfg, n)
+		if err != nil {
+			return err
+		}
+		if db.NumGroups() < defaultK {
+			continue
+		}
+		pwrCell := "-"
+		if n <= 5000 {
+			var perr error
+			ms := exp.TimeMs(func() { _, perr = quality.PWRLimited(db, defaultK, pwrResultCap(cfg)) })
+			switch {
+			case perr == nil:
+				pwrCell = fmt.Sprintf("%.3f", ms)
+			case errors.Is(perr, quality.ErrResultLimit):
+				pwrCell = ">cap"
+			default:
+				return perr
+			}
+		}
+		var terr error
+		tpMs := exp.BenchMs(func() { _, terr = quality.TP(db, defaultK) })
+		if terr != nil {
+			return terr
+		}
+		tab.AddRow(n, pwrCell, tpMs)
+	}
+	return renderTable(cfg, tab)
+}
+
+// runFig4f: quality time vs k on the default synthetic dataset: PWR vs TP.
+// Paper shape: PWR exponential in k (unusable past small k); TP linear.
+func runFig4f(cfg config) error {
+	db, err := synthetic(cfg)
+	if err != nil {
+		return err
+	}
+	ks := []int{1, 2, 3, 5, 10, 100, 1000}
+	if cfg.quick {
+		ks = []int{1, 2, 3, 10, 100}
+	}
+	tab := exp.NewTable("Figure 4(f): quality time (ms) vs k (synthetic)", "k", "PWR", "TP")
+	for _, k := range ks {
+		if k > db.NumGroups() {
+			continue
+		}
+		pwrCell := "-"
+		if k <= 5 {
+			var perr error
+			ms := exp.TimeMs(func() { _, perr = quality.PWRLimited(db, k, pwrResultCap(cfg)) })
+			switch {
+			case perr == nil:
+				pwrCell = fmt.Sprintf("%.3f", ms)
+			case errors.Is(perr, quality.ErrResultLimit):
+				pwrCell = ">cap"
+			default:
+				return perr
+			}
+		}
+		var terr error
+		tpMs := exp.BenchMs(func() { _, terr = quality.TP(db, k) })
+		if terr != nil {
+			return terr
+		}
+		tab.AddRow(k, pwrCell, tpMs)
+	}
+	return renderTable(cfg, tab)
+}

@@ -1,0 +1,188 @@
+package main
+
+import (
+	"fmt"
+
+	"github.com/probdb/topkclean/internal/exp"
+	"github.com/probdb/topkclean/internal/quality"
+	"github.com/probdb/topkclean/internal/topkq"
+	"github.com/probdb/topkclean/internal/uncertain"
+)
+
+// evalPTKSharing runs PT-k plus quality with computation sharing: one PSR
+// pass feeds both the query answer and the TP quality formula.
+func evalPTKSharing(db *uncertain.Database, k int) error {
+	info, err := topkq.TopKProbabilities(db, k)
+	if err != nil {
+		return err
+	}
+	_ = topkq.PTK(db, info, defaultThreshold)
+	_, err = quality.TPFromInfo(db, info)
+	return err
+}
+
+// evalPTKNoSharing runs PT-k and quality independently: the PSR pass is
+// paid twice, as a system without Section IV-C's sharing would.
+func evalPTKNoSharing(db *uncertain.Database, k int) error {
+	info, err := topkq.TopKProbabilities(db, k)
+	if err != nil {
+		return err
+	}
+	_ = topkq.PTK(db, info, defaultThreshold)
+	_, err = quality.TP(db, k) // recomputes rank probabilities internally
+	return err
+}
+
+// runFig5a: total query+quality time with and without sharing, vs k.
+// Paper shape: sharing cuts the total to ~52% at k=100 (the quality side's
+// PSR pass dominates and is eliminated).
+func runFig5a(cfg config) error {
+	db, err := synthetic(cfg)
+	if err != nil {
+		return err
+	}
+	ks := []int{1, 10, 20, 40, 60, 80, 100}
+	tab := exp.NewTable("Figure 5(a): PT-k query + quality time (ms) vs k", "k", "non-sharing", "sharing", "ratio")
+	for _, k := range ks {
+		if k > db.NumGroups() {
+			continue
+		}
+		var err1, err2 error
+		non := exp.BenchMs(func() { err1 = evalPTKNoSharing(db, k) })
+		shr := exp.BenchMs(func() { err2 = evalPTKSharing(db, k) })
+		if err1 != nil {
+			return err1
+		}
+		if err2 != nil {
+			return err2
+		}
+		ratio := 0.0
+		if non > 0 {
+			ratio = shr / non
+		}
+		tab.AddRow(k, non, shr, ratio)
+	}
+	return renderTable(cfg, tab)
+}
+
+// runFig5b: the PT-k evaluation time and the *extra* time quality costs
+// when sharing is on. Paper shape: the quality share falls from 33.3% at
+// k=15 to 6.3% at k=100.
+func runFig5b(cfg config) error {
+	db, err := synthetic(cfg)
+	if err != nil {
+		return err
+	}
+	return ptkVsQuality(cfg, db, "Figure 5(b): PT-k time vs extra quality time (synthetic)")
+}
+
+// runFig5d: the same on MOV. Paper shape: same trend, smaller absolute
+// times (75 nonzero top-k tuples vs 579 on synthetic at k=15).
+func runFig5d(cfg config) error {
+	db, err := mov(cfg)
+	if err != nil {
+		return err
+	}
+	return ptkVsQuality(cfg, db, "Figure 5(d): PT-k time vs extra quality time (MOV)")
+}
+
+func ptkVsQuality(cfg config, db *uncertain.Database, title string) error {
+	ks := []int{15, 30, 50, 80, 100}
+	tab := exp.NewTable(title, "k", "PT-k", "quality", "quality share")
+	for _, k := range ks {
+		if k > db.NumGroups() {
+			continue
+		}
+		var info *topkq.RankInfo
+		var err error
+		queryMs := exp.BenchMs(func() {
+			info, err = topkq.TopKProbabilities(db, k)
+			if err == nil {
+				_ = topkq.PTK(db, info, defaultThreshold)
+			}
+		})
+		if err != nil {
+			return err
+		}
+		var qerr error
+		qualMs := exp.BenchMs(func() { _, qerr = quality.TPFromInfo(db, info) })
+		if qerr != nil {
+			return qerr
+		}
+		share := 0.0
+		if queryMs+qualMs > 0 {
+			share = qualMs / (queryMs + qualMs)
+		}
+		tab.AddRow(k, queryMs, qualMs, fmt.Sprintf("%.1f%%", share*100))
+	}
+	if err := renderTable(cfg, tab); err != nil {
+		return err
+	}
+	// The paper also reports the count of tuples with nonzero top-k
+	// probability, which explains MOV's small absolute times.
+	info, err := topkq.TopKProbabilities(db, defaultK)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.out, "tuples with nonzero top-%d probability: %d\n\n", defaultK, info.NonzeroCount())
+	return nil
+}
+
+// runFig5c: evaluation time of the three query semantics and the quality
+// overhead, vs k. Paper shape: U-kRanks and Global-topk slightly above
+// PT-k; quality the cheapest line.
+func runFig5c(cfg config) error {
+	db, err := synthetic(cfg)
+	if err != nil {
+		return err
+	}
+	ks := []int{1, 10, 20, 40, 60, 80, 100}
+	tab := exp.NewTable("Figure 5(c): query time vs quality time (ms)", "k", "U-kRanks", "Global-topk", "PT-k", "quality")
+	for _, k := range ks {
+		if k > db.NumGroups() {
+			continue
+		}
+		var err1 error
+		uk := exp.BenchMs(func() {
+			info, e := topkq.RankProbabilities(db, k)
+			if e != nil {
+				err1 = e
+				return
+			}
+			_, err1 = topkq.UKRanks(db, info)
+		})
+		if err1 != nil {
+			return err1
+		}
+		gt := exp.BenchMs(func() {
+			info, e := topkq.TopKProbabilities(db, k)
+			if e != nil {
+				err1 = e
+				return
+			}
+			_ = topkq.GlobalTopK(db, info)
+		})
+		if err1 != nil {
+			return err1
+		}
+		var info *topkq.RankInfo
+		pt := exp.BenchMs(func() {
+			var e error
+			info, e = topkq.TopKProbabilities(db, k)
+			if e != nil {
+				err1 = e
+				return
+			}
+			_ = topkq.PTK(db, info, defaultThreshold)
+		})
+		if err1 != nil {
+			return err1
+		}
+		qu := exp.BenchMs(func() { _, err1 = quality.TPFromInfo(db, info) })
+		if err1 != nil {
+			return err1
+		}
+		tab.AddRow(k, uk, gt, pt, qu)
+	}
+	return renderTable(cfg, tab)
+}

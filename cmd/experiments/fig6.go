@@ -1,0 +1,252 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/probdb/topkclean/internal/cleaning"
+	"github.com/probdb/topkclean/internal/exp"
+	"github.com/probdb/topkclean/internal/gen"
+	"github.com/probdb/topkclean/internal/quality"
+	"github.com/probdb/topkclean/internal/uncertain"
+)
+
+// randReps is how many seeds the random planners are averaged over (their
+// single-run improvement is noisy).
+const randReps = 5
+
+// cleaningContext prepares a planning context on db with the paper's
+// default cleaning environment (costs U[1,10], sc-pdf U[0,1]) and budget.
+func cleaningContext(cfg config, db *uncertain.Database, k, budget int, pdf gen.SCPdf) (*cleaning.Context, error) {
+	spec, err := gen.CleanSpec(db.NumGroups(), 1, 10, pdf, cfg.seed+7)
+	if err != nil {
+		return nil, err
+	}
+	return cleaning.NewContext(db, k, spec, budget)
+}
+
+// improvements runs all four planners on the context and returns their
+// expected improvements (random ones averaged over randReps seeds).
+func improvements(ctx *cleaning.Context) (dp, greedy, randP, randU float64, err error) {
+	dpPlan, err := cleaning.DP(ctx)
+	if err != nil {
+		return
+	}
+	dp = cleaning.ExpectedImprovement(ctx, dpPlan)
+	grPlan, err := cleaning.Greedy(ctx)
+	if err != nil {
+		return
+	}
+	greedy = cleaning.ExpectedImprovement(ctx, grPlan)
+	for i := 0; i < randReps; i++ {
+		var p cleaning.Plan
+		p, err = cleaning.RandP(ctx, rand.New(rand.NewSource(int64(100+i))))
+		if err != nil {
+			return
+		}
+		randP += cleaning.ExpectedImprovement(ctx, p) / randReps
+		p, err = cleaning.RandU(ctx, rand.New(rand.NewSource(int64(200+i))))
+		if err != nil {
+			return
+		}
+		randU += cleaning.ExpectedImprovement(ctx, p) / randReps
+	}
+	return
+}
+
+// budgetSweep is the log-spaced budget axis of Figures 6(a)/6(d)/6(f).
+func budgetSweep(cfg config) []int {
+	if cfg.quick {
+		return []int{1, 10, 100, 1000}
+	}
+	return []int{1, 10, 100, 1000, 10000, 100000}
+}
+
+// runFig6a: expected improvement vs budget on the synthetic dataset.
+// Paper shape: DP >= Greedy (nearly equal) >= RandP >= RandU; saturation
+// toward |S| for large C.
+func runFig6a(cfg config) error {
+	db, err := synthetic(cfg)
+	if err != nil {
+		return err
+	}
+	return improvementVsBudget(cfg, db, "Figure 6(a): expected improvement I vs budget C (synthetic, k=15)")
+}
+
+// runFig6f: the same on MOV.
+func runFig6f(cfg config) error {
+	db, err := mov(cfg)
+	if err != nil {
+		return err
+	}
+	return improvementVsBudget(cfg, db, "Figure 6(f): expected improvement I vs budget C (MOV, k=15)")
+}
+
+func improvementVsBudget(cfg config, db *uncertain.Database, title string) error {
+	ev, err := quality.TP(db, defaultK)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.out, "initial quality S = %.6f (paper synthetic: -66.797551); max possible I = %.6f\n\n", ev.S, -ev.S)
+	tab := exp.NewTable(title, "C", "DP", "Greedy", "RandP", "RandU")
+	for _, c := range budgetSweep(cfg) {
+		ctx, err := cleaningContext(cfg, db, defaultK, c, gen.UniformSC{Lo: 0, Hi: 1})
+		if err != nil {
+			return err
+		}
+		dp, gr, rp, ru, err := improvements(ctx)
+		if err != nil {
+			return err
+		}
+		tab.AddRow(c, dp, gr, rp, ru)
+	}
+	return renderTable(cfg, tab)
+}
+
+// runFig6b: expected improvement under different sc-pdfs at C=100. Paper
+// shape: DP/Greedy grow with the sc-pdf's variance (more x-tuples with
+// high sc-probability to exploit); RandP/RandU roughly flat.
+func runFig6b(cfg config) error {
+	db, err := synthetic(cfg)
+	if err != nil {
+		return err
+	}
+	pdfs := []gen.SCPdf{
+		gen.NormalSC{Mean: 0.5, Sigma: 0.13},
+		gen.NormalSC{Mean: 0.5, Sigma: 0.167},
+		gen.NormalSC{Mean: 0.5, Sigma: 0.3},
+		gen.UniformSC{Lo: 0, Hi: 1},
+	}
+	tab := exp.NewTable("Figure 6(b): expected improvement I vs sc-pdf (C=100)", "sc-pdf", "DP", "Greedy", "RandP", "RandU")
+	for _, pdf := range pdfs {
+		ctx, err := cleaningContext(cfg, db, defaultK, 100, pdf)
+		if err != nil {
+			return err
+		}
+		dp, gr, rp, ru, err := improvements(ctx)
+		if err != nil {
+			return err
+		}
+		tab.AddRow(pdf.String(), dp, gr, rp, ru)
+	}
+	return renderTable(cfg, tab)
+}
+
+// runFig6c: expected improvement vs average sc-probability (sc-pdf
+// U[x, 1]). Paper shape: every planner improves as the average grows.
+func runFig6c(cfg config) error {
+	db, err := synthetic(cfg)
+	if err != nil {
+		return err
+	}
+	return improvementVsAvgSC(cfg, db, "Figure 6(c): expected improvement I vs avg sc-probability (synthetic, C=100)")
+}
+
+// runFig6g: the same on MOV.
+func runFig6g(cfg config) error {
+	db, err := mov(cfg)
+	if err != nil {
+		return err
+	}
+	return improvementVsAvgSC(cfg, db, "Figure 6(g): expected improvement I vs avg sc-probability (MOV, C=100)")
+}
+
+func improvementVsAvgSC(cfg config, db *uncertain.Database, title string) error {
+	tab := exp.NewTable(title, "avg sc-prob", "DP", "Greedy", "RandP", "RandU")
+	for _, lo := range []float64{0, 0.2, 0.4, 0.6, 0.8, 1} {
+		ctx, err := cleaningContext(cfg, db, defaultK, 100, gen.UniformSC{Lo: lo, Hi: 1})
+		if err != nil {
+			return err
+		}
+		dp, gr, rp, ru, err := improvements(ctx)
+		if err != nil {
+			return err
+		}
+		tab.AddRow((1+lo)/2, dp, gr, rp, ru)
+	}
+	return renderTable(cfg, tab)
+}
+
+// runFig6d: planning time vs budget. Paper shape: DP far above the
+// heuristics and growing ~quadratically with C; Greedy above RandP above
+// RandU.
+func runFig6d(cfg config) error {
+	db, err := synthetic(cfg)
+	if err != nil {
+		return err
+	}
+	tab := exp.NewTable("Figure 6(d): planning time (ms) vs budget C", "C", "DP", "Greedy", "RandP", "RandU")
+	for _, c := range budgetSweep(cfg) {
+		ctx, err := cleaningContext(cfg, db, defaultK, c, gen.UniformSC{Lo: 0, Hi: 1})
+		if err != nil {
+			return err
+		}
+		var perr error
+		dpMs := exp.TimeMs(func() { _, perr = cleaning.DP(ctx) })
+		if perr != nil {
+			return perr
+		}
+		grMs := exp.BenchMs(func() { _, perr = cleaning.Greedy(ctx) })
+		if perr != nil {
+			return perr
+		}
+		rng := rand.New(rand.NewSource(1))
+		rpMs := exp.BenchMs(func() { _, perr = cleaning.RandP(ctx, rng) })
+		if perr != nil {
+			return perr
+		}
+		ruMs := exp.BenchMs(func() { _, perr = cleaning.RandU(ctx, rng) })
+		if perr != nil {
+			return perr
+		}
+		tab.AddRow(c, dpMs, grMs, rpMs, ruMs)
+	}
+	return renderTable(cfg, tab)
+}
+
+// runFig6e: planning time vs k at C=100. Paper shape: DP and Greedy grow
+// mildly with k (|Z| grows: 79 at k=15 to 98 at k=30); the random planners
+// are flat.
+func runFig6e(cfg config) error {
+	db, err := synthetic(cfg)
+	if err != nil {
+		return err
+	}
+	tab := exp.NewTable("Figure 6(e): planning time (ms) vs k (C=100)", "k", "|Z|", "DP", "Greedy", "RandP", "RandU")
+	for _, k := range []int{5, 10, 15, 20, 25, 30} {
+		if k > db.NumGroups() {
+			continue
+		}
+		ctx, err := cleaningContext(cfg, db, k, 100, gen.UniformSC{Lo: 0, Hi: 1})
+		if err != nil {
+			return err
+		}
+		// |Z|: x-tuples with nonzero gain (Lemma 5's candidate set).
+		z := 0
+		for _, g := range ctx.Eval.GroupGain {
+			if g < -1e-15 {
+				z++
+			}
+		}
+		var perr error
+		dpMs := exp.BenchMs(func() { _, perr = cleaning.DP(ctx) })
+		if perr != nil {
+			return perr
+		}
+		grMs := exp.BenchMs(func() { _, perr = cleaning.Greedy(ctx) })
+		if perr != nil {
+			return perr
+		}
+		rng := rand.New(rand.NewSource(1))
+		rpMs := exp.BenchMs(func() { _, perr = cleaning.RandP(ctx, rng) })
+		if perr != nil {
+			return perr
+		}
+		ruMs := exp.BenchMs(func() { _, perr = cleaning.RandU(ctx, rng) })
+		if perr != nil {
+			return perr
+		}
+		tab.AddRow(k, z, dpMs, grMs, rpMs, ruMs)
+	}
+	return renderTable(cfg, tab)
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"fmt"
+
+	"github.com/probdb/topkclean/internal/exp"
+	"github.com/probdb/topkclean/internal/quality"
+	"github.com/probdb/topkclean/internal/testdb"
+	"github.com/probdb/topkclean/internal/topkq"
+	"github.com/probdb/topkclean/internal/uncertain"
+)
+
+// runTables12 reproduces the paper's running example: the pw-result
+// distributions of udb1 (Figure 2, quality -2.55) and udb2 (Figure 3,
+// quality -1.85) for a PT-2 query, plus the PT-2 answer {t1, t2, t5} at
+// threshold 0.4.
+func runTables12(cfg config) error {
+	for _, c := range []struct {
+		name  string
+		db    *uncertain.Database
+		paper float64
+	}{
+		{"udb1 (Table I)", testdb.UDB1(), -2.55},
+		{"udb2 (Table II)", testdb.UDB2(), -1.85},
+	} {
+		dist, err := quality.PWRDist(c.db, 2)
+		if err != nil {
+			return err
+		}
+		tab := exp.NewTable(fmt.Sprintf("%s: pw-results of the top-2 query", c.name), "pw-result", "probability")
+		for _, r := range dist {
+			tab.AddRow(fmt.Sprintf("(%s)", join(r.TupleIDs)), r.Prob)
+		}
+		if err := renderTable(cfg, tab); err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.out, "quality S = %.6f (paper: %.2f), |R| = %d\n\n", dist.Quality(), c.paper, len(dist))
+	}
+
+	db := testdb.UDB1()
+	info, err := topkq.RankProbabilities(db, 2)
+	if err != nil {
+		return err
+	}
+	ans := topkq.PTK(db, info, 0.4)
+	fmt.Fprintf(cfg.out, "PT-2 answer at T=0.4 on udb1: %s (paper: {t1, t2, t5})\n\n", topkq.FormatScored(ans))
+	return nil
+}
+
+func join(ids []string) string {
+	out := ""
+	for i, id := range ids {
+		if i > 0 {
+			out += ","
+		}
+		out += id
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (Section VI) and prints the series as aligned text
+// tables. Absolute times differ from the paper's C++/i5 testbed; the
+// shapes (who wins, by what factor, where curves cross) are what this
+// harness reproduces. See EXPERIMENTS.md for recorded paper-vs-measured
+// comparisons.
+//
+// Usage:
+//
+//	experiments -fig all            # everything (several minutes)
+//	experiments -fig 4a,4b,6a       # selected figures
+//	experiments -fig tables12       # the udb1/udb2 running example
+//	experiments -fig all -quick     # reduced sizes (~seconds, CI-friendly)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/probdb/topkclean/internal/exp"
+)
+
+// figure is one reproducible experiment.
+type figure struct {
+	name string
+	desc string
+	run  func(cfg config) error
+}
+
+// config carries the global harness options.
+type config struct {
+	quick  bool
+	seed   int64
+	format string // "text" (default) or "csv"
+	out    io.Writer
+}
+
+func main() {
+	figFlag := flag.String("fig", "all", "comma-separated figure ids (4a..4f, 5a..5d, 6a..6g, tables12) or 'all'")
+	quick := flag.Bool("quick", false, "reduced dataset sizes and sweeps (for CI and smoke tests)")
+	seed := flag.Int64("seed", 1, "base random seed for data generation")
+	format := flag.String("format", "text", "output format: text | csv")
+	list := flag.Bool("list", false, "list available figures and exit")
+	flag.Parse()
+
+	figs := allFigures()
+	if *list {
+		for _, f := range figs {
+			fmt.Printf("%-9s %s\n", f.name, f.desc)
+		}
+		return
+	}
+	cfg := config{quick: *quick, seed: *seed, format: *format, out: os.Stdout}
+
+	want := map[string]bool{}
+	runAll := *figFlag == "all"
+	if !runAll {
+		for _, name := range strings.Split(*figFlag, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+	}
+	known := map[string]bool{}
+	for _, f := range figs {
+		known[f.name] = true
+	}
+	for name := range want {
+		if !known[name] {
+			fmt.Fprintf(os.Stderr, "unknown figure %q; use -list\n", name)
+			os.Exit(2)
+		}
+	}
+	for _, f := range figs {
+		if !runAll && !want[f.name] {
+			continue
+		}
+		fmt.Fprintf(cfg.out, "=== %s: %s ===\n\n", f.name, f.desc)
+		if err := f.run(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", f.name, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func allFigures() []figure {
+	return []figure{
+		{"tables12", "running example: pw-results and quality of udb1/udb2 (Figures 2-3)", runTables12},
+		{"4a", "quality vs k, synthetic (Figure 4a)", runFig4a},
+		{"4b", "quality vs uncertainty pdf (Figure 4b)", runFig4b},
+		{"4c", "quality vs k, MOV (Figure 4c)", runFig4c},
+		{"4d", "quality time vs DB size, small, k=5: PW vs PWR vs TP (Figure 4d)", runFig4d},
+		{"4e", "quality time vs DB size, large, k=15: PWR vs TP (Figure 4e)", runFig4e},
+		{"4f", "quality time vs k: PWR vs TP (Figure 4f)", runFig4f},
+		{"5a", "query+quality time, sharing vs non-sharing (Figure 5a)", runFig5a},
+		{"5b", "PT-k time vs extra quality time (Figure 5b)", runFig5b},
+		{"5c", "U-kRanks/Global-topk/PT-k time vs quality time (Figure 5c)", runFig5c},
+		{"5d", "PT-k time vs quality time, MOV (Figure 5d)", runFig5d},
+		{"6a", "expected improvement vs budget C, synthetic (Figure 6a)", runFig6a},
+		{"6b", "expected improvement vs sc-pdf (Figure 6b)", runFig6b},
+		{"6c", "expected improvement vs avg sc-probability (Figure 6c)", runFig6c},
+		{"6d", "planning time vs budget C (Figure 6d)", runFig6d},
+		{"6e", "planning time vs k (Figure 6e)", runFig6e},
+		{"6f", "expected improvement vs budget C, MOV (Figure 6f)", runFig6f},
+		{"6g", "expected improvement vs avg sc-probability, MOV (Figure 6g)", runFig6g},
+	}
+}
+
+// renderTable writes a figure table in the configured output format.
+func renderTable(cfg config, tab *exp.Table) error {
+	if cfg.format == "csv" {
+		return tab.RenderCSV(cfg.out)
+	}
+	return tab.Render(cfg.out)
+}

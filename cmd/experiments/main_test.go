@@ -1,0 +1,127 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyConfig is smaller than -quick: enough to exercise every code path of
+// every figure in CI time.
+func tinyConfig(out *strings.Builder) config {
+	return config{quick: true, seed: 1, out: out}
+}
+
+func TestAllFiguresRegistered(t *testing.T) {
+	figs := allFigures()
+	want := []string{"tables12", "4a", "4b", "4c", "4d", "4e", "4f",
+		"5a", "5b", "5c", "5d", "6a", "6b", "6c", "6d", "6e", "6f", "6g"}
+	if len(figs) != len(want) {
+		t.Fatalf("registered %d figures, want %d", len(figs), len(want))
+	}
+	for i, name := range want {
+		if figs[i].name != name {
+			t.Errorf("figure %d = %s, want %s", i, figs[i].name, name)
+		}
+		if figs[i].desc == "" || figs[i].run == nil {
+			t.Errorf("figure %s incomplete", name)
+		}
+	}
+}
+
+func TestTables12Output(t *testing.T) {
+	var out strings.Builder
+	if err := runTables12(tinyConfig(&out)); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"quality S = -2.551326",
+		"quality S = -1.852241",
+		"|R| = 7",
+		"|R| = 4",
+		"{t1, t2, t5}",
+		"(t1,t2)",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("tables12 output missing %q", want)
+		}
+	}
+}
+
+// TestEveryFigureRunsQuick executes each figure generator end to end on the
+// quick configuration and sanity-checks that a table was rendered.
+func TestEveryFigureRunsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several seconds of figure generation")
+	}
+	for _, f := range allFigures() {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			var out strings.Builder
+			if err := f.run(tinyConfig(&out)); err != nil {
+				t.Fatalf("figure %s: %v", f.name, err)
+			}
+			s := out.String()
+			if !strings.Contains(s, "--") {
+				t.Fatalf("figure %s rendered no table:\n%s", f.name, s)
+			}
+		})
+	}
+}
+
+func TestFig4aQualityDecreases(t *testing.T) {
+	var out strings.Builder
+	cfg := tinyConfig(&out)
+	if err := runFig4a(cfg); err != nil {
+		t.Fatal(err)
+	}
+	// The last data row (k=30) must be more negative than the first (k=1).
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	var first, last string
+	for _, ln := range lines {
+		fields := strings.Fields(ln)
+		if len(fields) == 2 && fields[0] == "1" {
+			first = fields[1]
+		}
+		if len(fields) == 2 && fields[0] == "30" {
+			last = fields[1]
+		}
+	}
+	if first == "" || last == "" {
+		t.Fatalf("could not locate k=1 / k=30 rows:\n%s", out.String())
+	}
+	if !strings.HasPrefix(first, "-") || !strings.HasPrefix(last, "-") {
+		t.Fatalf("quality rows not negative: %s, %s", first, last)
+	}
+}
+
+func TestDescribePrintsStats(t *testing.T) {
+	var out strings.Builder
+	cfg := tinyConfig(&out)
+	db, err := synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	describe(cfg, "synthetic", db)
+	if !strings.Contains(out.String(), "x-tuples=500") {
+		t.Fatalf("describe output unexpected: %s", out.String())
+	}
+}
+
+func TestJoinHelper(t *testing.T) {
+	if join(nil) != "" {
+		t.Error("join(nil) should be empty")
+	}
+	if join([]string{"a"}) != "a" {
+		t.Error("join single")
+	}
+	if join([]string{"a", "b", "c"}) != "a,b,c" {
+		t.Error("join multiple")
+	}
+}
+
+func TestPwrResultCap(t *testing.T) {
+	if pwrResultCap(config{quick: true}) >= pwrResultCap(config{}) {
+		t.Error("quick cap should be smaller than the full cap")
+	}
+}

@@ -1,0 +1,264 @@
+package main
+
+// Shape tests: the paper's qualitative claims, asserted programmatically on
+// the quick-sized workloads. EXPERIMENTS.md records the full-size numbers;
+// these tests keep the claims true under change. Only value-based shapes
+// are asserted — timing shapes are environment-dependent and are covered
+// by the benchmarks instead.
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/probdb/topkclean/internal/cleaning"
+	"github.com/probdb/topkclean/internal/gen"
+	"github.com/probdb/topkclean/internal/quality"
+	"github.com/probdb/topkclean/internal/topkq"
+	"github.com/probdb/topkclean/internal/uncertain"
+)
+
+func quickSynthetic(t *testing.T) *uncertain.Database {
+	t.Helper()
+	cfg := gen.DefaultSynthetic()
+	cfg.NumXTuples = 500
+	db, err := gen.Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func quickMOV(t *testing.T) *uncertain.Database {
+	t.Helper()
+	cfg := gen.DefaultMOV()
+	cfg.NumXTuples = 499
+	db, err := gen.MOV(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// Figure 4(a)/4(c): quality decreases monotonically with k on both
+// workloads.
+func TestShapeQualityDecreasesWithK(t *testing.T) {
+	for name, db := range map[string]*uncertain.Database{
+		"synthetic": quickSynthetic(t),
+		"mov":       quickMOV(t),
+	} {
+		prev := 1.0
+		for k := 1; k <= 30; k++ {
+			ev, err := quality.TP(db, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ev.S > prev+1e-9 {
+				t.Fatalf("%s: quality increased at k=%d: %v -> %v", name, k, prev, ev.S)
+			}
+			prev = ev.S
+		}
+	}
+}
+
+// Figure 4(b): tighter Gaussian pdfs yield higher quality; uniform lowest.
+func TestShapePDFOrdering(t *testing.T) {
+	score := func(pdf gen.PDFKind, sigma float64) float64 {
+		cfg := gen.DefaultSynthetic()
+		cfg.NumXTuples = 500
+		cfg.PDF = pdf
+		cfg.Sigma = sigma
+		db, err := gen.Synthetic(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := quality.TP(db, defaultK)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ev.S
+	}
+	g10 := score(gen.PDFGaussian, 10)
+	g30 := score(gen.PDFGaussian, 30)
+	g50 := score(gen.PDFGaussian, 50)
+	g100 := score(gen.PDFGaussian, 100)
+	uni := score(gen.PDFUniform, 0)
+	if !(g10 > g30 && g30 > g50 && g50 > g100 && g100 > uni) {
+		t.Fatalf("pdf ordering broken: G10=%v G30=%v G50=%v G100=%v U=%v", g10, g30, g50, g100, uni)
+	}
+}
+
+// Section VI: MOV (2 alternatives per x-tuple) is less ambiguous than the
+// synthetic workload (10 alternatives) — higher quality, fewer nonzero
+// top-k tuples.
+func TestShapeMOVLessAmbiguous(t *testing.T) {
+	syn := quickSynthetic(t)
+	mov := quickMOV(t)
+	evS, err := quality.TP(syn, defaultK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evM, err := quality.TP(mov, defaultK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(evM.S > evS.S) {
+		t.Fatalf("MOV quality %v should exceed synthetic %v", evM.S, evS.S)
+	}
+	iS, _ := topkq.TopKProbabilities(syn, defaultK)
+	iM, _ := topkq.TopKProbabilities(mov, defaultK)
+	if !(iM.NonzeroCount() < iS.NonzeroCount()) {
+		t.Fatalf("MOV nonzero count %d should be below synthetic %d",
+			iM.NonzeroCount(), iS.NonzeroCount())
+	}
+}
+
+// Figure 6(a): planner ordering DP >= Greedy >= RandP >= RandU (random
+// planners averaged over seeds), and saturation: improvement at a huge
+// budget approaches |S|.
+func TestShapePlannerOrderingAndSaturation(t *testing.T) {
+	db := quickSynthetic(t)
+	spec, err := gen.CleanSpec(db.NumGroups(), 1, 10, gen.UniformSC{Lo: 0, Hi: 1}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := cleaning.NewContext(db, defaultK, spec, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dpPlan, err := cleaning.DP(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grPlan, err := cleaning.Greedy(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp := cleaning.ExpectedImprovement(ctx, dpPlan)
+	gr := cleaning.ExpectedImprovement(ctx, grPlan)
+	var rp, ru float64
+	const reps = 10
+	for i := 0; i < reps; i++ {
+		p, err := cleaning.RandP(ctx, rand.New(rand.NewSource(int64(i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rp += cleaning.ExpectedImprovement(ctx, p) / reps
+		u, err := cleaning.RandU(ctx, rand.New(rand.NewSource(int64(100+i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ru += cleaning.ExpectedImprovement(ctx, u) / reps
+	}
+	if !(dp >= gr-1e-9 && gr >= rp && rp >= ru) {
+		t.Fatalf("planner ordering broken: DP=%v Greedy=%v RandP=%v RandU=%v", dp, gr, rp, ru)
+	}
+	if gr < 0.9*dp {
+		t.Fatalf("greedy (%v) should be close to optimal (%v)", gr, dp)
+	}
+	// Saturation at a generous budget.
+	big := *ctx
+	big.Budget = 500000
+	bigPlan, err := cleaning.Greedy(&big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp := cleaning.ExpectedImprovement(&big, bigPlan); imp < 0.98*(-ctx.Eval.S) {
+		t.Fatalf("saturation not reached: %v of %v", imp, -ctx.Eval.S)
+	}
+}
+
+// Figure 6(c): every planner improves monotonically with the average
+// sc-probability.
+func TestShapeImprovementMonotoneInAvgSC(t *testing.T) {
+	db := quickSynthetic(t)
+	prevDP, prevGr := -1.0, -1.0
+	for _, lo := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		spec, err := gen.CleanSpec(db.NumGroups(), 1, 10, gen.UniformSC{Lo: lo, Hi: 1}, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, err := cleaning.NewContext(db, defaultK, spec, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dpPlan, err := cleaning.DP(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grPlan, err := cleaning.Greedy(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dp := cleaning.ExpectedImprovement(ctx, dpPlan)
+		gr := cleaning.ExpectedImprovement(ctx, grPlan)
+		// Tolerance: the sc-prob draws differ per sweep point (fresh pdf),
+		// so allow a small dip from sampling noise, as in the paper's plot.
+		if dp < prevDP*0.92 || gr < prevGr*0.92 {
+			t.Fatalf("improvement dropped sharply at lo=%v: DP %v->%v, Greedy %v->%v",
+				lo, prevDP, dp, prevGr, gr)
+		}
+		prevDP, prevGr = dp, gr
+	}
+}
+
+// Figure 4(d)-(f) without the clock: the work PWR does (number of
+// pw-results) explodes with k, while TP's scan length stays bounded by the
+// database size — the structural reason behind the timing curves.
+func TestShapePWRWorkExplodesWithK(t *testing.T) {
+	db := quickSynthetic(t)
+	prev := 0
+	for _, k := range []int{1, 2, 3} {
+		n, err := quality.PWRCount(db, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n <= prev {
+			t.Fatalf("pw-result count did not grow: k=%d count=%d prev=%d", k, n, prev)
+		}
+		if k > 1 && n < prev*3 {
+			t.Fatalf("pw-result growth suspiciously slow: k=%d %d vs %d", k, n, prev)
+		}
+		prev = n
+	}
+	// |Z| grows with k (Section VI: 79 -> 98 from k=15 to k=30).
+	z := func(k int) int {
+		ev, err := quality.TP(db, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		count := 0
+		for _, g := range ev.GroupGain {
+			if g < -1e-15 {
+				count++
+			}
+		}
+		return count
+	}
+	if !(z(30) > z(15)) {
+		t.Fatalf("|Z| did not grow with k: %d vs %d", z(15), z(30))
+	}
+}
+
+// Section IV-C: sharing eliminates a full PSR pass, so the shared path
+// must do strictly less work; assert via the structural proxy that both
+// paths produce identical quality (the timing claim is benchmarked).
+func TestShapeSharingProducesIdenticalQuality(t *testing.T) {
+	db := quickSynthetic(t)
+	for _, k := range []int{15, 50} {
+		info, err := topkq.TopKProbabilities(db, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shared, err := quality.TPFromInfo(db, info)
+		if err != nil {
+			t.Fatal(err)
+		}
+		standalone, err := quality.TP(db, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shared.S != standalone.S {
+			t.Fatalf("k=%d: shared %v != standalone %v", k, shared.S, standalone.S)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+// Package topkclean is a library for quantifying and improving the quality
+// of probabilistic top-k queries over uncertain databases, implementing
+// Mo, Cheng, Li, Cheung, and Yang, "Cleaning Uncertain Data for Top-k
+// Queries", ICDE 2013.
+//
+// # Overview
+//
+// An uncertain database is a set of x-tuples; each x-tuple holds mutually
+// exclusive alternatives with existential probabilities (the Trio x-tuple
+// model). Probabilistic top-k queries — U-kRanks, PT-k, and Global-topk —
+// return tuples likely to rank among the k best under possible-world
+// semantics. This package provides:
+//
+//   - Query evaluation via the PSR rank-probability algorithm (O(kn)).
+//   - The PWS-quality metric: the negated entropy of the distribution of
+//     possible top-k answers, a principled measure of how ambiguous a query
+//     answer is. Three algorithms compute it: PW (exponential baseline),
+//     PWR (pw-result enumeration, O(n^{k+1})), and TP (tuple-form, O(kn),
+//     sharing its computation with query evaluation).
+//   - Budgeted cleaning: given per-x-tuple cleaning costs and success
+//     probabilities, choose which x-tuples to clean (and how many times) to
+//     maximize the expected quality improvement. Planners: optimal DP,
+//     near-optimal Greedy, and the RandU/RandP baselines. A simulator
+//     executes plans against a stochastic cleaning agent.
+//
+// # Quick start
+//
+//	db := topkclean.NewDatabase()
+//	db.AddXTuple("S1",
+//		topkclean.Tuple{ID: "t0", Attrs: []float64{21}, Prob: 0.6},
+//		topkclean.Tuple{ID: "t1", Attrs: []float64{32}, Prob: 0.4})
+//	db.AddXTuple("S4", topkclean.Tuple{ID: "t6", Attrs: []float64{26}, Prob: 1})
+//	db.Build(topkclean.ByFirstAttr)
+//
+//	res, _ := topkclean.Evaluate(db, 2, 0.4)   // answers + quality, one PSR pass
+//	fmt.Println(res.PTK, res.Quality)
+//
+//	spec := topkclean.UniformCleaningSpec(db.NumGroups(), 1, 0.8)
+//	ctx, _ := topkclean.NewCleaningContext(db, 2, spec, 10)
+//	plan, _ := topkclean.PlanCleaning(ctx, topkclean.MethodGreedy, 0)
+//	fmt.Println(topkclean.ExpectedImprovement(ctx, plan))
+//
+// See the examples directory for complete programs and DESIGN.md for the
+// mapping between this library and the paper.
+package topkclean

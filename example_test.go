@@ -1,0 +1,151 @@
+package topkclean_test
+
+// Godoc examples with verified output. Each Example function doubles as a
+// documentation snippet on pkg.go.dev and as a regression test (go test
+// compares the printed output against the Output comments).
+
+import (
+	"fmt"
+	"math/rand"
+
+	topkclean "github.com/probdb/topkclean"
+)
+
+// buildPaperExample constructs Table I of the paper.
+func buildPaperExample() *topkclean.Database {
+	db := topkclean.NewDatabase()
+	_ = db.AddXTuple("S1",
+		topkclean.Tuple{ID: "t0", Attrs: []float64{21}, Prob: 0.6},
+		topkclean.Tuple{ID: "t1", Attrs: []float64{32}, Prob: 0.4})
+	_ = db.AddXTuple("S2",
+		topkclean.Tuple{ID: "t2", Attrs: []float64{30}, Prob: 0.7},
+		topkclean.Tuple{ID: "t3", Attrs: []float64{22}, Prob: 0.3})
+	_ = db.AddXTuple("S3",
+		topkclean.Tuple{ID: "t4", Attrs: []float64{25}, Prob: 0.4},
+		topkclean.Tuple{ID: "t5", Attrs: []float64{27}, Prob: 0.6})
+	_ = db.AddXTuple("S4",
+		topkclean.Tuple{ID: "t6", Attrs: []float64{26}, Prob: 1})
+	_ = db.Build(topkclean.ByFirstAttr)
+	return db
+}
+
+func ExampleEvaluate() {
+	db := buildPaperExample()
+	res, err := topkclean.Evaluate(db, 2, 0.4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("PT-2:", topkclean.FormatScored(res.PTK))
+	fmt.Printf("quality: %.4f\n", res.Quality)
+	// Output:
+	// PT-2: {t1, t2, t5}
+	// quality: -2.5513
+}
+
+func ExampleQuality() {
+	db := buildPaperExample()
+	s, err := topkclean.Quality(db, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.2f\n", s)
+	// Output:
+	// -2.55
+}
+
+func ExamplePWResultDistribution() {
+	db := buildPaperExample()
+	dist, err := topkclean.PWResultDistribution(db, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("possible answers:", len(dist))
+	fmt.Println("most likely:", dist[0])
+	// Output:
+	// possible answers: 7
+	// most likely: (t1,t2)@0.28
+}
+
+func ExampleUTopK() {
+	db := buildPaperExample()
+	best, err := topkclean.UTopK(db, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(best)
+	// Output:
+	// (t1,t2)@0.28
+}
+
+func ExampleApplyCleaning() {
+	db := buildPaperExample()
+	// Probing sensor S3 (x-tuple index 2) confirms reading t5 (index 1).
+	cleaned, err := topkclean.ApplyCleaning(db, topkclean.CleanChoices{2: 1})
+	if err != nil {
+		panic(err)
+	}
+	s, _ := topkclean.Quality(cleaned, 2)
+	fmt.Printf("%.2f\n", s)
+	// Output:
+	// -1.85
+}
+
+func ExamplePlanCleaning() {
+	db := buildPaperExample()
+	// Every probe costs 1 unit and always succeeds; budget of 2 probes.
+	spec := topkclean.UniformCleaningSpec(db.NumGroups(), 1, 1.0)
+	ctx, err := topkclean.NewCleaningContext(db, 2, spec, 2)
+	if err != nil {
+		panic(err)
+	}
+	plan, err := topkclean.PlanCleaning(ctx, topkclean.MethodDP, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("probes: %d, expected improvement: %.4f\n",
+		plan.Ops(), topkclean.ExpectedImprovement(ctx, plan))
+	// Output:
+	// probes: 2, expected improvement: 1.8522
+}
+
+func ExampleExecuteCleaning() {
+	db := buildPaperExample()
+	spec := topkclean.UniformCleaningSpec(db.NumGroups(), 1, 1.0)
+	ctx, err := topkclean.NewCleaningContext(db, 2, spec, 100)
+	if err != nil {
+		panic(err)
+	}
+	plan, _ := topkclean.PlanCleaning(ctx, topkclean.MethodGreedy, 0)
+	out, err := topkclean.ExecuteCleaning(ctx, plan, rand.New(rand.NewSource(1)))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("quality after cleaning everything: %.1f\n", out.NewQuality)
+	// Output:
+	// quality after cleaning everything: 0.0
+}
+
+func ExampleMinBudgetForTarget() {
+	db := buildPaperExample()
+	spec := topkclean.UniformCleaningSpec(db.NumGroups(), 1, 1.0)
+	ctx, err := topkclean.NewCleaningContext(db, 2, spec, 0)
+	if err != nil {
+		panic(err)
+	}
+	// How many certain probes to halve the ambiguity?
+	target := ctx.Eval.S / 2
+	budget, _, err := topkclean.MinBudgetForTarget(ctx, target, 1000, topkclean.MethodDP)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("probes needed:", budget)
+	// Output:
+	// probes needed: 2
+}
+
+func ExampleDatabase_ComputeStats() {
+	db := buildPaperExample()
+	fmt.Println(db.ComputeStats())
+	// Output:
+	// x-tuples=4 tuples=7 (avg 1.75/x-tuple, 0 nulls, 1 certain) e in [0.3, 1]
+}

@@ -1,0 +1,67 @@
+// Budgetplanner demonstrates the extension the paper's conclusion poses as
+// future work: instead of "maximize quality for a fixed budget", answer
+// "what is the minimal budget that reaches a target quality?" — and show
+// the whole budget/quality trade-off curve so an operator can pick a point.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	topkclean "github.com/probdb/topkclean"
+)
+
+const k = 15
+
+func main() {
+	cfg := topkclean.DefaultSyntheticConfig()
+	cfg.NumXTuples = 1000
+	db, err := topkclean.GenerateSynthetic(cfg)
+	must(err)
+
+	spec, err := topkclean.DefaultCleaningSpec(db.NumGroups(), 5)
+	must(err)
+	ctx, err := topkclean.NewCleaningContext(db, k, spec, 0)
+	must(err)
+	s0 := ctx.Eval.S
+	fmt.Printf("dataset: %s\n", db.ComputeStats())
+	fmt.Printf("top-%d quality without cleaning: %.4f (deficit %.4f)\n\n", k, s0, -s0)
+
+	// The trade-off curve: expected post-cleaning quality per budget.
+	fmt.Println("budget -> expected quality (greedy plans):")
+	for _, c := range []int{0, 10, 25, 50, 100, 250, 500, 1000, 2500} {
+		sub := *ctx
+		sub.Budget = c
+		plan, err := topkclean.PlanCleaning(&sub, topkclean.MethodGreedy, 0)
+		must(err)
+		imp := topkclean.ExpectedImprovement(&sub, plan)
+		bar := ""
+		for i := 0.0; i < imp; i += -s0 / 40 {
+			bar += "#"
+		}
+		fmt.Printf("  C=%5d  S=%9.4f  %s\n", c, s0+imp, bar)
+	}
+
+	// Inverse queries: minimal budget for quality targets.
+	fmt.Println("\nminimal budget to reach a target quality:")
+	for _, frac := range []float64{0.25, 0.5, 0.75, 0.9} {
+		target := s0 * (1 - frac) // remove frac of the deficit
+		budget, plan, err := topkclean.MinBudgetForTarget(ctx, target, 1_000_000, topkclean.MethodGreedy)
+		must(err)
+		fmt.Printf("  remove %3.0f%% of ambiguity (S >= %9.4f): C = %5d  (%d x-tuples, %d ops)\n",
+			frac*100, target, budget, plan.Groups(), plan.Ops())
+	}
+
+	// Fully certain answers are usually unreachable with failure-prone
+	// cleaning under any finite budget worth paying; show the detection.
+	_, _, err = topkclean.MinBudgetForTarget(ctx, -0.0001, 2000, topkclean.MethodGreedy)
+	if err != nil {
+		fmt.Printf("\nnear-perfect quality within C<=2000: %v\n", err)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+// Quickstart walks through the paper's running example (Tables I and II):
+// build the sensor database udb1, run a probabilistic top-2 query, inspect
+// its PWS-quality and pw-result distribution, then clean sensor S3 and
+// watch the quality improve to udb2's.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	topkclean "github.com/probdb/topkclean"
+)
+
+func main() {
+	// Table I: four temperature sensors; alternatives within a sensor are
+	// mutually exclusive readings with confidences.
+	db := topkclean.NewDatabase()
+	must(db.AddXTuple("S1",
+		topkclean.Tuple{ID: "t0", Attrs: []float64{21}, Prob: 0.6},
+		topkclean.Tuple{ID: "t1", Attrs: []float64{32}, Prob: 0.4}))
+	must(db.AddXTuple("S2",
+		topkclean.Tuple{ID: "t2", Attrs: []float64{30}, Prob: 0.7},
+		topkclean.Tuple{ID: "t3", Attrs: []float64{22}, Prob: 0.3}))
+	must(db.AddXTuple("S3",
+		topkclean.Tuple{ID: "t4", Attrs: []float64{25}, Prob: 0.4},
+		topkclean.Tuple{ID: "t5", Attrs: []float64{27}, Prob: 0.6}))
+	must(db.AddXTuple("S4",
+		topkclean.Tuple{ID: "t6", Attrs: []float64{26}, Prob: 1}))
+	must(db.Build(topkclean.ByFirstAttr)) // higher temperature ranks higher
+
+	// One PSR pass answers all three query semantics and the quality.
+	res, err := topkclean.Evaluate(db, 2, 0.4)
+	must(err)
+	fmt.Println("=== udb1 (Table I), top-2 query ===")
+	fmt.Printf("PT-2 answer (T=0.4):  %s   (paper: {t1, t2, t5})\n", topkclean.FormatScored(res.PTK))
+	fmt.Printf("U-kRanks answer:      %s\n", topkclean.FormatRanked(res.UKRanks))
+	fmt.Printf("Global-top2 answer:   %s\n", topkclean.FormatScored(res.GlobalTopK))
+	fmt.Printf("PWS-quality:          %.4f (paper: -2.55)\n\n", res.Quality)
+
+	// The quality is the negated entropy of the pw-result distribution
+	// (Figure 2 of the paper).
+	dist, err := topkclean.PWResultDistribution(db, 2)
+	must(err)
+	fmt.Println("pw-results of udb1 (Figure 2):")
+	for _, r := range dist {
+		fmt.Printf("  %v\n", r)
+	}
+
+	// Clean sensor S3 (x-tuple index 2): probing it returns the true
+	// reading 27C (tuple t5, alternative index 1). The database becomes
+	// udb2 (Table II).
+	cleaned, err := topkclean.ApplyCleaning(db, topkclean.CleanChoices{2: 1})
+	must(err)
+	q2, err := topkclean.Quality(cleaned, 2)
+	must(err)
+	fmt.Printf("\n=== udb2 (Table II): after successfully cleaning S3 ===\n")
+	fmt.Printf("PWS-quality: %.4f (paper: -1.85) - higher, i.e. less ambiguous\n\n", q2)
+
+	// Which sensor was the best one to clean? Ask the planner: cost 1 per
+	// probe, probes always succeed, budget 1 probe.
+	spec := topkclean.UniformCleaningSpec(db.NumGroups(), 1, 1.0)
+	ctx, err := topkclean.NewCleaningContext(db, 2, spec, 1)
+	must(err)
+	plan, err := topkclean.PlanCleaning(ctx, topkclean.MethodDP, 0)
+	must(err)
+	for l := range plan {
+		g, err := db.Group(l)
+		must(err)
+		fmt.Printf("optimal single probe: sensor %s (expected improvement %.4f)\n",
+			g.Name, topkclean.ExpectedImprovement(ctx, plan))
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,105 @@
+package topkclean
+
+import (
+	"io"
+
+	"github.com/probdb/topkclean/internal/dataio"
+	"github.com/probdb/topkclean/internal/gen"
+)
+
+// Workload generator types, re-exported.
+type (
+	// SyntheticConfig parameterizes the paper's synthetic workload.
+	SyntheticConfig = gen.SyntheticConfig
+	// MOVConfig parameterizes the MOV-like movie-rating workload.
+	MOVConfig = gen.MOVConfig
+	// SCPdf is a distribution over cleaning success probabilities.
+	SCPdf = gen.SCPdf
+	// UniformSC is a uniform sc-pdf on [Lo, Hi].
+	UniformSC = gen.UniformSC
+	// NormalSC is a truncated-normal sc-pdf on [0, 1].
+	NormalSC = gen.NormalSC
+	// PDFKind selects the synthetic uncertainty pdf family.
+	PDFKind = gen.PDFKind
+)
+
+// Uncertainty pdf families for the synthetic workload.
+const (
+	PDFGaussian = gen.PDFGaussian
+	PDFUniform  = gen.PDFUniform
+)
+
+// DefaultSyntheticConfig is the paper's default synthetic workload: 5K
+// x-tuples x 10 alternatives, domain [0, 10000], Gaussian sigma 100.
+func DefaultSyntheticConfig() SyntheticConfig { return gen.DefaultSynthetic() }
+
+// PaperExampleDatabase builds udb1, the running example of the paper
+// (Table I): four temperature sensors with uncertain readings. Handy for
+// experimenting with the API on a database whose every number is published:
+// the PT-2 answer at threshold 0.4 is {t1, t2, t5} and the PWS-quality of
+// the top-2 query is -2.55.
+func PaperExampleDatabase() *Database {
+	db := NewDatabase()
+	must := func(err error) {
+		if err != nil {
+			panic("topkclean: paper example construction failed: " + err.Error())
+		}
+	}
+	must(db.AddXTuple("S1",
+		Tuple{ID: "t0", Attrs: []float64{21}, Prob: 0.6},
+		Tuple{ID: "t1", Attrs: []float64{32}, Prob: 0.4}))
+	must(db.AddXTuple("S2",
+		Tuple{ID: "t2", Attrs: []float64{30}, Prob: 0.7},
+		Tuple{ID: "t3", Attrs: []float64{22}, Prob: 0.3}))
+	must(db.AddXTuple("S3",
+		Tuple{ID: "t4", Attrs: []float64{25}, Prob: 0.4},
+		Tuple{ID: "t5", Attrs: []float64{27}, Prob: 0.6}))
+	must(db.AddXTuple("S4",
+		Tuple{ID: "t6", Attrs: []float64{26}, Prob: 1}))
+	must(db.Build(ByFirstAttr))
+	return db
+}
+
+// GenerateSynthetic builds a synthetic database.
+func GenerateSynthetic(cfg SyntheticConfig) (*Database, error) { return gen.Synthetic(cfg) }
+
+// DefaultMOVConfig matches the paper's MOV dataset statistics (4999
+// x-tuples, ~2 alternatives each).
+func DefaultMOVConfig() MOVConfig { return gen.DefaultMOV() }
+
+// GenerateMOV builds a MOV-like movie-rating database.
+func GenerateMOV(cfg MOVConfig) (*Database, error) { return gen.MOV(cfg) }
+
+// GenerateCleaningSpec draws integer costs uniform in [costLo, costHi] and
+// sc-probabilities from pdf, for every x-tuple of a database with m
+// x-tuples.
+func GenerateCleaningSpec(m, costLo, costHi int, pdf SCPdf, seed int64) (CleaningSpec, error) {
+	return gen.CleanSpec(m, costLo, costHi, pdf, seed)
+}
+
+// DefaultCleaningSpec is the paper's default cleaning environment: costs
+// uniform in [1, 10], sc-pdf uniform on [0, 1].
+func DefaultCleaningSpec(m int, seed int64) (CleaningSpec, error) {
+	return gen.DefaultCleanSpec(m, seed)
+}
+
+// WriteCSV / ReadCSV / WriteJSON / ReadJSON persist databases; see the
+// dataio formats in README.md.
+
+// WriteCSV writes db's tuples as CSV (xtuple, id, prob, attr...).
+func WriteCSV(w io.Writer, db *Database) error { return dataio.WriteCSV(w, db) }
+
+// ReadCSV reads a CSV dataset and builds it with rank (nil = first attr).
+func ReadCSV(r io.Reader, rank RankFunc) (*Database, error) { return dataio.ReadCSV(r, rank) }
+
+// WriteJSON writes db as JSON, preserving x-tuple nesting.
+func WriteJSON(w io.Writer, db *Database) error { return dataio.WriteJSON(w, db) }
+
+// ReadJSON reads a JSON dataset and builds it with rank (nil = first attr).
+func ReadJSON(r io.Reader, rank RankFunc) (*Database, error) { return dataio.ReadJSON(r, rank) }
+
+// WriteSpecJSON persists a cleaning spec as JSON.
+func WriteSpecJSON(w io.Writer, spec CleaningSpec) error { return dataio.WriteSpecJSON(w, spec) }
+
+// ReadSpecJSON loads a cleaning spec for a database with m x-tuples.
+func ReadSpecJSON(r io.Reader, m int) (CleaningSpec, error) { return dataio.ReadSpecJSON(r, m) }

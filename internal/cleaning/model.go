@@ -1,0 +1,185 @@
+// Package cleaning implements Section V of the paper: the pclean operation
+// with success probability and cost (Definition 5), the expected quality
+// improvement of a cleaning plan (Theorem 2), and the four plan-selection
+// algorithms — the optimal dynamic program DP, the near-optimal Greedy, and
+// the RandU/RandP baselines — together with a cleaning-agent simulator and
+// exact/Monte-Carlo verification of the expected improvement.
+package cleaning
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/probdb/topkclean/internal/quality"
+	"github.com/probdb/topkclean/internal/uncertain"
+)
+
+// Validation errors.
+var (
+	ErrSpecSize    = errors.New("cleaning: spec length does not match x-tuple count")
+	ErrBadCost     = errors.New("cleaning: cleaning cost must be a positive integer")
+	ErrBadSCProb   = errors.New("cleaning: sc-probability must lie in [0, 1]")
+	ErrBadBudget   = errors.New("cleaning: budget must be non-negative")
+	ErrOverBudget  = errors.New("cleaning: plan exceeds budget")
+	ErrNilEval     = errors.New("cleaning: context needs a quality evaluation")
+	ErrEvalMissing = errors.New("cleaning: evaluation does not match database")
+)
+
+// Spec describes the cleaning environment: for each x-tuple, the cost c_l
+// of one pclean operation (a natural number, Section V-A) and the
+// sc-probability P_l that a pclean succeeds (Definition 5).
+type Spec struct {
+	Costs   []int
+	SCProbs []float64
+}
+
+// Validate checks the spec against a database with m x-tuples.
+func (s Spec) Validate(m int) error {
+	if len(s.Costs) != m || len(s.SCProbs) != m {
+		return fmt.Errorf("%w: costs=%d scprobs=%d m=%d", ErrSpecSize, len(s.Costs), len(s.SCProbs), m)
+	}
+	for l, c := range s.Costs {
+		if c < 1 {
+			return fmt.Errorf("x-tuple %d cost %d: %w", l, c, ErrBadCost)
+		}
+	}
+	for l, p := range s.SCProbs {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			return fmt.Errorf("x-tuple %d sc-prob %v: %w", l, p, ErrBadSCProb)
+		}
+	}
+	return nil
+}
+
+// UniformSpec builds a spec with the same cost and sc-probability for all m
+// x-tuples; convenient in tests and examples.
+func UniformSpec(m, cost int, scProb float64) Spec {
+	s := Spec{Costs: make([]int, m), SCProbs: make([]float64, m)}
+	for l := 0; l < m; l++ {
+		s.Costs[l] = cost
+		s.SCProbs[l] = scProb
+	}
+	return s
+}
+
+// Plan assigns to selected x-tuples the number of pclean operations to
+// perform: Plan[l] = M_l (Definition 7's X and M in one structure; x-tuples
+// absent from the map get zero operations).
+type Plan map[int]int
+
+// TotalCost returns sum_l c_l * M_l.
+func (p Plan) TotalCost(spec Spec) int {
+	total := 0
+	for l, m := range p {
+		total += spec.Costs[l] * m
+	}
+	return total
+}
+
+// Ops returns the total number of cleaning operations in the plan.
+func (p Plan) Ops() int {
+	total := 0
+	for _, m := range p {
+		total += m
+	}
+	return total
+}
+
+// Groups returns the number of distinct x-tuples selected (|X|).
+func (p Plan) Groups() int {
+	n := 0
+	for _, m := range p {
+		if m > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// SortedGroups returns the selected x-tuple indices in ascending order.
+// Iterating a Plan through this keeps everything that consumes random
+// draws (the simulator) or accumulates floating point (Theorem 2)
+// deterministic, which Go's randomized map iteration order would break.
+func (p Plan) SortedGroups() []int {
+	out := make([]int, 0, len(p))
+	for l, m := range p {
+		if m > 0 {
+			out = append(out, l)
+		}
+	}
+	sortInts(out)
+	return out
+}
+
+// Context carries everything a planner needs: the database, the query, its
+// TP evaluation (whose GroupGain values g(l,D) drive all improvement
+// formulas), the cleaning spec, and the budget C.
+type Context struct {
+	DB     *uncertain.Database
+	K      int
+	Eval   *quality.Evaluation
+	Spec   Spec
+	Budget int
+}
+
+// NewContext evaluates the query quality on db and assembles a planning
+// context. Use this when no TP evaluation is available yet; if one is
+// (e.g. shared with query evaluation), build the Context directly.
+func NewContext(db *uncertain.Database, k int, spec Spec, budget int) (*Context, error) {
+	ev, err := quality.TP(db, k)
+	if err != nil {
+		return nil, err
+	}
+	ctx := &Context{DB: db, K: k, Eval: ev, Spec: spec, Budget: budget}
+	if err := ctx.Validate(); err != nil {
+		return nil, err
+	}
+	return ctx, nil
+}
+
+// Validate checks internal consistency.
+func (ctx *Context) Validate() error {
+	if ctx.DB == nil || !ctx.DB.Built() {
+		return uncertain.ErrNotBuilt
+	}
+	if ctx.Eval == nil {
+		return ErrNilEval
+	}
+	m := ctx.DB.NumGroups()
+	if len(ctx.Eval.GroupGain) != m {
+		return fmt.Errorf("%w: gains=%d m=%d", ErrEvalMissing, len(ctx.Eval.GroupGain), m)
+	}
+	if err := ctx.Spec.Validate(m); err != nil {
+		return err
+	}
+	if ctx.Budget < 0 {
+		return fmt.Errorf("budget %d: %w", ctx.Budget, ErrBadBudget)
+	}
+	return nil
+}
+
+// candidates returns the x-tuples worth cleaning: nonzero |g(l,D)| (Lemma 5
+// excludes x-tuples whose tuples all have zero top-k probability), nonzero
+// sc-probability, and cost within the budget. This is the set Z of Section
+// V-C.
+func (ctx *Context) candidates() []int {
+	var z []int
+	for l, g := range ctx.Eval.GroupGain {
+		if g >= -gainFloor {
+			continue // Lemma 5: cleaning cannot improve anything
+		}
+		if ctx.Spec.SCProbs[l] <= 0 {
+			continue // cleaning can never succeed
+		}
+		if ctx.Spec.Costs[l] > ctx.Budget {
+			continue // a single operation already blows the budget
+		}
+		z = append(z, l)
+	}
+	return z
+}
+
+// gainFloor treats |g| below this as zero: such gains are floating-point
+// dust whose "improvement" could never be observed.
+const gainFloor = 1e-15

@@ -1,0 +1,70 @@
+package cleaning
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"github.com/probdb/topkclean/internal/numeric"
+)
+
+// MonteCarloImprovementParallel is MonteCarloImprovement fanned out over a
+// fixed pool of workers, one independent random stream per worker (seeded
+// deterministically from seed, so results are reproducible regardless of
+// scheduling). Each trial simulates the cleaning agent and re-evaluates
+// the cleaned database's quality — embarrassingly parallel work that
+// dominates verification time on large databases.
+func MonteCarloImprovementParallel(ctx *Context, plan Plan, seed int64, trials, workers int) (float64, error) {
+	if err := ctx.Validate(); err != nil {
+		return 0, err
+	}
+	if trials < 1 {
+		return 0, fmt.Errorf("cleaning: trials must be positive")
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+	type result struct {
+		sum numeric.Kahan
+		err error
+	}
+	results := make([]result, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		// Split trials across workers; the first (trials % workers) workers
+		// take one extra.
+		n := trials / workers
+		if w < trials%workers {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)*1_000_003))
+			for i := 0; i < n; i++ {
+				out, err := Execute(ctx, plan, rng)
+				if err != nil {
+					results[w].err = err
+					return
+				}
+				results[w].sum.Add(out.Improvement)
+			}
+		}(w, n)
+	}
+	wg.Wait()
+	var total numeric.Kahan
+	for w := range results {
+		if results[w].err != nil {
+			return 0, results[w].err
+		}
+		total.Add(results[w].sum.Sum())
+	}
+	return total.Sum() / float64(trials), nil
+}

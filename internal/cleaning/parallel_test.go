@@ -1,0 +1,73 @@
+package cleaning
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMonteCarloParallelMatchesTheorem2(t *testing.T) {
+	ctx := ctxUDB1(t, 100, Spec{})
+	plan := Plan{0: 2, 1: 1, 2: 3}
+	want := ExpectedImprovement(ctx, plan)
+	got, err := MonteCarloImprovementParallel(ctx, plan, 11, 4000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 0.05 {
+		t.Fatalf("parallel MC %v vs Theorem 2 %v", got, want)
+	}
+}
+
+func TestMonteCarloParallelDeterministicForSeed(t *testing.T) {
+	ctx := ctxUDB1(t, 100, Spec{})
+	plan := Plan{0: 2, 2: 2}
+	a, err := MonteCarloImprovementParallel(ctx, plan, 5, 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MonteCarloImprovementParallel(ctx, plan, 5, 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed, different results: %v vs %v", a, b)
+	}
+	c, err := MonteCarloImprovementParallel(ctx, plan, 6, 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatalf("different seeds produced identical estimates (%v)", a)
+	}
+}
+
+func TestMonteCarloParallelWorkerEdgeCases(t *testing.T) {
+	ctx := ctxUDB1(t, 10, Spec{})
+	plan := Plan{0: 1}
+	// More workers than trials.
+	if _, err := MonteCarloImprovementParallel(ctx, plan, 1, 3, 16); err != nil {
+		t.Fatal(err)
+	}
+	// workers < 1 defaults to GOMAXPROCS.
+	if _, err := MonteCarloImprovementParallel(ctx, plan, 1, 10, 0); err != nil {
+		t.Fatal(err)
+	}
+	// trials < 1 rejected.
+	if _, err := MonteCarloImprovementParallel(ctx, plan, 1, 0, 2); err == nil {
+		t.Fatal("trials=0 must be rejected")
+	}
+}
+
+func TestMonteCarloParallelAgreesWithSerial(t *testing.T) {
+	ctx := ctxUDB1(t, 50, Spec{})
+	plan := Plan{0: 3, 1: 2}
+	want := ExpectedImprovement(ctx, plan)
+	par, err := MonteCarloImprovementParallel(ctx, plan, 3, 3000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both estimators target the same expectation.
+	if math.Abs(par-want) > 0.08 {
+		t.Fatalf("parallel %v deviates from expectation %v", par, want)
+	}
+}

@@ -1,0 +1,92 @@
+package cleaning
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandU implements the uniform-random baseline of Section V-D.2: x-tuples
+// are selected uniformly at random with replacement — regardless of whether
+// cleaning them can help — until the budget cannot afford any further
+// operation. O(C) expected time.
+func RandU(ctx *Context, rng *rand.Rand) (Plan, error) {
+	if err := ctx.Validate(); err != nil {
+		return nil, err
+	}
+	m := ctx.DB.NumGroups()
+	weights := make([]float64, m)
+	for l := 0; l < m; l++ {
+		weights[l] = 1
+	}
+	return randomPlan(ctx, rng, weights)
+}
+
+// RandP implements the probability-weighted baseline of Section V-D.3: an
+// x-tuple is selected with probability sum_{t_i in tau_l} p_i / k, the
+// intuition being that x-tuples with large top-k probability matter more to
+// the query answer. Selection is with replacement until the budget is
+// exhausted. O(C log m) expected time.
+func RandP(ctx *Context, rng *rand.Rand) (Plan, error) {
+	if err := ctx.Validate(); err != nil {
+		return nil, err
+	}
+	m := ctx.DB.NumGroups()
+	weights := make([]float64, m)
+	info := ctx.Eval.Info
+	if info == nil {
+		return nil, fmt.Errorf("cleaning: RandP needs rank info in the evaluation")
+	}
+	for _, t := range ctx.DB.Sorted() {
+		weights[t.Group] += info.P(t.Index())
+	}
+	return randomPlan(ctx, rng, weights)
+}
+
+// randomPlan repeatedly draws an x-tuple from the weighted distribution and
+// buys one cleaning operation for it when affordable, stopping when no
+// drawable x-tuple fits the remaining budget.
+func randomPlan(ctx *Context, rng *rand.Rand, weights []float64) (Plan, error) {
+	m := len(weights)
+	cum := make([]float64, m)
+	run := 0.0
+	minAffordable := -1
+	for l := 0; l < m; l++ {
+		run += weights[l]
+		cum[l] = run
+		if weights[l] > 0 && (minAffordable == -1 || ctx.Spec.Costs[l] < minAffordable) {
+			minAffordable = ctx.Spec.Costs[l]
+		}
+	}
+	plan := Plan{}
+	if run == 0 || minAffordable == -1 {
+		return plan, nil
+	}
+	remaining := ctx.Budget
+	for remaining >= minAffordable {
+		u := rng.Float64() * run
+		l := searchCum(cum, u)
+		if weights[l] == 0 {
+			continue // u landed exactly on a boundary of a zero-weight x-tuple
+		}
+		if ctx.Spec.Costs[l] > remaining {
+			continue // rejection: this draw does not fit, try another
+		}
+		plan[l]++
+		remaining -= ctx.Spec.Costs[l]
+	}
+	return plan, nil
+}
+
+// searchCum returns the smallest index with cum[i] >= u.
+func searchCum(cum []float64, u float64) int {
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,83 @@
+package cleaning
+
+import (
+	"math/rand"
+
+	"github.com/probdb/topkclean/internal/quality"
+	"github.com/probdb/topkclean/internal/uncertain"
+)
+
+// Outcome reports one simulated run of the cleaning agent.
+type Outcome struct {
+	DB          *uncertain.Database // the cleaned database D'
+	Choices     CleanChoices        // successful x-tuples and their resolved alternatives
+	OpsPlanned  int                 // sum of M_l
+	OpsUsed     int                 // operations actually performed
+	CostPlanned int                 // sum of c_l * M_l
+	CostUsed    int                 // cost actually spent (early success stops further ops)
+	NewQuality  float64             // S(D', Q)
+	Improvement float64             // S(D', Q) - S(D, Q)
+}
+
+// Execute simulates the cleaning agent of Section V-A carrying out a plan:
+// for each selected x-tuple it performs up to M_l pclean operations, each
+// succeeding independently with probability P_l; on the first success the
+// agent stops cleaning that x-tuple (the paper notes the leftover resources
+// are not re-planned — that re-planning is future work), and the x-tuple
+// resolves to one of its alternatives according to their existential
+// probabilities. The cleaned database is rebuilt and its quality evaluated.
+func Execute(ctx *Context, plan Plan, rng *rand.Rand) (*Outcome, error) {
+	if err := ctx.Validate(); err != nil {
+		return nil, err
+	}
+	if cost := plan.TotalCost(ctx.Spec); cost > ctx.Budget {
+		return nil, ErrOverBudget
+	}
+	out := &Outcome{
+		Choices:     CleanChoices{},
+		OpsPlanned:  plan.Ops(),
+		CostPlanned: plan.TotalCost(ctx.Spec),
+	}
+	// Iterate in ascending x-tuple order so a given rng seed always yields
+	// the same simulated outcome (map order would randomize the draws).
+	for _, l := range plan.SortedGroups() {
+		m := plan[l]
+		p := ctx.Spec.SCProbs[l]
+		cost := ctx.Spec.Costs[l]
+		for attempt := 1; attempt <= m; attempt++ {
+			out.OpsUsed++
+			out.CostUsed += cost
+			if rng.Float64() < p {
+				out.Choices[l] = sampleAlternative(ctx.DB.Groups()[l], rng)
+				break
+			}
+		}
+	}
+	db2, err := BuildCleaned(ctx.DB, out.Choices)
+	if err != nil {
+		return nil, err
+	}
+	ev, err := quality.TP(db2, ctx.K)
+	if err != nil {
+		return nil, err
+	}
+	out.DB = db2
+	out.NewQuality = ev.S
+	out.Improvement = ev.S - ctx.Eval.S
+	return out, nil
+}
+
+// sampleAlternative draws the true value of a successfully cleaned x-tuple:
+// alternative t_i with probability e_i (Equation 15's conditional), which
+// includes the null alternative when the entity may be absent.
+func sampleAlternative(g *uncertain.XTuple, rng *rand.Rand) int {
+	u := rng.Float64()
+	run := 0.0
+	for ti, t := range g.Tuples {
+		run += t.Prob
+		if u < run {
+			return ti
+		}
+	}
+	return len(g.Tuples) - 1 // guard against rounding at the top end
+}

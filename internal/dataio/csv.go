@@ -1,0 +1,121 @@
+// Package dataio persists probabilistic databases and cleaning specs. The
+// CSV format is one row per tuple — convenient for spreadsheets and shell
+// pipelines — and the JSON format preserves the x-tuple nesting.
+package dataio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/probdb/topkclean/internal/uncertain"
+)
+
+// csvHeader prefixes every CSV dataset. Attribute columns follow.
+var csvHeader = []string{"xtuple", "id", "prob"}
+
+// WriteCSV writes the database's real tuples (materialized nulls are an
+// artifact of Build and are not persisted) as CSV: one row per tuple with
+// columns xtuple, id, prob, attr0, attr1, ...
+func WriteCSV(w io.Writer, db *uncertain.Database) error {
+	cw := csv.NewWriter(w)
+	attrs := 0
+	for _, g := range db.Groups() {
+		for _, t := range g.RealTuples() {
+			if len(t.Attrs) > attrs {
+				attrs = len(t.Attrs)
+			}
+		}
+	}
+	header := append([]string(nil), csvHeader...)
+	for a := 0; a < attrs; a++ {
+		header = append(header, fmt.Sprintf("attr%d", a))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for _, g := range db.Groups() {
+		for _, t := range g.RealTuples() {
+			row[0] = g.Name
+			row[1] = t.ID
+			row[2] = strconv.FormatFloat(t.Prob, 'g', 17, 64)
+			for a := 0; a < attrs; a++ {
+				if a < len(t.Attrs) {
+					row[3+a] = strconv.FormatFloat(t.Attrs[a], 'g', 17, 64)
+				} else {
+					row[3+a] = ""
+				}
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a CSV dataset written by WriteCSV (or by hand) and builds
+// the database with the given ranking function (nil means rank by the first
+// attribute). X-tuples are assembled in order of first appearance, so a
+// round trip preserves group order.
+func ReadCSV(r io.Reader, rank uncertain.RankFunc) (*uncertain.Database, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // validated manually for better messages
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataio: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("dataio: empty CSV")
+	}
+	head := records[0]
+	if len(head) < 3 || head[0] != "xtuple" || head[1] != "id" || head[2] != "prob" {
+		return nil, fmt.Errorf("dataio: bad header %v, want xtuple,id,prob,attr...", head)
+	}
+	type group struct {
+		name   string
+		tuples []uncertain.Tuple
+	}
+	var order []*group
+	index := map[string]*group{}
+	for ln, rec := range records[1:] {
+		if len(rec) < 3 {
+			return nil, fmt.Errorf("dataio: line %d has %d fields, want >= 3", ln+2, len(rec))
+		}
+		prob, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataio: line %d prob %q: %w", ln+2, rec[2], err)
+		}
+		var attrs []float64
+		for a, f := range rec[3:] {
+			if f == "" {
+				continue
+			}
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataio: line %d attr%d %q: %w", ln+2, a, f, err)
+			}
+			attrs = append(attrs, v)
+		}
+		g, ok := index[rec[0]]
+		if !ok {
+			g = &group{name: rec[0]}
+			index[rec[0]] = g
+			order = append(order, g)
+		}
+		g.tuples = append(g.tuples, uncertain.Tuple{ID: rec[1], Attrs: attrs, Prob: prob})
+	}
+	db := uncertain.New()
+	for _, g := range order {
+		if err := db.AddXTuple(g.name, g.tuples...); err != nil {
+			return nil, err
+		}
+	}
+	if err := db.Build(rank); err != nil {
+		return nil, err
+	}
+	return db, nil
+}

@@ -1,0 +1,96 @@
+package dataio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/probdb/topkclean/internal/testdb"
+	"github.com/probdb/topkclean/internal/uncertain"
+)
+
+// FuzzReadCSV: arbitrary input must never panic, and any input that parses
+// successfully must yield a database that round-trips to an equivalent one.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("xtuple,id,prob,attr0\nS1,t0,0.6,21\nS1,t1,0.4,32\nS2,t2,1.0,30\n")
+	f.Add("xtuple,id,prob\nX,a,1\n")
+	f.Add("")
+	f.Add("xtuple,id,prob\nX,a,2\n")
+	f.Add("xtuple,id,prob,attr0,attr1\nX,a,0.5,1,2\nX,b,0.5,3,\n")
+	f.Add("garbage")
+	f.Add("xtuple,id,prob\n\"unclosed")
+	f.Fuzz(func(t *testing.T, input string) {
+		db, err := ReadCSV(strings.NewReader(input), uncertain.ByFirstAttr)
+		if err != nil {
+			return // malformed input is fine as long as it does not panic
+		}
+		if err := db.Validate(); err != nil {
+			t.Fatalf("parsed database invalid: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, db); err != nil {
+			t.Fatalf("re-serialize: %v", err)
+		}
+		back, err := ReadCSV(&buf, uncertain.ByFirstAttr)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.NumRealTuples() != db.NumRealTuples() || back.NumGroups() != db.NumGroups() {
+			t.Fatalf("round trip changed shape")
+		}
+	})
+}
+
+// FuzzReadJSON: arbitrary input must never panic; parsed databases must be
+// valid.
+func FuzzReadJSON(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteJSON(&seed, testdb.UDB1()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("{}")
+	f.Add(`{"xtuples":[{"name":"X","tuples":[{"id":"a","attrs":[1],"prob":0.5}]}]}`)
+	f.Add(`{"xtuples":[{"name":"gone","absent":true}]}`)
+	f.Add("not json")
+	f.Fuzz(func(t *testing.T, input string) {
+		db, err := ReadJSON(strings.NewReader(input), uncertain.ByFirstAttr)
+		if err != nil {
+			return
+		}
+		if err := db.Validate(); err != nil {
+			t.Fatalf("parsed database invalid: %v", err)
+		}
+	})
+}
+
+// FuzzReadSpecJSON: spec parsing must never panic and must enforce the
+// model invariants on success.
+func FuzzReadSpecJSON(f *testing.F) {
+	f.Add(`{"costs":[1,2,3],"sc_probs":[0.5,0.25,1]}`, 3)
+	f.Add(`{"costs":[0],"sc_probs":[0.5]}`, 1)
+	f.Add(`{"costs":[1],"sc_probs":[2]}`, 1)
+	f.Add(`{}`, 0)
+	f.Fuzz(func(t *testing.T, input string, m int) {
+		if m < 0 || m > 1000 {
+			return
+		}
+		spec, err := ReadSpecJSON(strings.NewReader(input), m)
+		if err != nil {
+			return
+		}
+		if len(spec.Costs) != m || len(spec.SCProbs) != m {
+			t.Fatalf("accepted spec with wrong arity")
+		}
+		for _, c := range spec.Costs {
+			if c < 1 {
+				t.Fatalf("accepted non-positive cost %d", c)
+			}
+		}
+		for _, p := range spec.SCProbs {
+			if p < 0 || p > 1 {
+				t.Fatalf("accepted sc-prob %v", p)
+			}
+		}
+	})
+}

@@ -1,0 +1,145 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("Fig X", "k", "S", "algo")
+	tab.AddRow(1, -0.5, "TP")
+	tab.AddRow(15, -66.797551, "TP")
+	tab.AddRow(100, 1234567.0, "TP")
+	var b strings.Builder
+	if err := tab.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"## Fig X", "k", "S", "algo", "-0.5000", "-66.7976", "1.235e+06"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	if tab.NumRows() != 3 {
+		t.Fatalf("NumRows = %d, want 3", tab.NumRows())
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.AddRow("x", "y")
+	tab.AddRow("longer", "z")
+	var b strings.Builder
+	if err := tab.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	// Header, separator, 2 rows.
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d:\n%s", len(lines), b.String())
+	}
+	// Column b should start at the same offset in each data line.
+	idx := strings.Index(lines[2], "y")
+	if strings.Index(lines[3], "z") != idx {
+		t.Fatalf("columns misaligned:\n%s", b.String())
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tab := NewTable("Fig Y", "k", "S")
+	tab.AddRow(1, -0.5)
+	tab.AddRow(2, -1.25)
+	var b strings.Builder
+	if err := tab.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "# Fig Y\nk,S\n1,-0.5000\n2,-1.2500\n"
+	if b.String() != want {
+		t.Fatalf("CSV output:\n%q\nwant:\n%q", b.String(), want)
+	}
+}
+
+func TestTableRenderCSVQuotesCommas(t *testing.T) {
+	tab := NewTable("", "name", "v")
+	tab.AddRow("a,b", 1)
+	var b strings.Builder
+	if err := tab.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"a,b"`) {
+		t.Fatalf("comma not quoted: %q", b.String())
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:        "0",
+		1.5:      "1.5000",
+		123.456:  "123.5",
+		-66.7976: "-66.7976",
+		1e7:      "1e+07",
+		2.5e-6:   "2.5e-06",
+		250.0:    "250.0",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTimeMsMeasures(t *testing.T) {
+	ms := TimeMs(func() { time.Sleep(10 * time.Millisecond) })
+	if ms < 8 || ms > 500 {
+		t.Fatalf("TimeMs = %v, want roughly 10ms", ms)
+	}
+}
+
+func TestMedianTimeMs(t *testing.T) {
+	calls := 0
+	ms := MedianTimeMs(5, func() { calls++ })
+	if calls != 5 {
+		t.Fatalf("f called %d times, want 5", calls)
+	}
+	if ms < 0 {
+		t.Fatalf("negative time %v", ms)
+	}
+	if got := MedianTimeMs(0, func() { calls++ }); got < 0 {
+		t.Fatal("reps<1 should clamp to 1")
+	}
+}
+
+func TestLogSpacedInts(t *testing.T) {
+	xs := LogSpacedInts(1, 100000, 6)
+	if xs[0] != 1 || xs[len(xs)-1] != 100000 {
+		t.Fatalf("endpoints wrong: %v", xs)
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			t.Fatalf("not strictly increasing: %v", xs)
+		}
+	}
+	// Roughly decades for 6 points over 5 decades.
+	want := []int{1, 10, 100, 1000, 10000, 100000}
+	if len(xs) != len(want) {
+		t.Fatalf("got %v, want %v", xs, want)
+	}
+	for i := range want {
+		if xs[i] != want[i] {
+			t.Fatalf("got %v, want %v", xs, want)
+		}
+	}
+}
+
+func TestLogSpacedIntsDegenerate(t *testing.T) {
+	if got := LogSpacedInts(5, 5, 10); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("constant range: %v", got)
+	}
+	if got := LogSpacedInts(0, 10, 1); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("lo<1 and points<2: %v", got)
+	}
+	if got := LogSpacedInts(10, 2, 3); got[0] != 10 {
+		t.Fatalf("hi<lo should clamp: %v", got)
+	}
+}

@@ -1,0 +1,87 @@
+package exp
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// TimeMs runs f once and returns the elapsed wall-clock time in
+// milliseconds (the unit of all the paper's timing figures).
+func TimeMs(f func()) float64 {
+	start := time.Now()
+	f()
+	return float64(time.Since(start)) / float64(time.Millisecond)
+}
+
+// MedianTimeMs runs f reps times and returns the median elapsed time in
+// milliseconds. The median resists the occasional GC pause or scheduler
+// hiccup that would distort a single measurement.
+func MedianTimeMs(reps int, f func()) float64 {
+	if reps < 1 {
+		reps = 1
+	}
+	times := make([]float64, reps)
+	for i := range times {
+		times[i] = TimeMs(f)
+	}
+	sort.Float64s(times)
+	return times[reps/2]
+}
+
+// BenchMs measures the mean wall-clock time of f in milliseconds the way a
+// micro-benchmark harness would: one warm-up call (page-in, cache warm-up,
+// lazy initialization), then repeated calls until at least 30ms or 300
+// calls have accumulated. Sub-millisecond operations get hundreds of
+// samples, so the mean is stable; slow operations are measured a few times
+// only.
+func BenchMs(f func()) float64 {
+	f() // warm up
+	const (
+		budget   = 30 * time.Millisecond
+		maxCalls = 300
+	)
+	var total time.Duration
+	calls := 0
+	for total < budget && calls < maxCalls {
+		start := time.Now()
+		f()
+		total += time.Since(start)
+		calls++
+	}
+	return float64(total) / float64(time.Millisecond) / float64(calls)
+}
+
+// LogSpacedInts returns roughly logarithmically spaced integers from lo to
+// hi inclusive with the given number of points, deduplicated and sorted —
+// the x-axes of the paper's log-scale figures (budget C, database size).
+func LogSpacedInts(lo, hi, points int) []int {
+	if lo < 1 {
+		lo = 1
+	}
+	if hi < lo {
+		hi = lo
+	}
+	if points < 2 {
+		return []int{lo}
+	}
+	ratio := float64(hi) / float64(lo)
+	out := make([]int, 0, points)
+	seen := map[int]bool{}
+	for i := 0; i < points; i++ {
+		f := float64(lo) * math.Pow(ratio, float64(i)/float64(points-1))
+		v := int(f + 0.5)
+		if v < lo {
+			v = lo
+		}
+		if v > hi {
+			v = hi
+		}
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

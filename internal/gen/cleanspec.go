@@ -1,0 +1,69 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/probdb/topkclean/internal/cleaning"
+	"github.com/probdb/topkclean/internal/numeric"
+)
+
+// SCPdf is a distribution over successful-cleaning probabilities, the
+// "sc-pdf" of Section VI. Implementations must return values in [0, 1].
+type SCPdf interface {
+	Sample(rng *rand.Rand) float64
+	String() string
+}
+
+// UniformSC is the uniform sc-pdf on [Lo, Hi]. The paper's default is
+// U[0, 1]; Figure 6(c) sweeps U[x, 1].
+type UniformSC struct {
+	Lo, Hi float64
+}
+
+// Sample draws one sc-probability.
+func (u UniformSC) Sample(rng *rand.Rand) float64 {
+	return numeric.Clamp01(u.Lo + rng.Float64()*(u.Hi-u.Lo))
+}
+
+// String names the pdf like the paper's figures.
+func (u UniformSC) String() string { return fmt.Sprintf("uniform[%.2g,%.2g]", u.Lo, u.Hi) }
+
+// NormalSC is the truncated-normal sc-pdf of Figure 6(b): N(Mean, Sigma^2)
+// conditioned to [0, 1].
+type NormalSC struct {
+	Mean, Sigma float64
+}
+
+// Sample draws one sc-probability.
+func (n NormalSC) Sample(rng *rand.Rand) float64 {
+	g := numeric.Gaussian{Mu: n.Mean, Sigma: n.Sigma}
+	return g.SampleTruncated(rng, 0, 1)
+}
+
+// String names the pdf like the paper's figures.
+func (n NormalSC) String() string { return fmt.Sprintf("normal(%.3g)", n.Sigma) }
+
+// CleanSpec draws a cleaning.Spec for m x-tuples: integer costs uniform in
+// [costLo, costHi] (paper: [1, 10]) and sc-probabilities from pdf.
+func CleanSpec(m int, costLo, costHi int, pdf SCPdf, seed int64) (cleaning.Spec, error) {
+	if m < 1 {
+		return cleaning.Spec{}, fmt.Errorf("gen: m = %d, want >= 1", m)
+	}
+	if costLo < 1 || costHi < costLo {
+		return cleaning.Spec{}, fmt.Errorf("gen: bad cost range [%d, %d]", costLo, costHi)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	spec := cleaning.Spec{Costs: make([]int, m), SCProbs: make([]float64, m)}
+	for l := 0; l < m; l++ {
+		spec.Costs[l] = costLo + rng.Intn(costHi-costLo+1)
+		spec.SCProbs[l] = pdf.Sample(rng)
+	}
+	return spec, spec.Validate(m)
+}
+
+// DefaultCleanSpec is the paper's default cleaning environment: costs
+// uniform in [1, 10] and sc-pdf U[0, 1].
+func DefaultCleanSpec(m int, seed int64) (cleaning.Spec, error) {
+	return CleanSpec(m, 1, 10, UniformSC{Lo: 0, Hi: 1}, seed)
+}

@@ -1,0 +1,323 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/probdb/topkclean/internal/numeric"
+	"github.com/probdb/topkclean/internal/quality"
+	"github.com/probdb/topkclean/internal/topkq"
+)
+
+func TestSyntheticShape(t *testing.T) {
+	cfg := DefaultSynthetic()
+	cfg.NumXTuples = 200
+	db, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.NumGroups() != 200 {
+		t.Fatalf("groups = %d, want 200", db.NumGroups())
+	}
+	st := db.ComputeStats()
+	// Gaussian restricted to the interval is renormalized: no nulls, 10
+	// alternatives per x-tuple.
+	if st.NullTuples != 0 {
+		t.Fatalf("synthetic data should carry no nulls, got %d", st.NullTuples)
+	}
+	if st.RealTuples != 2000 {
+		t.Fatalf("tuples = %d, want 2000", st.RealTuples)
+	}
+	for _, x := range db.Groups() {
+		if !numeric.AlmostEqual(x.RealMass(), 1, 1e-9, 1e-9) {
+			t.Fatalf("x-tuple mass = %v, want 1", x.RealMass())
+		}
+	}
+}
+
+func TestSyntheticValuesInsideDomainishRange(t *testing.T) {
+	cfg := DefaultSynthetic()
+	cfg.NumXTuples = 100
+	db, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range db.Sorted() {
+		v := tp.Attrs[0]
+		// Values live in the uncertainty interval around mu, which can
+		// poke at most width/2 = 50 outside the domain.
+		if v < cfg.DomainLo-50 || v > cfg.DomainHi+50 {
+			t.Fatalf("value %v far outside domain", v)
+		}
+	}
+}
+
+func TestSyntheticDeterministicBySeed(t *testing.T) {
+	cfg := DefaultSynthetic()
+	cfg.NumXTuples = 50
+	a, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumTuples() != b.NumTuples() {
+		t.Fatal("same seed, different shape")
+	}
+	for i, ta := range a.Sorted() {
+		tb := b.Sorted()[i]
+		if ta.ID != tb.ID || ta.Prob != tb.Prob || ta.Score != tb.Score {
+			t.Fatalf("same seed, different tuple at %d: %v vs %v", i, ta, tb)
+		}
+	}
+	cfg.Seed = 2
+	c, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i, ta := range a.Sorted() {
+		if ta.Score != c.Sorted()[i].Score {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestSyntheticUniformPDFEqualProbs(t *testing.T) {
+	cfg := DefaultSynthetic()
+	cfg.NumXTuples = 20
+	cfg.PDF = PDFUniform
+	db, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range db.Groups() {
+		for _, tp := range x.Tuples {
+			if !numeric.AlmostEqual(tp.Prob, 0.1, 1e-9, 1e-9) {
+				t.Fatalf("uniform pdf bar prob = %v, want 0.1", tp.Prob)
+			}
+		}
+	}
+}
+
+// TestSyntheticQualityOrderingByPDF reproduces Figure 4(b)'s shape on small
+// data: tighter Gaussians give higher (less negative) quality; the uniform
+// pdf gives the lowest.
+func TestSyntheticQualityOrderingByPDF(t *testing.T) {
+	score := func(pdf PDFKind, sigma float64) float64 {
+		cfg := DefaultSynthetic()
+		cfg.NumXTuples = 300
+		cfg.PDF = pdf
+		cfg.Sigma = sigma
+		cfg.Seed = 3
+		db, err := Synthetic(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := quality.TP(db, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ev.S
+	}
+	g10 := score(PDFGaussian, 10)
+	g100 := score(PDFGaussian, 100)
+	uni := score(PDFUniform, 0)
+	if !(g10 > g100) {
+		t.Fatalf("sigma=10 quality (%v) should exceed sigma=100 (%v)", g10, g100)
+	}
+	if !(g100 > uni) {
+		t.Fatalf("Gaussian quality (%v) should exceed uniform (%v)", g100, uni)
+	}
+}
+
+func TestSyntheticConfigValidation(t *testing.T) {
+	bad := []SyntheticConfig{
+		{NumXTuples: 0, Bars: 10, DomainHi: 1, WidthLo: 1, WidthHi: 2, Sigma: 1},
+		{NumXTuples: 1, Bars: 0, DomainHi: 1, WidthLo: 1, WidthHi: 2, Sigma: 1},
+		{NumXTuples: 1, Bars: 10, DomainHi: 0, WidthLo: 1, WidthHi: 2, Sigma: 1},
+		{NumXTuples: 1, Bars: 10, DomainHi: 1, WidthLo: 0, WidthHi: 2, Sigma: 1},
+		{NumXTuples: 1, Bars: 10, DomainHi: 1, WidthLo: 3, WidthHi: 2, Sigma: 1},
+		{NumXTuples: 1, Bars: 10, DomainHi: 1, WidthLo: 1, WidthHi: 2, Sigma: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := Synthetic(cfg); err == nil {
+			t.Errorf("config %d should fail validation", i)
+		}
+	}
+}
+
+func TestMOVShape(t *testing.T) {
+	cfg := DefaultMOV()
+	cfg.NumXTuples = 999
+	db, err := MOV(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.NumGroups() != 999 {
+		t.Fatalf("groups = %d, want 999", db.NumGroups())
+	}
+	st := db.ComputeStats()
+	if st.AvgPerGroup < 1.7 || st.AvgPerGroup > 2.3 {
+		t.Fatalf("avg tuples per x-tuple = %v, want ~2 (paper)", st.AvgPerGroup)
+	}
+	if st.NullTuples != 0 {
+		t.Fatalf("MOV confidences sum to 1; no nulls expected, got %d", st.NullTuples)
+	}
+	for _, tp := range db.Sorted() {
+		if len(tp.Attrs) != 2 {
+			t.Fatal("MOV tuples need (date, rating)")
+		}
+		if tp.Attrs[0] < 0 || tp.Attrs[0] > 1 || tp.Attrs[1] < 0 || tp.Attrs[1] > 1 {
+			t.Fatalf("attributes not normalized: %v", tp.Attrs)
+		}
+		if tp.Score != tp.Attrs[0]+tp.Attrs[1] {
+			t.Fatal("MOV score should be date + rating")
+		}
+	}
+}
+
+// TestMOVLessAmbiguousThanSynthetic reproduces the paper's observation that
+// MOV (2 alternatives per x-tuple) yields higher quality and far fewer
+// nonzero top-k tuples than the synthetic data (10 alternatives) at equal
+// x-tuple counts.
+func TestMOVLessAmbiguousThanSynthetic(t *testing.T) {
+	movCfg := DefaultMOV()
+	movCfg.NumXTuples = 500
+	mov, err := MOV(movCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	synCfg := DefaultSynthetic()
+	synCfg.NumXTuples = 500
+	syn, err := Synthetic(synCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 15
+	evM, err := quality.TP(mov, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evS, err := quality.TP(syn, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(evM.S > evS.S) {
+		t.Fatalf("MOV quality (%v) should exceed synthetic (%v)", evM.S, evS.S)
+	}
+	im, _ := topkq.TopKProbabilities(mov, k)
+	is, _ := topkq.TopKProbabilities(syn, k)
+	if !(im.NonzeroCount() < is.NonzeroCount()) {
+		t.Fatalf("MOV nonzero tuples (%d) should be fewer than synthetic (%d)",
+			im.NonzeroCount(), is.NonzeroCount())
+	}
+}
+
+func TestMOVConfigValidation(t *testing.T) {
+	if _, err := MOV(MOVConfig{NumXTuples: 0, MaxTuples: 3}); err == nil {
+		t.Error("NumXTuples=0 should fail")
+	}
+	if _, err := MOV(MOVConfig{NumXTuples: 5, MaxTuples: 0}); err == nil {
+		t.Error("MaxTuples=0 should fail")
+	}
+}
+
+func TestCleanSpecRanges(t *testing.T) {
+	spec, err := DefaultCleanSpec(500, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := 0; l < 500; l++ {
+		if spec.Costs[l] < 1 || spec.Costs[l] > 10 {
+			t.Fatalf("cost %d out of [1,10]", spec.Costs[l])
+		}
+		if spec.SCProbs[l] < 0 || spec.SCProbs[l] > 1 {
+			t.Fatalf("sc-prob %v out of [0,1]", spec.SCProbs[l])
+		}
+	}
+	// All ten costs should occur over 500 draws.
+	seen := map[int]bool{}
+	for _, c := range spec.Costs {
+		seen[c] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("only %d distinct costs in 500 draws", len(seen))
+	}
+}
+
+func TestCleanSpecDeterministic(t *testing.T) {
+	a, _ := DefaultCleanSpec(50, 9)
+	b, _ := DefaultCleanSpec(50, 9)
+	for l := range a.Costs {
+		if a.Costs[l] != b.Costs[l] || a.SCProbs[l] != b.SCProbs[l] {
+			t.Fatal("same seed, different spec")
+		}
+	}
+}
+
+func TestNormalSCPdfStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pdf := NormalSC{Mean: 0.5, Sigma: 0.167}
+	var sum, sumsq float64
+	const n = 30000
+	for i := 0; i < n; i++ {
+		x := pdf.Sample(rng)
+		if x < 0 || x > 1 {
+			t.Fatalf("sample %v out of [0,1]", x)
+		}
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	sd := math.Sqrt(sumsq/n - mean*mean)
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean = %v, want ~0.5", mean)
+	}
+	// Truncation trims the tails a little; sd should be near (below) sigma.
+	if sd < 0.12 || sd > 0.18 {
+		t.Fatalf("sd = %v, want ~0.16", sd)
+	}
+}
+
+func TestUniformSCAverageSweep(t *testing.T) {
+	// Figure 6(c)'s x-axis: U[x, 1] has average (1+x)/2.
+	rng := rand.New(rand.NewSource(4))
+	for _, lo := range []float64{0, 0.2, 0.5, 0.8} {
+		pdf := UniformSC{Lo: lo, Hi: 1}
+		var sum float64
+		const n = 20000
+		for i := 0; i < n; i++ {
+			sum += pdf.Sample(rng)
+		}
+		want := (1 + lo) / 2
+		if math.Abs(sum/n-want) > 0.01 {
+			t.Fatalf("U[%v,1] mean = %v, want %v", lo, sum/n, want)
+		}
+	}
+}
+
+func TestCleanSpecValidation(t *testing.T) {
+	if _, err := CleanSpec(0, 1, 10, UniformSC{0, 1}, 1); err == nil {
+		t.Error("m=0 should fail")
+	}
+	if _, err := CleanSpec(5, 0, 10, UniformSC{0, 1}, 1); err == nil {
+		t.Error("costLo=0 should fail")
+	}
+	if _, err := CleanSpec(5, 5, 2, UniformSC{0, 1}, 1); err == nil {
+		t.Error("costHi < costLo should fail")
+	}
+}
+
+func TestSCPdfStrings(t *testing.T) {
+	if (UniformSC{0, 1}).String() == "" || (NormalSC{0.5, 0.13}).String() == "" {
+		t.Error("sc-pdf String() should not be empty")
+	}
+}

@@ -1,0 +1,74 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/probdb/topkclean/internal/uncertain"
+)
+
+// MOVConfig describes the synthetic stand-in for the paper's MOV dataset
+// (movie-viewer ratings from Netflix with synthetic uncertainty, [4]).
+//
+// The real MOV dataset is not redistributable, so we generate data with the
+// same published statistics: 4999 x-tuples keyed by (movie-id, viewer-id),
+// about 2 tuples per x-tuple, value attributes date (uniform over
+// 2000-01-01..2005-12-31) and rating (1..5), both normalized to [0, 1], and
+// confidence as existential probability. The ranking function scores
+// date + rating, so the top-k query finds recent, highly rated entries.
+// See DESIGN.md ("Substitutions") for why this preserves the paper's
+// observations.
+type MOVConfig struct {
+	NumXTuples int // paper: 4999
+	MaxTuples  int // alternatives per x-tuple are 1..MaxTuples, mean ~2 (paper: avg 2)
+	Seed       int64
+}
+
+// DefaultMOV matches the paper's MOV statistics.
+func DefaultMOV() MOVConfig {
+	return MOVConfig{NumXTuples: 4999, MaxTuples: 3, Seed: 7}
+}
+
+// MOV generates and builds the MOV-like database. Attrs[0] is the
+// normalized date, Attrs[1] the normalized rating; the ranking function is
+// their sum (uncertain.SumOfAttrs).
+func MOV(cfg MOVConfig) (*uncertain.Database, error) {
+	if cfg.NumXTuples < 1 {
+		return nil, fmt.Errorf("gen: NumXTuples = %d, want >= 1", cfg.NumXTuples)
+	}
+	if cfg.MaxTuples < 1 {
+		return nil, fmt.Errorf("gen: MaxTuples = %d, want >= 1", cfg.MaxTuples)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	db := uncertain.New()
+	for i := 0; i < cfg.NumXTuples; i++ {
+		// 1..MaxTuples alternatives with mean (MaxTuples+1)/2 = 2 at the
+		// default MaxTuples = 3, matching the paper's "2 tuples on average".
+		n := 1 + rng.Intn(cfg.MaxTuples)
+		// Confidences: positive weights normalized to sum to 1 (the rating
+		// is one of the alternatives; record-linkage confidence).
+		weights := make([]float64, n)
+		var sum float64
+		for j := range weights {
+			weights[j] = 0.1 + rng.Float64()
+			sum += weights[j]
+		}
+		tuples := make([]uncertain.Tuple, n)
+		for j := 0; j < n; j++ {
+			date := rng.Float64()                  // uniform over the 6-year span, normalized
+			rating := float64(1+rng.Intn(5)) / 5.0 // 1..5 normalized to (0,1]
+			tuples[j] = uncertain.Tuple{
+				ID:    fmt.Sprintf("m%d.v%d.%d", i/7, i%7, j),
+				Attrs: []float64{date, rating},
+				Prob:  weights[j] / sum,
+			}
+		}
+		if err := db.AddXTuple(fmt.Sprintf("m%d.v%d", i/7, i%7), tuples...); err != nil {
+			return nil, err
+		}
+	}
+	if err := db.Build(uncertain.SumOfAttrs); err != nil {
+		return nil, err
+	}
+	return db, nil
+}

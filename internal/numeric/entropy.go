@@ -1,0 +1,45 @@
+// Package numeric provides the small numeric substrate the rest of the
+// library builds on: base-2 entropy terms, compensated summation, Gaussian
+// distribution functions, and histogram discretization.
+//
+// The paper's quality metric (PWS-quality) is the negated Shannon entropy of
+// the pw-result distribution, computed in bits, so everything here works in
+// log base 2.
+package numeric
+
+import "math"
+
+// Log2 returns the base-2 logarithm of x.
+func Log2(x float64) float64 {
+	return math.Log2(x)
+}
+
+// Y computes x*log2(x), the entropy kernel the paper abbreviates as Y(x)
+// (Section IV-B). By the usual information-theoretic convention Y(0) = 0.
+// Y is defined for x >= 0; negative inputs indicate a caller bug and are
+// clamped to 0 to keep quality scores finite in the face of floating-point
+// cancellation (values like -1e-17 arise from subtracting near-equal masses).
+func Y(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return x * math.Log2(x)
+}
+
+// NegEntropyBits returns sum_i p_i*log2(p_i) over the probabilities in p.
+// This is the PWS-quality of a distribution: it is <= 0, and equals 0 iff
+// the distribution is concentrated on a single outcome. Zero-probability
+// entries contribute nothing. Summation is compensated so that large
+// pw-result distributions (10^5+ outcomes) do not drift.
+func NegEntropyBits(p []float64) float64 {
+	var s Kahan
+	for _, pi := range p {
+		s.Add(Y(pi))
+	}
+	return s.Sum()
+}
+
+// EntropyBits returns the Shannon entropy -sum p_i log2 p_i of p, in bits.
+func EntropyBits(p []float64) float64 {
+	return -NegEntropyBits(p)
+}

@@ -1,0 +1,104 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestYZero(t *testing.T) {
+	if got := Y(0); got != 0 {
+		t.Fatalf("Y(0) = %v, want 0", got)
+	}
+	if got := Y(-1e-18); got != 0 {
+		t.Fatalf("Y(-eps) = %v, want 0 (clamped)", got)
+	}
+}
+
+func TestYKnownValues(t *testing.T) {
+	cases := []struct {
+		x, want float64
+	}{
+		{1, 0},
+		{0.5, -0.5},
+		{0.25, -0.5},
+		{2, 2},
+		{4, 8},
+	}
+	for _, c := range cases {
+		if got := Y(c.x); !AlmostEqual(got, c.want, 1e-12, 1e-12) {
+			t.Errorf("Y(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestYMinimumAtOneOverE(t *testing.T) {
+	// x*log2(x) attains its minimum -log2(e)/e at x = 1/e.
+	x := 1 / math.E
+	want := -math.Log2E / math.E
+	if got := Y(x); !AlmostEqual(got, want, 1e-12, 1e-12) {
+		t.Fatalf("Y(1/e) = %v, want %v", got, want)
+	}
+	for _, dx := range []float64{-0.01, 0.01} {
+		if Y(x+dx) < Y(x) {
+			t.Fatalf("Y(%v) = %v below minimum Y(1/e) = %v", x+dx, Y(x+dx), Y(x))
+		}
+	}
+}
+
+func TestNegEntropyUniform(t *testing.T) {
+	// Uniform over 8 outcomes: entropy 3 bits, so NegEntropy = -3.
+	p := make([]float64, 8)
+	for i := range p {
+		p[i] = 0.125
+	}
+	if got := NegEntropyBits(p); !AlmostEqual(got, -3, 1e-12, 1e-12) {
+		t.Fatalf("NegEntropyBits(uniform8) = %v, want -3", got)
+	}
+	if got := EntropyBits(p); !AlmostEqual(got, 3, 1e-12, 1e-12) {
+		t.Fatalf("EntropyBits(uniform8) = %v, want 3", got)
+	}
+}
+
+func TestNegEntropySingleton(t *testing.T) {
+	if got := NegEntropyBits([]float64{1}); got != 0 {
+		t.Fatalf("NegEntropyBits({1}) = %v, want 0", got)
+	}
+}
+
+func TestNegEntropyIgnoresZeros(t *testing.T) {
+	a := NegEntropyBits([]float64{0.5, 0.5})
+	b := NegEntropyBits([]float64{0.5, 0, 0.5, 0})
+	if a != b {
+		t.Fatalf("zero entries changed entropy: %v vs %v", a, b)
+	}
+}
+
+func TestNegEntropyNonPositiveProperty(t *testing.T) {
+	// For any distribution (nonnegative entries summing to <= 1), the
+	// negated entropy of the normalized distribution is <= 0.
+	f := func(raw []float64) bool {
+		var sum float64
+		p := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			x = math.Abs(x)
+			if math.IsInf(x, 0) || math.IsNaN(x) || x == 0 {
+				continue
+			}
+			p = append(p, x)
+			sum += x
+		}
+		if len(p) == 0 || sum == 0 {
+			return true
+		}
+		for i := range p {
+			p[i] /= sum
+		}
+		s := NegEntropyBits(p)
+		// <= 0 with slack for rounding; >= -log2(len) likewise.
+		return s <= 1e-9 && s >= -math.Log2(float64(len(p)))-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

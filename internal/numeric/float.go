@@ -1,0 +1,36 @@
+package numeric
+
+import "math"
+
+// AlmostEqual reports whether a and b agree to within the larger of an
+// absolute tolerance absTol and a relative tolerance relTol. It is the
+// comparison used throughout the test suites to compare quality scores
+// computed by different algorithms (the paper observes agreement to ~1e-8
+// across PW, PWR, and TP; we typically see far better).
+func AlmostEqual(a, b, absTol, relTol float64) bool {
+	if a == b {
+		return true
+	}
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	diff := math.Abs(a - b)
+	if diff <= absTol {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= relTol*scale
+}
+
+// Clamp01 clamps x into [0, 1]. Probabilities assembled from floating-point
+// arithmetic (complement masses, renormalizations) can stray by an ulp or
+// two; clamping keeps downstream invariants (e.g. 1-q >= 0) intact.
+func Clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

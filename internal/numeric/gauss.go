@@ -1,0 +1,99 @@
+package numeric
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Gaussian is a normal distribution with the given mean and standard
+// deviation. It backs the paper's synthetic workload ("uncertainty pdf"
+// N(mu, sigma^2), Section VI) and the truncated-normal sc-probability
+// distributions of Figure 6(b).
+type Gaussian struct {
+	Mu    float64
+	Sigma float64
+}
+
+// PDF returns the probability density at x.
+func (g Gaussian) PDF(x float64) float64 {
+	z := (x - g.Mu) / g.Sigma
+	return math.Exp(-0.5*z*z) / (g.Sigma * math.Sqrt(2*math.Pi))
+}
+
+// CDF returns P[X <= x].
+func (g Gaussian) CDF(x float64) float64 {
+	z := (x - g.Mu) / (g.Sigma * math.Sqrt2)
+	return 0.5 * (1 + math.Erf(z))
+}
+
+// Mass returns P[a <= X <= b]. It is computed from the CDF and clamped to
+// [0, 1] to absorb rounding.
+func (g Gaussian) Mass(a, b float64) float64 {
+	if b < a {
+		a, b = b, a
+	}
+	m := g.CDF(b) - g.CDF(a)
+	if m < 0 {
+		return 0
+	}
+	if m > 1 {
+		return 1
+	}
+	return m
+}
+
+// Quantile returns the x with CDF(x) = p, for p in (0, 1), via bisection on
+// the monotone CDF. Accuracy is ~1e-12 relative to sigma, which is far more
+// than the histogram discretization needs.
+func (g Gaussian) Quantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		if p == 0 {
+			return math.Inf(-1)
+		}
+		if p == 1 {
+			return math.Inf(1)
+		}
+		return math.NaN()
+	}
+	lo, hi := g.Mu-40*g.Sigma, g.Mu+40*g.Sigma
+	for i := 0; i < 200; i++ {
+		mid := lo + (hi-lo)/2
+		if g.CDF(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo <= 1e-12*g.Sigma {
+			break
+		}
+	}
+	return lo + (hi-lo)/2
+}
+
+// SampleTruncated draws from the Gaussian conditioned to [a, b] by rejection
+// sampling, falling back to inverse-CDF sampling when the acceptance region
+// is narrow (below ~1% mass) so the call always terminates quickly.
+func (g Gaussian) SampleTruncated(rng *rand.Rand, a, b float64) float64 {
+	if b < a {
+		a, b = b, a
+	}
+	if g.Mass(a, b) > 0.01 {
+		for i := 0; i < 10000; i++ {
+			x := g.Mu + g.Sigma*rng.NormFloat64()
+			if x >= a && x <= b {
+				return x
+			}
+		}
+	}
+	// Inverse-CDF fallback: map a uniform draw into the [CDF(a), CDF(b)] band.
+	ca, cb := g.CDF(a), g.CDF(b)
+	u := ca + (cb-ca)*rng.Float64()
+	x := g.Quantile(u)
+	if x < a {
+		x = a
+	}
+	if x > b {
+		x = b
+	}
+	return x
+}

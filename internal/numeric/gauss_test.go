@@ -1,0 +1,123 @@
+package numeric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGaussianCDFStandardValues(t *testing.T) {
+	g := Gaussian{Mu: 0, Sigma: 1}
+	cases := []struct {
+		x, want float64
+	}{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145707},
+		{1.959963984540054, 0.975},
+		{-3, 0.0013498980316300933},
+	}
+	for _, c := range cases {
+		if got := g.CDF(c.x); !AlmostEqual(got, c.want, 1e-12, 1e-12) {
+			t.Errorf("CDF(%v) = %.16g, want %.16g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestGaussianCDFShiftScale(t *testing.T) {
+	g := Gaussian{Mu: 100, Sigma: 15}
+	std := Gaussian{Mu: 0, Sigma: 1}
+	for _, z := range []float64{-2, -0.5, 0, 0.7, 2.3} {
+		got := g.CDF(100 + 15*z)
+		want := std.CDF(z)
+		if !AlmostEqual(got, want, 1e-13, 1e-13) {
+			t.Errorf("shifted CDF mismatch at z=%v: %v vs %v", z, got, want)
+		}
+	}
+}
+
+func TestGaussianPDFIntegratesToCDF(t *testing.T) {
+	// Trapezoid-integrate the PDF over [-4, 4] and compare with the CDF mass.
+	g := Gaussian{Mu: 0, Sigma: 1}
+	const n = 100000
+	lo, hi := -4.0, 4.0
+	h := (hi - lo) / n
+	var sum Kahan
+	for i := 0; i <= n; i++ {
+		w := 1.0
+		if i == 0 || i == n {
+			w = 0.5
+		}
+		sum.Add(w * g.PDF(lo+float64(i)*h))
+	}
+	integral := sum.Sum() * h
+	want := g.Mass(lo, hi)
+	if !AlmostEqual(integral, want, 1e-8, 1e-8) {
+		t.Fatalf("PDF integral = %v, CDF mass = %v", integral, want)
+	}
+}
+
+func TestGaussianMassSymmetricAndClamped(t *testing.T) {
+	g := Gaussian{Mu: 5, Sigma: 2}
+	if got := g.Mass(5, 3); got != g.Mass(3, 5) {
+		t.Fatalf("Mass not symmetric in argument order")
+	}
+	if got := g.Mass(-1e9, 1e9); got != 1 {
+		t.Fatalf("full-line mass = %v, want exactly 1 (clamped)", got)
+	}
+}
+
+func TestGaussianQuantileInvertsCDF(t *testing.T) {
+	g := Gaussian{Mu: -3, Sigma: 0.5}
+	for _, p := range []float64{0.001, 0.1, 0.25, 0.5, 0.75, 0.9, 0.999} {
+		x := g.Quantile(p)
+		if got := g.CDF(x); !AlmostEqual(got, p, 1e-9, 1e-9) {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+	if !math.IsInf(g.Quantile(0), -1) || !math.IsInf(g.Quantile(1), 1) {
+		t.Fatalf("Quantile(0)/Quantile(1) should be -Inf/+Inf")
+	}
+	if !math.IsNaN(g.Quantile(-0.1)) {
+		t.Fatalf("Quantile(-0.1) should be NaN")
+	}
+}
+
+func TestSampleTruncatedStaysInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := Gaussian{Mu: 0.5, Sigma: 0.3}
+	for i := 0; i < 2000; i++ {
+		x := g.SampleTruncated(rng, 0, 1)
+		if x < 0 || x > 1 {
+			t.Fatalf("sample %v out of [0,1]", x)
+		}
+	}
+}
+
+func TestSampleTruncatedNarrowBand(t *testing.T) {
+	// Truncation region in the far tail (mass ~1e-23): must terminate and
+	// stay in range, exercising the inverse-CDF fallback.
+	rng := rand.New(rand.NewSource(1))
+	g := Gaussian{Mu: 0, Sigma: 1}
+	for i := 0; i < 100; i++ {
+		x := g.SampleTruncated(rng, 10, 10.5)
+		if x < 10 || x > 10.5 {
+			t.Fatalf("tail sample %v out of [10,10.5]", x)
+		}
+	}
+}
+
+func TestSampleTruncatedMeanApproximatelyCentered(t *testing.T) {
+	// Symmetric truncation around the mean keeps the sample mean near mu.
+	rng := rand.New(rand.NewSource(9))
+	g := Gaussian{Mu: 0.5, Sigma: 0.167}
+	var sum Kahan
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum.Add(g.SampleTruncated(rng, 0, 1))
+	}
+	mean := sum.Sum() / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("truncated sample mean = %v, want ~0.5", mean)
+	}
+}

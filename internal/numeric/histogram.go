@@ -1,0 +1,71 @@
+package numeric
+
+// Bin is one bar of a discretized probability distribution: a representative
+// value and the probability mass assigned to it.
+type Bin struct {
+	Value float64
+	Prob  float64
+}
+
+// MassFunc reports the probability mass a continuous distribution places on
+// the interval [a, b].
+type MassFunc func(a, b float64) float64
+
+// DiscretizeEqualWidth splits [lo, hi] into n equal-width bars, assigns each
+// bar the mass the distribution places on it (renormalized so the bars sum
+// to exactly 1), and represents each bar by its midpoint.
+//
+// This implements the paper's synthetic-workload discretization (Section VI):
+// the uncertainty pdf y.U restricted to the uncertainty interval y.L is
+// represented by a 10-bar histogram whose "values are the mean values of the
+// histogram bars" and whose existential probabilities come from the bars.
+// Bars that receive zero mass are dropped, since tuples with existential
+// probability 0 cannot appear in any possible world.
+func DiscretizeEqualWidth(lo, hi float64, n int, mass MassFunc) []Bin {
+	if n <= 0 || hi <= lo {
+		return nil
+	}
+	width := (hi - lo) / float64(n)
+	bins := make([]Bin, 0, n)
+	var total Kahan
+	for i := 0; i < n; i++ {
+		a := lo + float64(i)*width
+		b := a + width
+		if i == n-1 {
+			b = hi // avoid rounding past the interval end
+		}
+		m := mass(a, b)
+		if m <= 0 {
+			continue
+		}
+		bins = append(bins, Bin{Value: (a + b) / 2, Prob: m})
+		total.Add(m)
+	}
+	t := total.Sum()
+	if t <= 0 {
+		return nil
+	}
+	for i := range bins {
+		bins[i].Prob /= t
+	}
+	return bins
+}
+
+// UniformMass returns the MassFunc of the uniform distribution on [lo, hi].
+func UniformMass(lo, hi float64) MassFunc {
+	return func(a, b float64) float64 {
+		if b < a {
+			a, b = b, a
+		}
+		if b <= lo || a >= hi {
+			return 0
+		}
+		if a < lo {
+			a = lo
+		}
+		if b > hi {
+			b = hi
+		}
+		return (b - a) / (hi - lo)
+	}
+}

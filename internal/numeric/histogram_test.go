@@ -1,0 +1,150 @@
+package numeric
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDiscretizeUniformEqualBars(t *testing.T) {
+	bins := DiscretizeEqualWidth(0, 10, 10, UniformMass(0, 10))
+	if len(bins) != 10 {
+		t.Fatalf("got %d bins, want 10", len(bins))
+	}
+	for i, b := range bins {
+		if !AlmostEqual(b.Prob, 0.1, 1e-12, 1e-12) {
+			t.Errorf("bin %d prob = %v, want 0.1", i, b.Prob)
+		}
+		wantMid := float64(i) + 0.5
+		if !AlmostEqual(b.Value, wantMid, 1e-12, 1e-12) {
+			t.Errorf("bin %d midpoint = %v, want %v", i, b.Value, wantMid)
+		}
+	}
+}
+
+func TestDiscretizeGaussianSumsToOne(t *testing.T) {
+	g := Gaussian{Mu: 50, Sigma: 10}
+	bins := DiscretizeEqualWidth(20, 80, 10, g.Mass)
+	var sum Kahan
+	for _, b := range bins {
+		sum.Add(b.Prob)
+		if b.Prob <= 0 {
+			t.Fatalf("bin with non-positive prob %v survived", b.Prob)
+		}
+	}
+	if !AlmostEqual(sum.Sum(), 1, 1e-12, 1e-12) {
+		t.Fatalf("bin probs sum to %v, want 1", sum.Sum())
+	}
+}
+
+func TestDiscretizeGaussianPeakInMiddle(t *testing.T) {
+	// A Gaussian centered in the interval should put the most mass on the
+	// central bars and be symmetric about the center.
+	g := Gaussian{Mu: 5, Sigma: 1}
+	bins := DiscretizeEqualWidth(0, 10, 10, g.Mass)
+	if len(bins) != 10 {
+		t.Fatalf("got %d bins, want 10", len(bins))
+	}
+	for i := 0; i < 5; i++ {
+		if !AlmostEqual(bins[i].Prob, bins[9-i].Prob, 1e-12, 1e-9) {
+			t.Errorf("asymmetry: bin %d=%v vs bin %d=%v", i, bins[i].Prob, 9-i, bins[9-i].Prob)
+		}
+	}
+	if bins[4].Prob <= bins[0].Prob {
+		t.Fatalf("central bar (%v) not heavier than edge bar (%v)", bins[4].Prob, bins[0].Prob)
+	}
+}
+
+func TestDiscretizeDropsEmptyBars(t *testing.T) {
+	// A very tight Gaussian leaves the outer bars with zero mass; those bars
+	// must be dropped (tuples with probability 0 are not representable).
+	g := Gaussian{Mu: 5, Sigma: 0.01}
+	bins := DiscretizeEqualWidth(0, 10, 10, g.Mass)
+	if len(bins) >= 10 {
+		t.Fatalf("expected empty bars to be dropped, got %d bins", len(bins))
+	}
+	var sum float64
+	for _, b := range bins {
+		sum += b.Prob
+	}
+	if !AlmostEqual(sum, 1, 1e-12, 1e-12) {
+		t.Fatalf("bins sum to %v after dropping, want 1", sum)
+	}
+}
+
+func TestDiscretizeDegenerateInputs(t *testing.T) {
+	if got := DiscretizeEqualWidth(0, 10, 0, UniformMass(0, 10)); got != nil {
+		t.Fatalf("n=0 should yield nil, got %v", got)
+	}
+	if got := DiscretizeEqualWidth(10, 10, 5, UniformMass(0, 10)); got != nil {
+		t.Fatalf("empty interval should yield nil, got %v", got)
+	}
+	// Distribution entirely outside the interval: no representable mass.
+	g := Gaussian{Mu: 1000, Sigma: 0.1}
+	if got := DiscretizeEqualWidth(0, 10, 5, g.Mass); got != nil {
+		t.Fatalf("zero-mass interval should yield nil, got %v", got)
+	}
+}
+
+func TestDiscretizeNormalizationProperty(t *testing.T) {
+	f := func(muRaw, sigmaRaw uint16, nRaw uint8) bool {
+		mu := float64(muRaw) / 65535 * 100 // [0,100]
+		sigma := 0.5 + float64(sigmaRaw)/65535*50
+		n := 1 + int(nRaw)%20
+		g := Gaussian{Mu: mu, Sigma: sigma}
+		bins := DiscretizeEqualWidth(0, 100, n, g.Mass)
+		if bins == nil {
+			return true
+		}
+		var sum Kahan
+		for _, b := range bins {
+			if b.Prob <= 0 || b.Value < 0 || b.Value > 100 {
+				return false
+			}
+			sum.Add(b.Prob)
+		}
+		return AlmostEqual(sum.Sum(), 1, 1e-10, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformMassPartialOverlap(t *testing.T) {
+	m := UniformMass(0, 10)
+	cases := []struct {
+		a, b, want float64
+	}{
+		{-5, 5, 0.5},
+		{5, 15, 0.5},
+		{-5, 15, 1},
+		{-5, -1, 0},
+		{11, 20, 0},
+		{2.5, 7.5, 0.5},
+	}
+	for _, c := range cases {
+		if got := m(c.a, c.b); !AlmostEqual(got, c.want, 1e-12, 1e-12) {
+			t.Errorf("UniformMass(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestAlmostEqual(t *testing.T) {
+	if !AlmostEqual(1, 1, 0, 0) {
+		t.Fatal("identical values must compare equal")
+	}
+	if !AlmostEqual(1e-12, 0, 1e-9, 0) {
+		t.Fatal("absolute tolerance not applied")
+	}
+	if !AlmostEqual(1e9, 1e9+1, 0, 1e-8) {
+		t.Fatal("relative tolerance not applied")
+	}
+	if AlmostEqual(1, 2, 1e-9, 1e-9) {
+		t.Fatal("distinct values compared equal")
+	}
+}
+
+func TestClamp01(t *testing.T) {
+	if Clamp01(-0.5) != 0 || Clamp01(1.5) != 1 || Clamp01(0.25) != 0.25 {
+		t.Fatal("Clamp01 misbehaves")
+	}
+}

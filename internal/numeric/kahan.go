@@ -1,0 +1,50 @@
+package numeric
+
+// Kahan is a Neumaier-compensated accumulator. The zero value is an empty
+// sum ready to use.
+//
+// Quality evaluation sums hundreds of thousands of terms of wildly differing
+// magnitude (pw-result probabilities range from ~1 down to ~1e-300); naive
+// summation loses the small terms. Neumaier's variant of Kahan summation
+// also handles the case where the addend is larger than the running sum.
+type Kahan struct {
+	sum float64
+	c   float64 // running compensation for lost low-order bits
+}
+
+// Add accumulates x into the sum.
+func (k *Kahan) Add(x float64) {
+	t := k.sum + x
+	if abs(k.sum) >= abs(x) {
+		k.c += (k.sum - t) + x
+	} else {
+		k.c += (x - t) + k.sum
+	}
+	k.sum = t
+}
+
+// Sum returns the compensated total.
+func (k *Kahan) Sum() float64 {
+	return k.sum + k.c
+}
+
+// Reset clears the accumulator back to an empty sum.
+func (k *Kahan) Reset() {
+	k.sum, k.c = 0, 0
+}
+
+// SumFloat64s returns the compensated sum of xs.
+func SumFloat64s(xs []float64) float64 {
+	var k Kahan
+	for _, x := range xs {
+		k.Add(x)
+	}
+	return k.Sum()
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,66 @@
+package numeric
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestKahanZeroValue(t *testing.T) {
+	var k Kahan
+	if k.Sum() != 0 {
+		t.Fatalf("zero value sum = %v, want 0", k.Sum())
+	}
+}
+
+func TestKahanCompensates(t *testing.T) {
+	// Classic catastrophic case: 1 + 1e-16 added 1e6 times. Naive float64
+	// summation loses every small addend; compensated summation keeps them.
+	var k Kahan
+	k.Add(1)
+	naive := 1.0
+	for i := 0; i < 1_000_000; i++ {
+		k.Add(1e-16)
+		naive += 1e-16
+	}
+	want := 1 + 1e-10
+	if !AlmostEqual(k.Sum(), want, 1e-13, 1e-13) {
+		t.Fatalf("Kahan sum = %.17g, want %.17g", k.Sum(), want)
+	}
+	if naive != 1.0 {
+		t.Fatalf("test premise broken: naive summation did not lose addends (%v)", naive)
+	}
+}
+
+func TestKahanHandlesLargeAddend(t *testing.T) {
+	// Neumaier's improvement: adding a value larger than the running sum.
+	var k Kahan
+	k.Add(1)
+	k.Add(1e100)
+	k.Add(1)
+	k.Add(-1e100)
+	if got := k.Sum(); got != 2 {
+		t.Fatalf("sum = %v, want 2", got)
+	}
+}
+
+func TestKahanReset(t *testing.T) {
+	var k Kahan
+	k.Add(5)
+	k.Reset()
+	if k.Sum() != 0 {
+		t.Fatalf("after Reset sum = %v, want 0", k.Sum())
+	}
+}
+
+func TestSumFloat64sMatchesSequentialAdds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 1000)
+	var k Kahan
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 1e6
+		k.Add(xs[i])
+	}
+	if got := SumFloat64s(xs); got != k.Sum() {
+		t.Fatalf("SumFloat64s = %v, sequential = %v", got, k.Sum())
+	}
+}

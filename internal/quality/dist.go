@@ -1,0 +1,85 @@
+// Package quality implements the PWS-quality metric for probabilistic
+// top-k queries (Definition 4) and the paper's three computation
+// algorithms: the naive possible-world baseline PW, the pw-result
+// enumeration algorithm PWR (Algorithm 1), and the tuple-form algorithm TP
+// (Theorem 1) that runs in O(kn) and shares its rank-probability
+// computation with query evaluation (Section IV-C).
+//
+// PWS-quality is the negated Shannon entropy (in bits) of the distribution
+// of pw-results: S(D,Q) = sum_r Pr(r) log2 Pr(r). It is always <= 0 and
+// equals 0 exactly when the query answer is certain (a single pw-result).
+package quality
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/probdb/topkclean/internal/numeric"
+	"github.com/probdb/topkclean/internal/uncertain"
+)
+
+// PWResult is one possible top-k answer (an ordered list of k alternatives)
+// together with the total probability of the worlds producing it. This is
+// the r in R(D,Q) of Definition 1.
+type PWResult struct {
+	TupleIDs []string
+	Prob     float64
+}
+
+// String renders the pw-result as "(t1,t2)@0.28".
+func (r PWResult) String() string {
+	return fmt.Sprintf("(%s)@%.4g", strings.Join(r.TupleIDs, ","), r.Prob)
+}
+
+// Distribution is a pw-result distribution, sorted by descending
+// probability (ties broken lexicographically for determinism).
+type Distribution []PWResult
+
+// Quality returns the PWS-quality of the distribution.
+func (d Distribution) Quality() float64 {
+	var s numeric.Kahan
+	for _, r := range d {
+		s.Add(numeric.Y(r.Prob))
+	}
+	return s.Sum()
+}
+
+// TotalProb returns the summed probability, which must be 1 for a complete
+// distribution.
+func (d Distribution) TotalProb() float64 {
+	var s numeric.Kahan
+	for _, r := range d {
+		s.Add(r.Prob)
+	}
+	return s.Sum()
+}
+
+func sortDist(d Distribution) {
+	sort.Slice(d, func(i, j int) bool {
+		if d[i].Prob != d[j].Prob {
+			return d[i].Prob > d[j].Prob
+		}
+		return strings.Join(d[i].TupleIDs, ",") < strings.Join(d[j].TupleIDs, ",")
+	})
+}
+
+func distFromMap(m map[string]float64, order map[string][]string) Distribution {
+	d := make(Distribution, 0, len(m))
+	for key, p := range m {
+		d = append(d, PWResult{TupleIDs: order[key], Prob: p})
+	}
+	sortDist(d)
+	return d
+}
+
+func signature(tuples []*uncertain.Tuple) (string, []string) {
+	ids := make([]string, len(tuples))
+	var b strings.Builder
+	for i, t := range tuples {
+		ids[i] = t.ID
+		b.WriteString(t.ID)
+		b.WriteByte('|')
+	}
+	return b.String(), ids
+}

@@ -1,0 +1,108 @@
+package quality
+
+import (
+	"math"
+	"testing"
+
+	"github.com/probdb/topkclean/internal/numeric"
+	"github.com/probdb/topkclean/internal/testdb"
+	"github.com/probdb/topkclean/internal/topkq"
+)
+
+// TestOmegaCertainTupleIsZero: a tuple with e=1 contributes nothing to the
+// quality deficit (log2(1)=0 and the Y terms cancel).
+func TestOmegaCertainTupleIsZero(t *testing.T) {
+	if got := omega(1, 1); got != 0 {
+		t.Fatalf("omega(e=1, E=1) = %v, want 0", got)
+	}
+}
+
+// TestOmegaHandComputed checks Equation 8 against a hand evaluation.
+// For the top alternative of an x-tuple with e=0.4 (E = 0.4):
+//
+//	omega = log2(0.4) + (Y(0.6) - Y(1)) / 0.4
+//	      = -1.3219281 + (0.6*log2(0.6) - 0) / 0.4
+//	      = -1.3219281 + (-0.4421793) / 0.4 = -2.4273764
+func TestOmegaHandComputed(t *testing.T) {
+	want := math.Log2(0.4) + (0.6*math.Log2(0.6))/0.4
+	if got := omega(0.4, 0.4); !numeric.AlmostEqual(got, want, 1e-12, 1e-12) {
+		t.Fatalf("omega(0.4, 0.4) = %v, want %v", got, want)
+	}
+	if got := omega(0.4, 0.4); !numeric.AlmostEqual(got, -2.4273764861366716, 1e-9, 1e-9) {
+		t.Fatalf("omega(0.4, 0.4) = %v, want -2.4273764861...", got)
+	}
+}
+
+// TestOmegaSecondAlternative: for the lower alternative of the same
+// x-tuple (e=0.6 ranked below e=0.4): E = 1.0, so
+// omega = log2(0.6) + (Y(0) - Y(0.6))/0.6 = log2(0.6) - log2(0.6) = ... .
+func TestOmegaSecondAlternative(t *testing.T) {
+	want := math.Log2(0.6) + (0-0.6*math.Log2(0.6))/0.6
+	if got := omega(0.6, 1.0); !numeric.AlmostEqual(got, want, 1e-12, 1e-12) {
+		t.Fatalf("omega(0.6, 1.0) = %v, want %v", got, want)
+	}
+	// log2(0.6) - log2(0.6) = 0: the last alternative of a mass-1 x-tuple
+	// carries no ambiguity of its own beyond the earlier alternatives.
+	if got := omega(0.6, 1.0); got != 0 {
+		t.Fatalf("omega(0.6, 1.0) = %v, want exactly 0", got)
+	}
+}
+
+// TestTheorem1OnUDB1ByHand: reconstruct S from the omega/p pairs and check
+// against the pinned anchor.
+func TestTheorem1OnUDB1ByHand(t *testing.T) {
+	db := testdb.UDB1()
+	info, err := topkq.TopKProbabilities(db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := TPFromInfo(db, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s float64
+	for i := 0; i < info.Processed; i++ {
+		s += ev.Omega[i] * info.P(i)
+	}
+	if !numeric.AlmostEqual(s, -2.551325921692723, 1e-9, 1e-9) {
+		t.Fatalf("sum omega_i p_i = %v, want -2.5513...", s)
+	}
+}
+
+// TestOmegaMatchesDirectDefinition compares the incremental E recurrence
+// against Equation 6 evaluated directly (scanning all same-group tuples).
+func TestOmegaMatchesDirectDefinition(t *testing.T) {
+	db := testdb.UDB1()
+	info, err := topkq.TopKProbabilities(db, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := TPFromInfo(db, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := db.Sorted()
+	for i := 0; i < info.Processed; i++ {
+		ti := sorted[i]
+		if info.P(i) == 0 {
+			continue // omega skipped by the optimization
+		}
+		// Direct Equation 6: sums over same-x-tuple tuples ranked >= / > ti.
+		var geq, gt float64
+		for _, tj := range sorted {
+			if tj.Group != ti.Group {
+				continue
+			}
+			if tj.Index() <= ti.Index() {
+				geq += tj.Prob
+			}
+			if tj.Index() < ti.Index() {
+				gt += tj.Prob
+			}
+		}
+		want := math.Log2(ti.Prob) + (numeric.Y(1-geq)-numeric.Y(1-gt))/ti.Prob
+		if !numeric.AlmostEqual(ev.Omega[i], want, 1e-12, 1e-12) {
+			t.Fatalf("tuple %s: omega = %v, direct = %v", ti.ID, ev.Omega[i], want)
+		}
+	}
+}

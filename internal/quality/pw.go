@@ -1,0 +1,59 @@
+package quality
+
+import (
+	"fmt"
+
+	"github.com/probdb/topkclean/internal/topkq"
+	"github.com/probdb/topkclean/internal/uncertain"
+	"github.com/probdb/topkclean/internal/world"
+)
+
+// PW computes the PWS-quality of a top-k query directly from Definition 4
+// by expanding every possible world, evaluating a deterministic top-k query
+// in each, and aggregating pw-results (Steps 1-3 + A of Figure 1(a)). Its
+// cost is exponential in the number of x-tuples; the paper measures 36
+// minutes for a 10-x-tuple database. It exists as the ground-truth baseline
+// of Figure 4(d) and of our property tests.
+func PW(db *uncertain.Database, k int) (float64, error) {
+	d, err := PWDist(db, k)
+	if err != nil {
+		return 0, err
+	}
+	return d.Quality(), nil
+}
+
+// PWDist computes the full pw-result distribution via possible-world
+// enumeration (the data behind Figures 2 and 3).
+func PWDist(db *uncertain.Database, k int) (Distribution, error) {
+	if err := checkArgs(db, k); err != nil {
+		return nil, err
+	}
+	if !world.Enumerable(db) {
+		return nil, fmt.Errorf("quality: database too large for PW (%g possible worlds)", world.Count(db))
+	}
+	probs := make(map[string]float64)
+	orders := make(map[string][]string)
+	world.Enumerate(db, func(w world.World) bool {
+		top := world.TopK(db, w, k)
+		key, ids := signature(top)
+		if _, ok := probs[key]; !ok {
+			orders[key] = ids
+		}
+		probs[key] += w.Prob
+		return true
+	})
+	return distFromMap(probs, orders), nil
+}
+
+func checkArgs(db *uncertain.Database, k int) error {
+	if !db.Built() {
+		return uncertain.ErrNotBuilt
+	}
+	if k < 1 {
+		return fmt.Errorf("k = %d: %w", k, topkq.ErrBadK)
+	}
+	if k > db.NumGroups() {
+		return fmt.Errorf("k = %d, m = %d: %w", k, db.NumGroups(), topkq.ErrKTooLarge)
+	}
+	return nil
+}

@@ -1,0 +1,231 @@
+package quality
+
+import (
+	"errors"
+
+	"github.com/probdb/topkclean/internal/numeric"
+	"github.com/probdb/topkclean/internal/uncertain"
+)
+
+// ErrResultLimit is returned by PWRLimited when the number of pw-results
+// exceeds the caller's cap. PWR's cost is driven by |R(D,Q)| = O(n^k), so
+// harnesses cap it the way the paper's experiments cut the PWR curves off.
+var ErrResultLimit = errors.New("quality: pw-result limit exceeded")
+
+// PWR computes the PWS-quality by deriving all pw-results directly, without
+// expanding possible worlds (Algorithm 1). Compared with PW this reduces
+// the complexity from exponential in the number of x-tuples to O(n^{k+1}):
+// the depth-first search enumerates each distinct pw-result exactly once
+// and evaluates its probability with Lemma 1.
+func PWR(db *uncertain.Database, k int) (float64, error) {
+	var s numeric.Kahan
+	err := pwrVisit(db, k, func(prob float64, _ []*uncertain.Tuple) bool {
+		s.Add(numeric.Y(prob))
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	return s.Sum(), nil
+}
+
+// PWRLimited runs PWR but aborts with ErrResultLimit once more than
+// maxResults pw-results have been produced.
+func PWRLimited(db *uncertain.Database, k, maxResults int) (float64, error) {
+	var s numeric.Kahan
+	count := 0
+	err := pwrVisit(db, k, func(prob float64, _ []*uncertain.Tuple) bool {
+		count++
+		if count > maxResults {
+			return false
+		}
+		s.Add(numeric.Y(prob))
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	if count > maxResults {
+		return 0, ErrResultLimit
+	}
+	return s.Sum(), nil
+}
+
+// PWRDist computes the full pw-result distribution via Algorithm 1. It
+// reproduces Figures 2 and 3 without the exponential world expansion.
+func PWRDist(db *uncertain.Database, k int) (Distribution, error) {
+	var d Distribution
+	err := pwrVisit(db, k, func(prob float64, tuples []*uncertain.Tuple) bool {
+		_, ids := signature(tuples)
+		d = append(d, PWResult{TupleIDs: ids, Prob: prob})
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	sortDist(d)
+	return d, nil
+}
+
+// PWRCount returns the number of distinct pw-results |R(D,Q)| (the paper
+// reports e.g. 1.1e5 results for n=100, k=5, and 7 vs 4 for udb1 vs udb2).
+func PWRCount(db *uncertain.Database, k int) (int, error) {
+	count := 0
+	err := pwrVisit(db, k, func(float64, []*uncertain.Tuple) bool { count++; return true })
+	if err != nil {
+		return 0, err
+	}
+	return count, nil
+}
+
+// forcedTolerance decides when a group's remaining mass below the current
+// alternative is zero, i.e. the alternative is the group's last and must
+// exist if no earlier alternative does (Step 10 of Algorithm 1).
+const forcedTolerance = 1e-9
+
+// pwrVisit runs the Algorithm 1 depth-first search, invoking emit once per
+// distinct pw-result with its Lemma 1 probability. The tuple slice passed
+// to emit is reused across calls. Returning false from emit stops the
+// search.
+func pwrVisit(db *uncertain.Database, k int, emit func(prob float64, tuples []*uncertain.Tuple) bool) error {
+	if err := checkArgs(db, k); err != nil {
+		return err
+	}
+	sorted := db.Sorted()
+	m := db.NumGroups()
+	st := &pwrState{
+		db:        db,
+		sorted:    sorted,
+		k:         k,
+		emit:      emit,
+		inR:       make([]bool, m),
+		massAbove: make([]float64, m),
+		aboveCnt:  make([]int, m),
+		r:         make([]*uncertain.Tuple, 0, k),
+		touched:   make([]int, 0, 64),
+	}
+	st.dfs(0)
+	return nil
+}
+
+type pwrState struct {
+	db     *uncertain.Database
+	sorted []*uncertain.Tuple
+	k      int
+	emit   func(float64, []*uncertain.Tuple) bool
+
+	r         []*uncertain.Tuple // current partial result, in rank order
+	inR       []bool             // group -> has an alternative in r
+	massAbove []float64          // group -> mass of its alternatives above the scan point
+	aboveCnt  []int              // group -> count of its alternatives above the scan point
+	touched   []int              // groups with aboveCnt > 0, in first-touch order
+}
+
+// dfs processes the alternative at rank position i (Algorithm 1's DFS).
+// It returns false when the emit callback asked to stop.
+func (st *pwrState) dfs(i int) bool {
+	if len(st.r) == st.k {
+		return st.emitLeaf()
+	}
+	if i >= len(st.sorted) {
+		// Unreachable when m >= k (the forced rule guarantees every group
+		// contributes), but emit defensively so short databases still get a
+		// complete distribution.
+		return st.emitLeaf()
+	}
+	t := st.sorted[i]
+	l := t.Group
+	switch {
+	case st.inR[l]:
+		// Step 8: an alternative of the same x-tuple is already in r, so t
+		// cannot exist (mutual exclusion).
+		st.advance(t)
+		ok := st.dfs(i + 1)
+		st.retreat(t)
+		return ok
+	case st.massAbove[l]+t.Prob >= 1-forcedTolerance:
+		// Step 10: every other alternative of t's x-tuple ranks higher and
+		// none of them exists, so t must exist (|W ∩ tau_l| = 1).
+		st.take(t)
+		st.advance(t)
+		ok := st.dfs(i + 1)
+		st.retreat(t)
+		st.untake(t)
+		return ok
+	default:
+		// Step 12: branch on whether t exists.
+		st.take(t)
+		st.advance(t)
+		ok := st.dfs(i + 1)
+		st.retreat(t)
+		st.untake(t)
+		if !ok {
+			return false
+		}
+		st.advance(t)
+		ok = st.dfs(i + 1)
+		st.retreat(t)
+		return ok
+	}
+}
+
+func (st *pwrState) take(t *uncertain.Tuple) {
+	st.r = append(st.r, t)
+	st.inR[t.Group] = true
+}
+
+func (st *pwrState) untake(t *uncertain.Tuple) {
+	st.r = st.r[:len(st.r)-1]
+	st.inR[t.Group] = false
+}
+
+// advance moves the scan point below t. Group membership of the touched
+// list is tracked with integer counts rather than the floating-point mass,
+// so the LIFO pop in retreat is exact: when a group's count returns to
+// zero, every group touched after it has already been popped.
+func (st *pwrState) advance(t *uncertain.Tuple) {
+	g := t.Group
+	if st.aboveCnt[g] == 0 {
+		st.touched = append(st.touched, g)
+	}
+	st.aboveCnt[g]++
+	st.massAbove[g] += t.Prob
+}
+
+func (st *pwrState) retreat(t *uncertain.Tuple) {
+	g := t.Group
+	st.aboveCnt[g]--
+	if st.aboveCnt[g] == 0 {
+		// Reset exactly to zero: repeated add/subtract cycles would
+		// otherwise leave +-ulp residue that corrupts Lemma 1 factors.
+		st.massAbove[g] = 0
+		st.touched = st.touched[:len(st.touched)-1]
+	} else {
+		st.massAbove[g] -= t.Prob
+	}
+}
+
+// emitLeaf computes Pr(r) by Lemma 1:
+//
+//	Pr(r) = prod_{t in r} e_t * prod_{tau_l with no alternative in r}
+//	        (1 - mass of tau_l's alternatives ranked above r.t)
+//
+// The masses are exactly the massAbove values at the moment the k-th
+// alternative was taken, because the scan point sits just below r.t.
+func (st *pwrState) emitLeaf() bool {
+	prob := 1.0
+	for _, t := range st.r {
+		prob *= t.Prob
+	}
+	for _, g := range st.touched {
+		if st.inR[g] || st.massAbove[g] == 0 {
+			continue
+		}
+		f := 1 - st.massAbove[g]
+		if f < 0 {
+			f = 0
+		}
+		prob *= f
+	}
+	return st.emit(prob, st.r)
+}

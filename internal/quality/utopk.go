@@ -1,0 +1,50 @@
+package quality
+
+import (
+	"github.com/probdb/topkclean/internal/uncertain"
+)
+
+// UTopK evaluates the U-Topk query of Soliman et al. [10]: the complete
+// top-k answer vector (an ordered list of k tuples) with the highest
+// probability of being the exact top-k result of a possible world — in our
+// terms, the mode of the pw-result distribution.
+//
+// The paper's quality algorithms do not cover U-Topk (its answer is a
+// whole vector rather than per-tuple/per-rank aggregates), but the PWR
+// machinery evaluates it exactly as a by-product of Algorithm 1's
+// depth-first search, without materializing the distribution. Ties break
+// toward the lexicographically smaller tuple-ID vector for determinism.
+func UTopK(db *uncertain.Database, k int) (PWResult, error) {
+	var best PWResult
+	err := pwrVisit(db, k, func(prob float64, tuples []*uncertain.Tuple) bool {
+		if prob > best.Prob || (prob == best.Prob && lessIDs(tuples, best.TupleIDs)) {
+			ids := make([]string, len(tuples))
+			for i, t := range tuples {
+				ids[i] = t.ID
+			}
+			best = PWResult{TupleIDs: ids, Prob: prob}
+		}
+		return true
+	})
+	if err != nil {
+		return PWResult{}, err
+	}
+	return best, nil
+}
+
+// lessIDs reports whether the candidate tuple list is lexicographically
+// smaller than the incumbent IDs (empty incumbent never wins).
+func lessIDs(tuples []*uncertain.Tuple, incumbent []string) bool {
+	if len(incumbent) == 0 {
+		return true
+	}
+	for i, t := range tuples {
+		if i >= len(incumbent) {
+			return false
+		}
+		if t.ID != incumbent[i] {
+			return t.ID < incumbent[i]
+		}
+	}
+	return len(tuples) < len(incumbent)
+}

@@ -1,0 +1,165 @@
+// Package testdb provides shared test fixtures: the paper's running example
+// databases udb1 and udb2 (Tables I and II), and randomized small databases
+// for property-based cross-checking of the algorithms against brute force.
+package testdb
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/probdb/topkclean/internal/uncertain"
+)
+
+// UDB1 builds Table I of the paper: four sensors with temperature readings.
+//
+//	S1: t0 (21C, 0.6), t1 (32C, 0.4)
+//	S2: t2 (30C, 0.7), t3 (22C, 0.3)
+//	S3: t4 (25C, 0.4), t5 (27C, 0.6)
+//	S4: t6 (26C, 1.0)
+//
+// Higher temperature ranks higher. The paper reports PWS-quality -2.55 for
+// a PT-2 query and PT-2 answer {t1, t2, t5} at threshold 0.4.
+func UDB1() *uncertain.Database {
+	db := uncertain.New()
+	mustAdd(db, "S1",
+		uncertain.Tuple{ID: "t0", Attrs: []float64{21}, Prob: 0.6},
+		uncertain.Tuple{ID: "t1", Attrs: []float64{32}, Prob: 0.4},
+	)
+	mustAdd(db, "S2",
+		uncertain.Tuple{ID: "t2", Attrs: []float64{30}, Prob: 0.7},
+		uncertain.Tuple{ID: "t3", Attrs: []float64{22}, Prob: 0.3},
+	)
+	mustAdd(db, "S3",
+		uncertain.Tuple{ID: "t4", Attrs: []float64{25}, Prob: 0.4},
+		uncertain.Tuple{ID: "t5", Attrs: []float64{27}, Prob: 0.6},
+	)
+	mustAdd(db, "S4",
+		uncertain.Tuple{ID: "t6", Attrs: []float64{26}, Prob: 1},
+	)
+	mustBuild(db)
+	return db
+}
+
+// UDB2 builds Table II: udb1 after S3 is successfully cleaned to t5
+// (27C, probability 1). The paper reports PWS-quality -1.85.
+func UDB2() *uncertain.Database {
+	db := uncertain.New()
+	mustAdd(db, "S1",
+		uncertain.Tuple{ID: "t0", Attrs: []float64{21}, Prob: 0.6},
+		uncertain.Tuple{ID: "t1", Attrs: []float64{32}, Prob: 0.4},
+	)
+	mustAdd(db, "S2",
+		uncertain.Tuple{ID: "t2", Attrs: []float64{30}, Prob: 0.7},
+		uncertain.Tuple{ID: "t3", Attrs: []float64{22}, Prob: 0.3},
+	)
+	mustAdd(db, "S3",
+		uncertain.Tuple{ID: "t5", Attrs: []float64{27}, Prob: 1},
+	)
+	mustAdd(db, "S4",
+		uncertain.Tuple{ID: "t6", Attrs: []float64{26}, Prob: 1},
+	)
+	mustBuild(db)
+	return db
+}
+
+// RandomConfig bounds the shape of databases produced by Random.
+type RandomConfig struct {
+	MaxGroups   int  // at most this many x-tuples (at least 1)
+	MaxPerGroup int  // at most this many alternatives per x-tuple (at least 1)
+	AllowNulls  bool // if true, some x-tuples get total mass < 1
+	ScoreTies   bool // if true, scores collide often to exercise tie-breaking
+}
+
+// Random builds a small random database suitable for brute-force
+// cross-checking (possible-world enumeration is exponential, so keep
+// MaxGroups*MaxPerGroup modest). The result is always valid and built.
+func Random(rng *rand.Rand, cfg RandomConfig) *uncertain.Database {
+	if cfg.MaxGroups < 1 {
+		cfg.MaxGroups = 4
+	}
+	if cfg.MaxPerGroup < 1 {
+		cfg.MaxPerGroup = 3
+	}
+	db := uncertain.New()
+	groups := 1 + rng.Intn(cfg.MaxGroups)
+	id := 0
+	for g := 0; g < groups; g++ {
+		n := 1 + rng.Intn(cfg.MaxPerGroup)
+		// Draw n positive weights and normalize to total target mass.
+		target := 1.0
+		if cfg.AllowNulls && rng.Intn(2) == 0 {
+			target = 0.2 + 0.75*rng.Float64()
+		}
+		weights := make([]float64, n)
+		var sum float64
+		for i := range weights {
+			weights[i] = 0.05 + rng.Float64()
+			sum += weights[i]
+		}
+		tuples := make([]uncertain.Tuple, n)
+		for i := range tuples {
+			score := rng.Float64() * 100
+			if cfg.ScoreTies {
+				score = float64(rng.Intn(5))
+			}
+			tuples[i] = uncertain.Tuple{
+				ID:    fmt.Sprintf("t%d", id),
+				Attrs: []float64{score},
+				Prob:  weights[i] / sum * target,
+			}
+			id++
+		}
+		mustAdd(db, fmt.Sprintf("X%d", g), tuples...)
+	}
+	mustBuild(db)
+	return db
+}
+
+// MustBuild builds a database from x-tuple specs, panicking on error. Each
+// entry maps an x-tuple name to (score, prob) pairs. Intended for concise
+// table-driven tests.
+func MustBuild(spec map[string][][2]float64) *uncertain.Database {
+	db := uncertain.New()
+	// Deterministic order: sort names.
+	names := make([]string, 0, len(spec))
+	for name := range spec {
+		names = append(names, name)
+	}
+	sortStrings(names)
+	id := 0
+	for _, name := range names {
+		rows := spec[name]
+		tuples := make([]uncertain.Tuple, len(rows))
+		for i, r := range rows {
+			tuples[i] = uncertain.Tuple{
+				ID:    fmt.Sprintf("%s.%d", name, id),
+				Attrs: []float64{r[0]},
+				Prob:  r[1],
+			}
+			id++
+		}
+		mustAdd(db, name, tuples...)
+	}
+	mustBuild(db)
+	return db
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func mustAdd(db *uncertain.Database, name string, ts ...uncertain.Tuple) {
+	if err := db.AddXTuple(name, ts...); err != nil {
+		panic(err)
+	}
+}
+
+func mustBuild(db *uncertain.Database) {
+	if err := db.Build(uncertain.ByFirstAttr); err != nil {
+		panic(err)
+	}
+}

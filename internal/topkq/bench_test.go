@@ -1,0 +1,93 @@
+package topkq
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/probdb/topkclean/internal/testdb"
+	"github.com/probdb/topkclean/internal/uncertain"
+)
+
+// benchGrid builds a database with the given number of x-tuples, each with
+// alts equally likely alternatives spread over distinct score bands, so
+// PSR's scan visits a predictable mixture of groups.
+func benchGrid(b *testing.B, groups, alts int) *uncertain.Database {
+	b.Helper()
+	db := uncertain.New()
+	for g := 0; g < groups; g++ {
+		ts := make([]uncertain.Tuple, alts)
+		for a := 0; a < alts; a++ {
+			ts[a] = uncertain.Tuple{
+				ID:    fmt.Sprintf("g%d.a%d", g, a),
+				Attrs: []float64{float64((g*31+a*7)%997) + float64(g)/1000},
+				Prob:  1 / float64(alts),
+			}
+		}
+		if err := db.AddXTuple(fmt.Sprintf("g%d", g), ts...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := db.Build(uncertain.ByFirstAttr); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+func BenchmarkPSRTopKOnly(b *testing.B) {
+	for _, groups := range []int{100, 1000} {
+		for _, k := range []int{5, 50} {
+			b.Run(fmt.Sprintf("m=%d/k=%d", groups, k), func(b *testing.B) {
+				db := benchGrid(b, groups, 5)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := TopKProbabilities(db, k); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkPSRWithRho(b *testing.B) {
+	db := benchGrid(b, 1000, 5)
+	for i := 0; i < b.N; i++ {
+		if _, err := RankProbabilities(db, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNaiveRankProbabilities(b *testing.B) {
+	db := testdb.UDB1()
+	for i := 0; i < b.N; i++ {
+		if _, err := NaiveRankProbabilities(db, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSemantics(b *testing.B) {
+	db := benchGrid(b, 1000, 5)
+	info, err := RankProbabilities(db, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("UKRanks", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := UKRanks(db, info); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("PTK", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = PTK(db, info, 0.1)
+		}
+	})
+	b.Run("GlobalTopK", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = GlobalTopK(db, info)
+		}
+	})
+}

@@ -1,0 +1,150 @@
+package topkq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/probdb/topkclean/internal/numeric"
+)
+
+// TestConvolveKnownValues: convolving [1,0,0] with Bernoulli(0.3) gives
+// [0.7, 0.3, 0]; again with Bernoulli(0.5) gives [0.35, 0.5*0.7+0.5*0.3...].
+func TestConvolveKnownValues(t *testing.T) {
+	F := []float64{1, 0, 0}
+	scratch := make([]float64, 3)
+	convolve(F, F, 0.3, scratch)
+	want := []float64{0.7, 0.3, 0}
+	for i := range want {
+		if !numeric.AlmostEqual(F[i], want[i], 1e-15, 1e-15) {
+			t.Fatalf("after Bernoulli(0.3): F = %v, want %v", F, want)
+		}
+	}
+	convolve(F, F, 0.5, scratch)
+	want = []float64{0.35, 0.5, 0.15}
+	for i := range want {
+		if !numeric.AlmostEqual(F[i], want[i], 1e-15, 1e-15) {
+			t.Fatalf("after Bernoulli(0.5): F = %v, want %v", F, want)
+		}
+	}
+}
+
+// TestDeconvolveInvertsConvolve: G -> convolve(q) -> deconvolve(q) -> G,
+// for q within the stable range used by PSR.
+func TestDeconvolveInvertsConvolve(t *testing.T) {
+	f := func(raw []uint16, qRaw uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		// Build a normalized distribution G.
+		G := make([]float64, len(raw))
+		var sum float64
+		for i, r := range raw {
+			G[i] = float64(r) + 1
+			sum += G[i]
+		}
+		for i := range G {
+			G[i] /= sum
+		}
+		q := float64(qRaw) / 65535 * deconvLimit // q in [0, deconvLimit]
+		F := make([]float64, len(G))
+		scratch := make([]float64, len(G))
+		convolve(F, G, q, scratch)
+		back := make([]float64, len(G))
+		deconvolve(back, F, q)
+		for i := range G {
+			if !numeric.AlmostEqual(back[i], G[i], 1e-9, 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConvolvePreservesMassTruncation: convolution with truncation keeps
+// each prefix sum a valid (sub-)probability and never produces negatives.
+func TestConvolvePreservesMassTruncation(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rng.Intn(20)
+		F := make([]float64, k)
+		F[0] = 1
+		scratch := make([]float64, k)
+		total := 1.0
+		for step := 0; step < 30; step++ {
+			q := rng.Float64()
+			convolve(F, F, q, scratch)
+			var sum float64
+			for _, v := range F {
+				if v < 0 {
+					t.Fatalf("negative entry after convolve: %v", F)
+				}
+				sum += v
+			}
+			if sum > total+1e-9 {
+				t.Fatalf("mass grew: %v > %v", sum, total)
+			}
+			total = sum
+		}
+	}
+}
+
+// TestRebuildExcludingMatchesIncremental: the from-scratch rebuild must
+// agree with sequential convolution of the same group masses.
+func TestRebuildExcludingMatchesIncremental(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 200; trial++ {
+		m := 2 + rng.Intn(10)
+		k := 1 + rng.Intn(6)
+		q := make([]float64, m)
+		active := make([]int, 0, m)
+		for g := 0; g < m; g++ {
+			if rng.Intn(4) > 0 {
+				q[g] = rng.Float64()
+				if rng.Intn(6) == 0 {
+					q[g] = 1
+				}
+				active = append(active, g)
+			}
+		}
+		exclude := rng.Intn(m)
+		G := make([]float64, k)
+		rebuildExcluding(G, q, active, exclude)
+
+		// Reference: sequential convolution.
+		ref := make([]float64, k)
+		ref[0] = 1
+		scratch := make([]float64, k)
+		for _, g := range active {
+			if g == exclude || q[g] == 0 {
+				continue
+			}
+			convolve(ref, ref, q[g], scratch)
+		}
+		for j := 0; j < k; j++ {
+			if !numeric.AlmostEqual(G[j], ref[j], 1e-12, 1e-12) {
+				t.Fatalf("trial %d: rebuild %v vs reference %v", trial, G, ref)
+			}
+		}
+	}
+}
+
+// TestDeconvolveClampsNegativeDust: cancellation can produce -1e-17-scale
+// entries; they must come out as exact zeros.
+func TestDeconvolveClampsNegativeDust(t *testing.T) {
+	// F engineered so the recurrence momentarily dips below zero.
+	F := []float64{0.5, 0.1, 0}
+	G := make([]float64, 3)
+	deconvolve(G, F, 0.5)
+	for i, v := range G {
+		if v < 0 {
+			t.Fatalf("G[%d] = %v < 0", i, v)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package topkq
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/probdb/topkclean/internal/uncertain"
+)
+
+// ErrKTooLarge is returned when k exceeds the number of x-tuples: with
+// fewer than k x-tuples no possible world can produce k alternatives, and
+// the paper's query semantics are undefined.
+var ErrKTooLarge = errors.New("topkq: k exceeds the number of x-tuples")
+
+// ErrBadK is returned for k < 1.
+var ErrBadK = errors.New("topkq: k must be at least 1")
+
+// fullMass is the threshold above which a group's mass above the scan point
+// counts as "certainly contributes a higher-ranked alternative" (E_{i,l}=1
+// in Lemma 2). Group masses are sums of at most a few thousand float64
+// probabilities, so 1e-12 comfortably absorbs the rounding.
+const fullMass = 1 - 1e-12
+
+// deconvLimit is the largest own-group mass for which the forward
+// deconvolution recurrence is used. The recurrence's error amplification
+// per index step is q/(1-q), so at q <= 0.5 the factor is at most 1 and
+// rounding stays bounded by ~k ulps regardless of k (verified by the
+// convolve/deconvolve round-trip property test). Above the limit we
+// rebuild the excluded-group distribution from scratch (exact,
+// O(active*k)); the early termination of Lemma 2 and the fact that only a
+// group's tail alternatives see large q keep that path rare (the ablation
+// benchmark quantifies the residual cost).
+const deconvLimit = 0.5
+
+// RankProbabilities runs PSR and retains per-rank probabilities rho_i(h),
+// as needed by U-kRanks. Time O(k*n), space O(k*Processed).
+func RankProbabilities(db *uncertain.Database, k int) (*RankInfo, error) {
+	return compute(db, k, true, deconvLimit)
+}
+
+// TopKProbabilities runs PSR retaining only the top-k probabilities p_i,
+// which is all PT-k, Global-topk, and quality evaluation need. Time
+// O(k*n), space O(n).
+func TopKProbabilities(db *uncertain.Database, k int) (*RankInfo, error) {
+	return compute(db, k, false, deconvLimit)
+}
+
+// AblationRebuildOnly computes top-k probabilities using only the
+// from-scratch Poisson-binomial rebuild (never the O(k) deconvolution
+// recurrence). It exists to quantify the design decision documented in
+// DESIGN.md: the deconvolution path is what makes PSR O(kn). Results are
+// identical to TopKProbabilities; only the cost differs.
+func AblationRebuildOnly(db *uncertain.Database, k int) (*RankInfo, error) {
+	return compute(db, k, false, -1)
+}
+
+// compute scans the alternatives in descending rank order, maintaining the
+// truncated Poisson-binomial distribution
+//
+//	F[j] = Pr[exactly j x-tuples contribute an alternative ranked above
+//	          the scan point],  j = 0..k-1,
+//
+// over the independent per-x-tuple events "this x-tuple has an alternative
+// above the scan point" (event probability q_g = mass of the x-tuple's
+// alternatives above the scan point). For the alternative t_i of x-tuple l,
+// the own event must be excluded (alternatives of the same x-tuple are
+// mutually exclusive):
+//
+//	G = F deconvolved by Bernoulli(q_l)
+//	rho_i(h) = e_i * G[h-1],  p_i = e_i * sum_{j<k} G[j]
+//
+// and afterwards the scan point moves below t_i, so F becomes G convolved
+// with Bernoulli(q_l + e_i).
+func compute(db *uncertain.Database, k int, keepRho bool, deconvLim float64) (*RankInfo, error) {
+	if !db.Built() {
+		return nil, uncertain.ErrNotBuilt
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("k = %d: %w", k, ErrBadK)
+	}
+	m := db.NumGroups()
+	if k > m {
+		return nil, fmt.Errorf("k = %d, m = %d: %w", k, m, ErrKTooLarge)
+	}
+	sorted := db.Sorted()
+	n := len(sorted)
+	// TopK and rho hold only the processed prefix: Lemma 2 usually stops
+	// the scan after a small fraction of a large database, and sizing the
+	// output to the prefix keeps PSR's cost O(k * Processed) rather than
+	// O(n) in allocations.
+	info := &RankInfo{K: k, N: n, TopK: make([]float64, 0, 256)}
+	if keepRho {
+		info.rho = make([][]float64, 0, 256)
+	}
+
+	q := make([]float64, m)      // q[g]: mass of group g above the scan point
+	active := make([]int, 0, 64) // groups with q > 0, for from-scratch rebuilds
+	F := make([]float64, k)
+	F[0] = 1
+	G := make([]float64, k)
+	scratch := make([]float64, k)
+	fullGroups := 0
+
+	for i, t := range sorted {
+		if fullGroups >= k {
+			// Lemma 2: at least k x-tuples certainly place an alternative
+			// above every remaining tuple, so p = 0 from here on.
+			info.Processed = i
+			return info, nil
+		}
+		l := t.Group
+		ql := q[l]
+		switch {
+		case ql == 0:
+			copy(G, F)
+		case ql <= deconvLim:
+			deconvolve(G, F, ql)
+		default:
+			rebuildExcluding(G, q, active, l)
+			info.Rebuilds++
+		}
+
+		var p float64
+		for j := 0; j < k; j++ {
+			p += G[j]
+		}
+		p *= t.Prob
+		if p < 0 {
+			p = 0
+		} else if p > 1 {
+			p = 1
+		}
+		info.TopK = append(info.TopK, p)
+		if keepRho {
+			row := make([]float64, k)
+			for j := 0; j < k; j++ {
+				r := t.Prob * G[j]
+				if r < 0 {
+					r = 0
+				}
+				row[j] = r
+			}
+			info.rho = append(info.rho, row)
+		}
+
+		// Advance the scan point below t: the own group's event probability
+		// grows by e_i.
+		if ql == 0 {
+			active = append(active, l)
+		}
+		qNew := ql + t.Prob
+		if qNew > 1 {
+			qNew = 1
+		}
+		q[l] = qNew
+		if ql < fullMass && qNew >= fullMass {
+			fullGroups++
+		}
+		convolve(F, G, qNew, scratch)
+	}
+	info.Processed = n
+	return info, nil
+}
+
+// deconvolve computes G such that F = G convolved with Bernoulli(q):
+// G[j] = (F[j] - q*G[j-1]) / (1-q). Tiny negative entries produced by
+// cancellation are clamped to zero.
+func deconvolve(G, F []float64, q float64) {
+	inv := 1 / (1 - q)
+	prev := 0.0
+	for j := range F {
+		g := (F[j] - q*prev) * inv
+		if g < 0 {
+			g = 0
+		}
+		G[j] = g
+		prev = g
+	}
+}
+
+// convolve computes F = G convolved with Bernoulli(q), truncated to len(G):
+// F[j] = (1-q)*G[j] + q*G[j-1]. scratch must have the same length and is
+// used to allow F and G to alias.
+func convolve(F, G []float64, q float64, scratch []float64) {
+	p := 1 - q
+	prev := 0.0
+	for j := range G {
+		scratch[j] = p*G[j] + q*prev
+		prev = G[j]
+	}
+	copy(F, scratch)
+}
+
+// rebuildExcluding recomputes from scratch the truncated Poisson-binomial
+// distribution over every active group except l. This is the numerically
+// exact fallback used when the forward deconvolution would divide by a
+// small 1-q.
+func rebuildExcluding(G, q []float64, active []int, l int) {
+	for j := range G {
+		G[j] = 0
+	}
+	G[0] = 1
+	k := len(G)
+	for _, g := range active {
+		if g == l || q[g] == 0 {
+			continue
+		}
+		qg := q[g]
+		if qg >= fullMass {
+			// Bernoulli(1): pure shift.
+			for j := k - 1; j >= 1; j-- {
+				G[j] = G[j-1]
+			}
+			G[0] = 0
+			continue
+		}
+		p := 1 - qg
+		prev := 0.0
+		for j := 0; j < k; j++ {
+			cur := G[j]
+			G[j] = p*cur + qg*prev
+			prev = cur
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package topkq
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/probdb/topkclean/internal/numeric"
+	"github.com/probdb/topkclean/internal/testdb"
+	"github.com/probdb/topkclean/internal/uncertain"
+)
+
+// quickDB wraps a random database for testing/quick generation.
+type quickDB struct {
+	DB *uncertain.Database
+}
+
+func (quickDB) Generate(rng *rand.Rand, _ int) reflect.Value {
+	db := testdb.Random(rng, testdb.RandomConfig{MaxGroups: 6, MaxPerGroup: 3, AllowNulls: true})
+	return reflect.ValueOf(quickDB{DB: db})
+}
+
+// TestQuickRhoRowsSumToTopK: p_i = sum_h rho_i(h) (Definition 3).
+func TestQuickRhoRowsSumToTopK(t *testing.T) {
+	f := func(q quickDB, kRaw uint8) bool {
+		db := q.DB
+		k := 1 + int(kRaw)%db.NumGroups()
+		info, err := RankProbabilities(db, k)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < db.NumTuples(); i++ {
+			var sum float64
+			for h := 1; h <= k; h++ {
+				sum += info.Rho(i, h)
+			}
+			if !numeric.AlmostEqual(sum, info.P(i), 1e-9, 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRankColumnsSumToOne: for every rank h <= k, exactly one tuple
+// occupies rank h in each possible world (nulls materialized, m >= k), so
+// sum_i rho_i(h) = 1.
+func TestQuickRankColumnsSumToOne(t *testing.T) {
+	f := func(q quickDB, kRaw uint8) bool {
+		db := q.DB
+		k := 1 + int(kRaw)%db.NumGroups()
+		info, err := RankProbabilities(db, k)
+		if err != nil {
+			return false
+		}
+		for h := 1; h <= k; h++ {
+			var sum float64
+			for i := 0; i < db.NumTuples(); i++ {
+				sum += info.Rho(i, h)
+			}
+			if !numeric.AlmostEqual(sum, 1, 1e-9, 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSumTopKEqualsK: sum_i p_i = k (each pw-result has k entries).
+func TestQuickSumTopKEqualsK(t *testing.T) {
+	f := func(q quickDB, kRaw uint8) bool {
+		db := q.DB
+		k := 1 + int(kRaw)%db.NumGroups()
+		info, err := TopKProbabilities(db, k)
+		if err != nil {
+			return false
+		}
+		return numeric.AlmostEqual(info.SumTopK(), float64(k), 1e-9, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTopKBoundedByExistential: p_i <= e_i (a tuple cannot be in the
+// answer of a world it does not belong to).
+func TestQuickTopKBoundedByExistential(t *testing.T) {
+	f := func(q quickDB, kRaw uint8) bool {
+		db := q.DB
+		k := 1 + int(kRaw)%db.NumGroups()
+		info, err := TopKProbabilities(db, k)
+		if err != nil {
+			return false
+		}
+		for i, tp := range db.Sorted() {
+			if info.P(i) > tp.Prob+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTopKMonotoneInK: growing k can only grow each p_i (rank-h
+// probabilities are nonnegative).
+func TestQuickTopKMonotoneInK(t *testing.T) {
+	f := func(q quickDB) bool {
+		db := q.DB
+		m := db.NumGroups()
+		if m < 2 {
+			return true
+		}
+		prev := make([]float64, db.NumTuples())
+		for k := 1; k <= m; k++ {
+			info, err := TopKProbabilities(db, k)
+			if err != nil {
+				return false
+			}
+			for i := range prev {
+				p := info.P(i)
+				if p < prev[i]-1e-9 {
+					return false
+				}
+				prev[i] = p
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTopOneTupleHasPEqualsE: the globally highest-ranked alternative
+// is in the answer whenever it exists, so p_0 = e_0 exactly.
+func TestQuickTopOneTupleHasPEqualsE(t *testing.T) {
+	f := func(q quickDB, kRaw uint8) bool {
+		db := q.DB
+		k := 1 + int(kRaw)%db.NumGroups()
+		info, err := TopKProbabilities(db, k)
+		if err != nil {
+			return false
+		}
+		top := db.Sorted()[0]
+		return numeric.AlmostEqual(info.P(0), top.Prob, 1e-12, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickGlobalTopKSubsetOfPTKZero: every Global-topk answer tuple has
+// nonzero top-k probability and would pass a PT-k query with any threshold
+// below its probability.
+func TestQuickGlobalTopKConsistentWithPTK(t *testing.T) {
+	f := func(q quickDB, kRaw uint8) bool {
+		db := q.DB
+		k := 1 + int(kRaw)%db.NumGroups()
+		info, err := TopKProbabilities(db, k)
+		if err != nil {
+			return false
+		}
+		gt := GlobalTopK(db, info)
+		for _, a := range gt {
+			if a.Prob <= 0 {
+				return false
+			}
+			pt := PTK(db, info, a.Prob)
+			found := false
+			for _, p := range pt {
+				if p.Tuple == a.Tuple {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

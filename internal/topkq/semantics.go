@@ -1,0 +1,114 @@
+package topkq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/probdb/topkclean/internal/uncertain"
+)
+
+// RankedAnswer is one entry of a U-kRanks answer: the tuple most likely to
+// occupy rank H, together with that probability.
+type RankedAnswer struct {
+	H     int
+	Tuple *uncertain.Tuple
+	Prob  float64
+}
+
+// ScoredAnswer is one entry of a PT-k or Global-topk answer: a tuple with
+// its top-k probability.
+type ScoredAnswer struct {
+	Tuple *uncertain.Tuple
+	Prob  float64
+}
+
+// UKRanks evaluates the U-kRanks query [10]: for each rank h = 1..k, the
+// real tuple whose probability of appearing at exactly rank h in a
+// pw-result is largest. Ties break toward the higher-ranked tuple, making
+// the answer deterministic. The same tuple may win several ranks, which is
+// a known property of the U-kRanks semantics. Requires info computed with
+// RankProbabilities.
+func UKRanks(db *uncertain.Database, info *RankInfo) ([]RankedAnswer, error) {
+	if !info.HasRho() {
+		return nil, fmt.Errorf("topkq: UKRanks needs per-rank probabilities; use RankProbabilities")
+	}
+	out := make([]RankedAnswer, 0, info.K)
+	sorted := db.Sorted()
+	for h := 1; h <= info.K; h++ {
+		best := -1
+		bestP := 0.0
+		for i := 0; i < info.Processed && i < len(sorted); i++ {
+			if sorted[i].Null {
+				continue
+			}
+			if p := info.Rho(i, h); p > bestP {
+				best, bestP = i, p
+			}
+		}
+		if best >= 0 {
+			out = append(out, RankedAnswer{H: h, Tuple: sorted[best], Prob: bestP})
+		}
+	}
+	return out, nil
+}
+
+// PTK evaluates the PT-k query [11]: every real tuple whose top-k
+// probability is at least threshold, in descending rank order.
+func PTK(db *uncertain.Database, info *RankInfo, threshold float64) []ScoredAnswer {
+	var out []ScoredAnswer
+	sorted := db.Sorted()
+	for i := 0; i < info.Processed && i < len(sorted); i++ {
+		if sorted[i].Null {
+			continue
+		}
+		if p := info.P(i); p >= threshold {
+			out = append(out, ScoredAnswer{Tuple: sorted[i], Prob: p})
+		}
+	}
+	return out
+}
+
+// GlobalTopK evaluates the Global-topk query [13]: the k real tuples with
+// the highest top-k probabilities, ties broken toward the higher-ranked
+// tuple (the tie-break used in Zhang and Chomicki's definition).
+func GlobalTopK(db *uncertain.Database, info *RankInfo) []ScoredAnswer {
+	sorted := db.Sorted()
+	cand := make([]ScoredAnswer, 0, info.Processed)
+	for i := 0; i < info.Processed && i < len(sorted); i++ {
+		if sorted[i].Null {
+			continue
+		}
+		if p := info.P(i); p > 0 {
+			cand = append(cand, ScoredAnswer{Tuple: sorted[i], Prob: p})
+		}
+	}
+	sort.SliceStable(cand, func(a, b int) bool {
+		if cand[a].Prob != cand[b].Prob {
+			return cand[a].Prob > cand[b].Prob
+		}
+		return cand[a].Tuple.Index() < cand[b].Tuple.Index()
+	})
+	if len(cand) > info.K {
+		cand = cand[:info.K]
+	}
+	return cand
+}
+
+// FormatScored renders a scored answer list compactly, e.g. "{t1, t2, t5}".
+func FormatScored(answers []ScoredAnswer) string {
+	ids := make([]string, len(answers))
+	for i, a := range answers {
+		ids[i] = a.Tuple.ID
+	}
+	return "{" + strings.Join(ids, ", ") + "}"
+}
+
+// FormatRanked renders a U-kRanks answer list, e.g. "1:t1 2:t2".
+func FormatRanked(answers []RankedAnswer) string {
+	parts := make([]string, len(answers))
+	for i, a := range answers {
+		parts[i] = fmt.Sprintf("%d:%s", a.H, a.Tuple.ID)
+	}
+	return strings.Join(parts, " ")
+}

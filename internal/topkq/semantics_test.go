@@ -1,0 +1,220 @@
+package topkq
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/probdb/topkclean/internal/numeric"
+	"github.com/probdb/topkclean/internal/testdb"
+	"github.com/probdb/topkclean/internal/uncertain"
+)
+
+func TestPTKPaperExample(t *testing.T) {
+	// Paper, Section I: "If k = 2 and T = 0.4, then the answer of the PT-k
+	// query is {t1, t2, t5}".
+	db := testdb.UDB1()
+	info, err := RankProbabilities(db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans := PTK(db, info, 0.4)
+	got := FormatScored(ans)
+	if got != "{t1, t2, t5}" {
+		t.Fatalf("PT-2(T=0.4) = %s, want {t1, t2, t5}", got)
+	}
+}
+
+func TestPTKThresholdBoundary(t *testing.T) {
+	db := testdb.UDB1()
+	info, _ := RankProbabilities(db, 2)
+	// p(t5) = 0.432: threshold exactly 0.432 keeps it ("not smaller than").
+	ans := PTK(db, info, 0.432)
+	found := false
+	for _, a := range ans {
+		if a.Tuple.ID == "t5" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("PT-k must include tuples with p exactly equal to the threshold")
+	}
+	// Slightly above drops it.
+	ans = PTK(db, info, 0.4320001)
+	for _, a := range ans {
+		if a.Tuple.ID == "t5" {
+			t.Fatal("t5 should be dropped above its probability")
+		}
+	}
+}
+
+func TestPTKZeroThresholdReturnsAllNonzero(t *testing.T) {
+	db := testdb.UDB1()
+	info, _ := RankProbabilities(db, 2)
+	ans := PTK(db, info, 0)
+	// Threshold 0 admits every real tuple the scan reached (p >= 0),
+	// excluding nulls.
+	for _, a := range ans {
+		if a.Tuple.Null {
+			t.Fatal("PT-k answer contains a null tuple")
+		}
+	}
+	if len(ans) < info.NonzeroCount() {
+		t.Fatalf("PT-k(0) returned %d tuples, fewer than %d nonzero", len(ans), info.NonzeroCount())
+	}
+}
+
+func TestPTKAnswersInRankOrder(t *testing.T) {
+	db := testdb.UDB1()
+	info, _ := RankProbabilities(db, 2)
+	ans := PTK(db, info, 0.1)
+	for i := 1; i < len(ans); i++ {
+		if ans[i].Tuple.Index() <= ans[i-1].Tuple.Index() {
+			t.Fatal("PT-k answers not in descending rank order")
+		}
+	}
+}
+
+func TestUKRanksOnUDB1(t *testing.T) {
+	// Hand check rank-1: rho(1) values are the probabilities of being the
+	// top tuple. t1: 0.4; t2: (1-.4)*.7 = 0.42; t5: .6*.3*.6=0.108;
+	// t6: .6*.3*.4*1 = 0.072. So rank 1 -> t2.
+	db := testdb.UDB1()
+	info, err := RankProbabilities(db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := UKRanks(db, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) != 2 {
+		t.Fatalf("U-2Ranks returned %d entries, want 2", len(ans))
+	}
+	if ans[0].Tuple.ID != "t2" {
+		t.Fatalf("rank 1 winner = %s (p=%v), want t2", ans[0].Tuple.ID, ans[0].Prob)
+	}
+	if !numeric.AlmostEqual(ans[0].Prob, 0.42, 1e-12, 1e-12) {
+		t.Fatalf("rank 1 probability = %v, want 0.42", ans[0].Prob)
+	}
+	// Answers must agree with the naive ground truth winner probability.
+	naive, _ := NaiveRankProbabilities(db, 2)
+	for _, a := range ans {
+		if !numeric.AlmostEqual(a.Prob, naive.Rho(a.Tuple.Index(), a.H), 1e-9, 1e-9) {
+			t.Errorf("rank %d: prob %v disagrees with naive %v", a.H, a.Prob, naive.Rho(a.Tuple.Index(), a.H))
+		}
+	}
+}
+
+func TestUKRanksRequiresRho(t *testing.T) {
+	db := testdb.UDB1()
+	info, _ := TopKProbabilities(db, 2)
+	if _, err := UKRanks(db, info); err == nil {
+		t.Fatal("UKRanks must reject info without rho")
+	}
+}
+
+func TestUKRanksMatchesNaiveOnRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 80; trial++ {
+		db := testdb.Random(rng, testdb.RandomConfig{MaxGroups: 5, MaxPerGroup: 3, AllowNulls: true})
+		k := 1 + rng.Intn(db.NumGroups())
+		info, err := RankProbabilities(db, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive, err := NaiveRankProbabilities(db, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := UKRanks(db, info)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := UKRanks(db, naive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: answer lengths differ: %d vs %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			// Winners can differ only when probabilities tie to within fp noise.
+			if got[i].Tuple != want[i].Tuple &&
+				!numeric.AlmostEqual(got[i].Prob, want[i].Prob, 1e-9, 1e-9) {
+				t.Fatalf("trial %d rank %d: %s (%v) vs %s (%v)", trial, got[i].H,
+					got[i].Tuple.ID, got[i].Prob, want[i].Tuple.ID, want[i].Prob)
+			}
+		}
+	}
+}
+
+func TestGlobalTopKOnUDB1(t *testing.T) {
+	db := testdb.UDB1()
+	info, _ := RankProbabilities(db, 2)
+	ans := GlobalTopK(db, info)
+	if len(ans) != 2 {
+		t.Fatalf("Global-top2 returned %d tuples, want 2", len(ans))
+	}
+	// Top-2 probabilities: t2=0.7, t5=0.432, t1=0.4, t6=0.396.
+	if ans[0].Tuple.ID != "t2" || ans[1].Tuple.ID != "t5" {
+		t.Fatalf("Global-top2 = %s, want {t2, t5}", FormatScored(ans))
+	}
+}
+
+func TestGlobalTopKProbabilitiesDescending(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 50; trial++ {
+		db := testdb.Random(rng, testdb.RandomConfig{MaxGroups: 6, MaxPerGroup: 3, AllowNulls: true})
+		k := 1 + rng.Intn(db.NumGroups())
+		info, err := TopKProbabilities(db, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ans := GlobalTopK(db, info)
+		if len(ans) > k {
+			t.Fatalf("Global-topk returned %d > k=%d answers", len(ans), k)
+		}
+		for i := 1; i < len(ans); i++ {
+			if ans[i].Prob > ans[i-1].Prob {
+				t.Fatal("Global-topk answers not in descending probability order")
+			}
+		}
+		for _, a := range ans {
+			if a.Tuple.Null {
+				t.Fatal("Global-topk returned a null tuple")
+			}
+		}
+	}
+}
+
+func TestGlobalTopKTieBreakByRank(t *testing.T) {
+	// Two certain x-tuples: both have p=1; the higher-ranked one must come
+	// first.
+	db := uncertain.New()
+	if err := db.AddXTuple("A", uncertain.Tuple{ID: "low", Attrs: []float64{1}, Prob: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddXTuple("B", uncertain.Tuple{ID: "high", Attrs: []float64{2}, Prob: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Build(uncertain.ByFirstAttr); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := TopKProbabilities(db, 2)
+	ans := GlobalTopK(db, info)
+	if len(ans) != 2 || ans[0].Tuple.ID != "high" || ans[1].Tuple.ID != "low" {
+		t.Fatalf("tie-break wrong: %s", FormatScored(ans))
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	db := testdb.UDB1()
+	info, _ := RankProbabilities(db, 2)
+	ranked, _ := UKRanks(db, info)
+	if s := FormatRanked(ranked); s == "" {
+		t.Fatal("FormatRanked empty")
+	}
+	if s := FormatScored(nil); s != "{}" {
+		t.Fatalf("FormatScored(nil) = %q, want {}", s)
+	}
+}

@@ -1,0 +1,293 @@
+package uncertain
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Database is an x-tuple probabilistic database D. Construct one with New,
+// add x-tuples with AddXTuple, and finalize with Build, which validates the
+// data, scores tuples with the ranking function, materializes null
+// alternatives, and fixes the global rank order that all algorithms assume
+// ("tuples in D are arranged in descending order of ranks", Section IV).
+type Database struct {
+	groups []*XTuple
+	rank   RankFunc
+	sorted []*Tuple // all alternatives (incl. nulls) in descending rank order
+	built  bool
+	nReal  int
+}
+
+// New returns an empty database.
+func New() *Database {
+	return &Database{}
+}
+
+// AddXTuple appends a new x-tuple with the given alternatives. Each Tuple's
+// ID, Attrs, and Prob must be set; everything else is assigned by Build.
+// AddXTuple copies the tuple values, so the caller's slice can be reused.
+func (db *Database) AddXTuple(name string, tuples ...Tuple) error {
+	if db.built {
+		return ErrAlreadyBuilt
+	}
+	if len(tuples) == 0 {
+		return wrapGroup(ErrEmptyXTuple, name)
+	}
+	x := &XTuple{Name: name, Tuples: make([]*Tuple, len(tuples))}
+	for i := range tuples {
+		t := tuples[i] // copy
+		t.Attrs = append([]float64(nil), tuples[i].Attrs...)
+		x.Tuples[i] = &t
+	}
+	if err := x.validate(); err != nil {
+		return err
+	}
+	db.groups = append(db.groups, x)
+	return nil
+}
+
+// AddAbsentXTuple appends an x-tuple known to contribute no real tuple to
+// any world: Build gives it a single null alternative with probability 1.
+// This is the state a cleaning operation produces when the cleaned entity
+// turns out not to exist (e.g. a sensor confirms it has no reading).
+// Keeping the group, rather than dropping it, preserves the x-tuple count
+// and the identity of pw-results across cleaning, which the expected-
+// improvement analysis (Theorem 2) relies on.
+func (db *Database) AddAbsentXTuple(name string) error {
+	if db.built {
+		return ErrAlreadyBuilt
+	}
+	db.groups = append(db.groups, &XTuple{Name: name})
+	return nil
+}
+
+// Build validates the database, scores every tuple with rank, materializes
+// null alternatives, and sorts all alternatives into the global rank order.
+// After Build the database is immutable; derive modified copies with Clone
+// or Cleaned.
+func (db *Database) Build(rank RankFunc) error {
+	if db.built {
+		return ErrAlreadyBuilt
+	}
+	if len(db.groups) == 0 {
+		return ErrNoGroups
+	}
+	if rank == nil {
+		rank = ByFirstAttr
+	}
+	seen := make(map[string]bool)
+	ord := 0
+	total := 0
+	for gi, x := range db.groups {
+		if err := x.validate(); err != nil {
+			return err
+		}
+		for _, t := range x.Tuples {
+			if seen[t.ID] {
+				return fmt.Errorf("tuple %q: %w", t.ID, ErrDuplicateID)
+			}
+			seen[t.ID] = true
+			t.Group = gi
+			t.Score = rank(t.Attrs)
+			if math.IsNaN(t.Score) {
+				// NaN compares false with everything and would silently
+				// corrupt the total rank order every algorithm relies on.
+				return fmt.Errorf("tuple %q: %w", t.ID, ErrBadScore)
+			}
+			t.ord = ord
+			ord++
+			total++
+		}
+		if deficit := 1 - x.RealMass(); deficit > nullThreshold {
+			null := &Tuple{
+				ID:    fmt.Sprintf("null:%s", x.Name),
+				Prob:  deficit,
+				Group: gi,
+				Null:  true,
+			}
+			if seen[null.ID] {
+				return fmt.Errorf("tuple %q: %w", null.ID, ErrDuplicateID)
+			}
+			seen[null.ID] = true
+			x.Tuples = append(x.Tuples, null)
+			total++
+		}
+	}
+	db.rank = rank
+	db.sorted = make([]*Tuple, 0, total)
+	for _, x := range db.groups {
+		db.sorted = append(db.sorted, x.Tuples...)
+	}
+	sort.SliceStable(db.sorted, func(i, j int) bool {
+		return ranksAbove(db.sorted[i], db.sorted[j])
+	})
+	db.nReal = 0
+	for i, t := range db.sorted {
+		t.idx = i
+		if !t.Null {
+			db.nReal++
+		}
+	}
+	db.built = true
+	return nil
+}
+
+// Built reports whether Build has completed successfully.
+func (db *Database) Built() bool { return db.built }
+
+// NumGroups returns m, the number of x-tuples.
+func (db *Database) NumGroups() int { return len(db.groups) }
+
+// NumRealTuples returns n, the number of user-supplied tuples (excluding
+// materialized nulls). This is the "database size" of Section VI.
+func (db *Database) NumRealTuples() int {
+	if !db.built {
+		n := 0
+		for _, x := range db.groups {
+			n += len(x.Tuples)
+		}
+		return n
+	}
+	return db.nReal
+}
+
+// NumTuples returns the number of alternatives including materialized
+// nulls, i.e. the length of the rank order.
+func (db *Database) NumTuples() int { return len(db.sorted) }
+
+// Groups returns the x-tuples in insertion order. The returned slice and
+// its contents must not be modified.
+func (db *Database) Groups() []*XTuple { return db.groups }
+
+// Group returns the x-tuple at index l.
+func (db *Database) Group(l int) (*XTuple, error) {
+	if l < 0 || l >= len(db.groups) {
+		return nil, fmt.Errorf("index %d of %d: %w", l, len(db.groups), ErrBadGroupIndex)
+	}
+	return db.groups[l], nil
+}
+
+// Sorted returns all alternatives in descending rank order (position 0 is
+// the highest rank). Valid only after Build. The slice must not be
+// modified.
+func (db *Database) Sorted() []*Tuple { return db.sorted }
+
+// Rank returns the ranking function the database was built with.
+func (db *Database) Rank() RankFunc { return db.rank }
+
+// TupleByID returns the alternative with the given ID, or nil.
+func (db *Database) TupleByID(id string) *Tuple {
+	for _, t := range db.sorted {
+		if t.ID == id {
+			return t
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of a built database, preserving the rank order.
+func (db *Database) Clone() *Database {
+	out := &Database{rank: db.rank, built: db.built, nReal: db.nReal}
+	out.groups = make([]*XTuple, len(db.groups))
+	clones := make(map[*Tuple]*Tuple, len(db.sorted))
+	for gi, x := range db.groups {
+		nx := &XTuple{Name: x.Name, Tuples: make([]*Tuple, len(x.Tuples))}
+		for ti, t := range x.Tuples {
+			c := *t
+			c.Attrs = append([]float64(nil), t.Attrs...)
+			nx.Tuples[ti] = &c
+			clones[t] = &c
+		}
+		out.groups[gi] = nx
+	}
+	if db.built {
+		out.sorted = make([]*Tuple, len(db.sorted))
+		for i, t := range db.sorted {
+			out.sorted[i] = clones[t]
+		}
+	}
+	return out
+}
+
+// Cleaned returns a copy of the database in which x-tuple l has been
+// successfully cleaned to the given outcome (Definition 5): choice is an
+// index into the x-tuple's alternatives (including the null alternative,
+// which models the entity being confirmed absent). The chosen alternative
+// keeps its identity and value but its existential probability becomes 1.
+// The copy is rebuilt, so rank positions are consistent.
+func (db *Database) Cleaned(l, choice int) (*Database, error) {
+	if !db.built {
+		return nil, ErrNotBuilt
+	}
+	if l < 0 || l >= len(db.groups) {
+		return nil, fmt.Errorf("index %d of %d: %w", l, len(db.groups), ErrBadGroupIndex)
+	}
+	x := db.groups[l]
+	if choice < 0 || choice >= len(x.Tuples) {
+		return nil, fmt.Errorf("choice %d of %d: %w", choice, len(x.Tuples), ErrBadChoice)
+	}
+	out := New()
+	for gi, g := range db.groups {
+		if gi != l {
+			ts := make([]Tuple, 0, len(g.Tuples))
+			for _, t := range g.RealTuples() {
+				ts = append(ts, Tuple{ID: t.ID, Attrs: t.Attrs, Prob: t.Prob})
+			}
+			if len(ts) == 0 {
+				// The group was itself cleaned to "absent" earlier.
+				if err := out.AddAbsentXTuple(g.Name); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			if err := out.AddXTuple(g.Name, ts...); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		chosen := g.Tuples[choice]
+		if chosen.Null {
+			// Entity confirmed absent: the x-tuple certainly contributes
+			// no real tuple, but stays in the database.
+			if err := out.AddAbsentXTuple(g.Name); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		err := out.AddXTuple(g.Name, Tuple{ID: chosen.ID, Attrs: chosen.Attrs, Prob: 1})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := out.Build(db.rank); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Validate re-checks model invariants on a built database. It is cheap and
+// intended for tests and for callers loading data from files.
+func (db *Database) Validate() error {
+	if !db.built {
+		return ErrNotBuilt
+	}
+	seen := make(map[string]bool)
+	for _, x := range db.groups {
+		if err := x.validate(); err != nil {
+			return err
+		}
+		for _, t := range x.Tuples {
+			if seen[t.ID] {
+				return fmt.Errorf("tuple %q: %w", t.ID, ErrDuplicateID)
+			}
+			seen[t.ID] = true
+		}
+	}
+	for i := 1; i < len(db.sorted); i++ {
+		if ranksAbove(db.sorted[i], db.sorted[i-1]) {
+			return fmt.Errorf("uncertain: rank order violated at position %d", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,25 @@
+package uncertain
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors returned by database construction and validation. They
+// are wrapped with context; test with errors.Is.
+var (
+	ErrProbOutOfRange = errors.New("uncertain: tuple probability must be in (0, 1]")
+	ErrMassExceedsOne = errors.New("uncertain: x-tuple probabilities sum to more than 1")
+	ErrDuplicateID    = errors.New("uncertain: duplicate tuple ID")
+	ErrEmptyXTuple    = errors.New("uncertain: x-tuple has no tuples")
+	ErrNotBuilt       = errors.New("uncertain: database not built; call Build first")
+	ErrAlreadyBuilt   = errors.New("uncertain: database already built")
+	ErrNoGroups       = errors.New("uncertain: database has no x-tuples")
+	ErrBadScore       = errors.New("uncertain: ranking function produced NaN")
+	ErrBadGroupIndex  = errors.New("uncertain: x-tuple index out of range")
+	ErrBadChoice      = errors.New("uncertain: cleaning outcome index out of range")
+)
+
+func wrapGroup(err error, group string) error {
+	return fmt.Errorf("x-tuple %q: %w", group, err)
+}

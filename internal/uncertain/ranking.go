@@ -1,0 +1,43 @@
+package uncertain
+
+// RankFunc maps a tuple's value attributes to a ranking score. Higher
+// scores rank higher. Ties are broken by insertion order, so the induced
+// rank order is always a total order, as Section III-B requires.
+type RankFunc func(attrs []float64) float64
+
+// ByFirstAttr ranks tuples by their first attribute. It is the ranking
+// function of the paper's synthetic workload (higher temperature / larger
+// y ranks higher).
+func ByFirstAttr(attrs []float64) float64 {
+	if len(attrs) == 0 {
+		return 0
+	}
+	return attrs[0]
+}
+
+// SumOfAttrs ranks tuples by the sum of all attributes. It is the ranking
+// function of the paper's MOV workload (score = date + rating after
+// normalization).
+func SumOfAttrs(attrs []float64) float64 {
+	var s float64
+	for _, a := range attrs {
+		s += a
+	}
+	return s
+}
+
+// WeightedSum returns a RankFunc computing sum_i w_i * attrs_i. Missing
+// attributes count as zero.
+func WeightedSum(weights ...float64) RankFunc {
+	ws := append([]float64(nil), weights...)
+	return func(attrs []float64) float64 {
+		var s float64
+		for i, w := range ws {
+			if i >= len(attrs) {
+				break
+			}
+			s += w * attrs[i]
+		}
+		return s
+	}
+}

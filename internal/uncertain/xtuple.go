@@ -1,0 +1,81 @@
+package uncertain
+
+import "github.com/probdb/topkclean/internal/numeric"
+
+// XTuple is one uncertain entity: a set of mutually exclusive alternatives
+// (tau_l in the paper). After Build, an x-tuple whose alternatives sum to
+// less than 1 additionally carries a materialized null alternative, so the
+// alternatives always sum to 1 (up to a tiny tolerance documented below).
+type XTuple struct {
+	Name   string
+	Tuples []*Tuple // alternatives in insertion order; null (if any) last
+}
+
+// massTolerance absorbs floating-point drift in user-supplied probabilities.
+// A deficit below this threshold is ignored (no null tuple is created); an
+// excess above it is a validation error.
+const massTolerance = 1e-9
+
+// nullThreshold is the smallest mass deficit for which a null alternative is
+// materialized. Deficits between nullThreshold and massTolerance are
+// rounding noise, not modeled absence.
+const nullThreshold = 1e-12
+
+// RealTuples returns the alternatives excluding any materialized null.
+func (x *XTuple) RealTuples() []*Tuple {
+	ts := x.Tuples
+	if n := len(ts); n > 0 && ts[n-1].Null {
+		return ts[:n-1]
+	}
+	return ts
+}
+
+// NullTuple returns the materialized null alternative, or nil if the
+// x-tuple's real alternatives already sum to 1.
+func (x *XTuple) NullTuple() *Tuple {
+	if n := len(x.Tuples); n > 0 && x.Tuples[n-1].Null {
+		return x.Tuples[n-1]
+	}
+	return nil
+}
+
+// RealMass returns s_l, the total existential probability of the real
+// alternatives.
+func (x *XTuple) RealMass() float64 {
+	var k numeric.Kahan
+	for _, t := range x.RealTuples() {
+		k.Add(t.Prob)
+	}
+	return k.Sum()
+}
+
+// Certain reports whether the x-tuple has a single alternative with
+// probability 1, i.e. no remaining uncertainty (the state pclean produces
+// on success).
+func (x *XTuple) Certain() bool {
+	return len(x.Tuples) == 1 && x.Tuples[0].Prob >= 1-massTolerance
+}
+
+// Absent reports whether the x-tuple is known to contribute no real tuple:
+// its only alternative is a null with probability 1 (the state produced by
+// cleaning an entity and learning it does not exist).
+func (x *XTuple) Absent() bool {
+	return len(x.Tuples) == 1 && x.Tuples[0].Null
+}
+
+func (x *XTuple) validate() error {
+	// A group with no alternatives yet is legal only as an absent group
+	// added with AddAbsentXTuple; Build materializes its probability-1
+	// null. AddXTuple rejects empty input separately.
+	var mass numeric.Kahan
+	for _, t := range x.Tuples {
+		if !(t.Prob > 0) || t.Prob > 1 {
+			return wrapGroup(ErrProbOutOfRange, x.Name)
+		}
+		mass.Add(t.Prob)
+	}
+	if mass.Sum() > 1+massTolerance {
+		return wrapGroup(ErrMassExceedsOne, x.Name)
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+package world
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/probdb/topkclean/internal/testdb"
+)
+
+func BenchmarkEnumerateUDB1(b *testing.B) {
+	db := testdb.UDB1()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		Enumerate(db, func(w World) bool { count++; return true })
+		if count != 8 {
+			b.Fatalf("count = %d", count)
+		}
+	}
+}
+
+func BenchmarkTopKPerWorld(b *testing.B) {
+	db := testdb.Random(rand.New(rand.NewSource(1)), testdb.RandomConfig{MaxGroups: 10, MaxPerGroup: 3})
+	s := NewSampler(db, rand.New(rand.NewSource(2)))
+	w := s.Sample()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = TopK(db, w, 3)
+	}
+}
+
+func BenchmarkSampler(b *testing.B) {
+	db := testdb.Random(rand.New(rand.NewSource(3)), testdb.RandomConfig{MaxGroups: 50, MaxPerGroup: 4})
+	s := NewSampler(db, rand.New(rand.NewSource(4)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Sample()
+	}
+}

@@ -1,0 +1,116 @@
+package world
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/probdb/topkclean/internal/numeric"
+	"github.com/probdb/topkclean/internal/testdb"
+	"github.com/probdb/topkclean/internal/uncertain"
+)
+
+type quickDB struct {
+	DB *uncertain.Database
+}
+
+func (quickDB) Generate(rng *rand.Rand, _ int) reflect.Value {
+	db := testdb.Random(rng, testdb.RandomConfig{MaxGroups: 5, MaxPerGroup: 3, AllowNulls: true})
+	return reflect.ValueOf(quickDB{DB: db})
+}
+
+// TestQuickWorldProbabilitiesFormDistribution: enumeration yields a
+// probability distribution over exactly prod |tau_l| worlds.
+func TestQuickWorldProbabilitiesFormDistribution(t *testing.T) {
+	f := func(q quickDB) bool {
+		db := q.DB
+		var sum numeric.Kahan
+		count := 0.0
+		ok := true
+		Enumerate(db, func(w World) bool {
+			if w.Prob <= 0 || w.Prob > 1+1e-12 {
+				ok = false
+				return false
+			}
+			sum.Add(w.Prob)
+			count++
+			return true
+		})
+		return ok && count == Count(db) && numeric.AlmostEqual(sum.Sum(), 1, 1e-9, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTopKRespectsRankOrder: within every world, the top-k list is
+// sorted by the database's global rank order and draws one alternative per
+// x-tuple.
+func TestQuickTopKRespectsRankOrder(t *testing.T) {
+	f := func(q quickDB, kRaw uint8) bool {
+		db := q.DB
+		k := 1 + int(kRaw)%db.NumGroups()
+		ok := true
+		Enumerate(db, func(w World) bool {
+			top := TopK(db, w, k)
+			if len(top) != k {
+				ok = false
+				return false
+			}
+			seenGroups := map[int]bool{}
+			for i, tp := range top {
+				if i > 0 && top[i-1].Index() >= tp.Index() {
+					ok = false
+					return false
+				}
+				if seenGroups[tp.Group] {
+					ok = false
+					return false
+				}
+				seenGroups[tp.Group] = true
+				if !w.Contains(tp, db) {
+					ok = false
+					return false
+				}
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTopKIsTrueMaximum: no alternative present in the world but
+// outside the top-k ranks above the k-th entry.
+func TestQuickTopKIsTrueMaximum(t *testing.T) {
+	f := func(q quickDB, kRaw uint8) bool {
+		db := q.DB
+		k := 1 + int(kRaw)%db.NumGroups()
+		ok := true
+		Enumerate(db, func(w World) bool {
+			top := TopK(db, w, k)
+			last := top[len(top)-1]
+			for gi, ci := range w.Choices {
+				tp := db.Groups()[gi].Tuples[ci]
+				inTop := false
+				for _, tt := range top {
+					if tt == tp {
+						inTop = true
+					}
+				}
+				if !inTop && tp.Index() < last.Index() {
+					ok = false
+					return false
+				}
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,241 @@
+package world
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/probdb/topkclean/internal/numeric"
+	"github.com/probdb/topkclean/internal/testdb"
+	"github.com/probdb/topkclean/internal/uncertain"
+)
+
+func TestCountUDB1(t *testing.T) {
+	db := testdb.UDB1()
+	// 2 * 2 * 2 * 1 = 8 possible worlds.
+	if got := Count(db); got != 8 {
+		t.Fatalf("Count(udb1) = %v, want 8", got)
+	}
+}
+
+func TestEnumerateVisitsAllWorlds(t *testing.T) {
+	db := testdb.UDB1()
+	seen := make(map[string]float64)
+	var total numeric.Kahan
+	Enumerate(db, func(w World) bool {
+		key := ""
+		for gi, c := range w.Choices {
+			key += db.Groups()[gi].Tuples[c].ID + ","
+		}
+		if _, dup := seen[key]; dup {
+			t.Fatalf("world %s visited twice", key)
+		}
+		seen[key] = w.Prob
+		total.Add(w.Prob)
+		return true
+	})
+	if len(seen) != 8 {
+		t.Fatalf("visited %d worlds, want 8", len(seen))
+	}
+	if !numeric.AlmostEqual(total.Sum(), 1, 1e-12, 1e-12) {
+		t.Fatalf("world probabilities sum to %v, want 1", total.Sum())
+	}
+	// The paper's example: W = {t0, t3, t4, t6} has probability
+	// 0.6*0.3*0.4*1 = 0.072.
+	if p := seen["t0,t3,t4,t6,"]; !numeric.AlmostEqual(p, 0.072, 1e-12, 1e-12) {
+		t.Fatalf("Pr(W={t0,t3,t4,t6}) = %v, want 0.072", p)
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	db := testdb.UDB1()
+	visits := 0
+	Enumerate(db, func(w World) bool {
+		visits++
+		return visits < 3
+	})
+	if visits != 3 {
+		t.Fatalf("early stop after %d visits, want 3", visits)
+	}
+}
+
+func TestEnumerateWithNulls(t *testing.T) {
+	db := uncertain.New()
+	if err := db.AddXTuple("X", uncertain.Tuple{ID: "a", Attrs: []float64{1}, Prob: 0.25}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddXTuple("Y", uncertain.Tuple{ID: "b", Attrs: []float64{2}, Prob: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Build(uncertain.ByFirstAttr); err != nil {
+		t.Fatal(err)
+	}
+	if got := TotalProb(db); !numeric.AlmostEqual(got, 1, 1e-12, 1e-12) {
+		t.Fatalf("TotalProb = %v, want 1 (nulls carry the deficit)", got)
+	}
+	if got := Count(db); got != 4 {
+		t.Fatalf("Count = %v, want 4 (2 alternatives each incl. null)", got)
+	}
+}
+
+func TestTopKOnPaperWorld(t *testing.T) {
+	db := testdb.UDB1()
+	// World {t1, t2, t4, t6}: top-2 should be (t1, t2) — the paper's example
+	// pw-result r=(t1,t2) arises from W1={t1,t2,t4,t6}.
+	w := worldFromIDs(t, db, []string{"t1", "t2", "t4", "t6"})
+	top := TopK(db, w, 2)
+	if len(top) != 2 || top[0].ID != "t1" || top[1].ID != "t2" {
+		t.Fatalf("TopK = %v, want [t1 t2]", ids(top))
+	}
+	// World {t0, t3, t4, t6}: top-2 = (t6, t4) per the paper's Step 2 example.
+	w = worldFromIDs(t, db, []string{"t0", "t3", "t4", "t6"})
+	top = TopK(db, w, 2)
+	if len(top) != 2 || top[0].ID != "t6" || top[1].ID != "t4" {
+		t.Fatalf("TopK = %v, want [t6 t4]", ids(top))
+	}
+}
+
+func TestTopKClampsToGroupCount(t *testing.T) {
+	db := testdb.UDB1()
+	var w World
+	Enumerate(db, func(x World) bool {
+		w = World{Choices: append([]int(nil), x.Choices...), Prob: x.Prob}
+		return false
+	})
+	top := TopK(db, w, 100)
+	if len(top) != db.NumGroups() {
+		t.Fatalf("TopK with huge k returned %d tuples, want %d", len(top), db.NumGroups())
+	}
+}
+
+func TestWorldContains(t *testing.T) {
+	db := testdb.UDB1()
+	w := worldFromIDs(t, db, []string{"t1", "t2", "t4", "t6"})
+	if !w.Contains(db.TupleByID("t1"), db) {
+		t.Fatal("world should contain t1")
+	}
+	if w.Contains(db.TupleByID("t0"), db) {
+		t.Fatal("world should not contain t0")
+	}
+}
+
+func TestEnumerableGuardrail(t *testing.T) {
+	if !Enumerable(testdb.UDB1()) {
+		t.Fatal("udb1 must be enumerable")
+	}
+	// 60 x-tuples with 2 alternatives each: 2^60 worlds, not enumerable.
+	db := uncertain.New()
+	for g := 0; g < 60; g++ {
+		err := db.AddXTuple(
+			groupName(g),
+			uncertain.Tuple{ID: groupName(g) + "a", Attrs: []float64{float64(g)}, Prob: 0.5},
+			uncertain.Tuple{ID: groupName(g) + "b", Attrs: []float64{float64(g) + 0.5}, Prob: 0.5},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Build(uncertain.ByFirstAttr); err != nil {
+		t.Fatal(err)
+	}
+	if Enumerable(db) {
+		t.Fatal("2^60 worlds should not be enumerable")
+	}
+	if math.IsInf(Count(db), 0) {
+		t.Fatal("Count should be finite for 2^60")
+	}
+}
+
+func TestSamplerMatchesDistribution(t *testing.T) {
+	db := testdb.UDB1()
+	rng := rand.New(rand.NewSource(5))
+	s := NewSampler(db, rng)
+	const n = 200000
+	counts := make(map[string]int)
+	for i := 0; i < n; i++ {
+		w := s.Sample()
+		key := ""
+		for gi, c := range w.Choices {
+			key += db.Groups()[gi].Tuples[c].ID + ","
+		}
+		counts[key]++
+	}
+	// Compare empirical frequencies with exact world probabilities.
+	Enumerate(db, func(w World) bool {
+		key := ""
+		for gi, c := range w.Choices {
+			key += db.Groups()[gi].Tuples[c].ID + ","
+		}
+		emp := float64(counts[key]) / n
+		if math.Abs(emp-w.Prob) > 0.01 {
+			t.Errorf("world %s: empirical %v vs exact %v", key, emp, w.Prob)
+		}
+		return true
+	})
+}
+
+func TestSamplerWithNulls(t *testing.T) {
+	db := uncertain.New()
+	if err := db.AddXTuple("X", uncertain.Tuple{ID: "a", Attrs: []float64{1}, Prob: 0.3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Build(uncertain.ByFirstAttr); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	s := NewSampler(db, rng)
+	nullSeen := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		w := s.Sample()
+		if db.Groups()[0].Tuples[w.Choices[0]].Null {
+			nullSeen++
+		}
+	}
+	frac := float64(nullSeen) / n
+	if math.Abs(frac-0.7) > 0.01 {
+		t.Fatalf("null frequency = %v, want ~0.7", frac)
+	}
+}
+
+func TestRandomDatabasesEnumerationInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 100; trial++ {
+		db := testdb.Random(rng, testdb.RandomConfig{MaxGroups: 5, MaxPerGroup: 3, AllowNulls: true})
+		if got := TotalProb(db); !numeric.AlmostEqual(got, 1, 1e-9, 1e-9) {
+			t.Fatalf("trial %d: TotalProb = %v, want 1", trial, got)
+		}
+	}
+}
+
+func worldFromIDs(t *testing.T, db *uncertain.Database, tupleIDs []string) World {
+	t.Helper()
+	choices := make([]int, db.NumGroups())
+	prob := 1.0
+	for _, id := range tupleIDs {
+		tp := db.TupleByID(id)
+		if tp == nil {
+			t.Fatalf("tuple %s not found", id)
+		}
+		g := db.Groups()[tp.Group]
+		for ti, gt := range g.Tuples {
+			if gt == tp {
+				choices[tp.Group] = ti
+			}
+		}
+		prob *= tp.Prob
+	}
+	return World{Choices: choices, Prob: prob}
+}
+
+func ids(ts []*uncertain.Tuple) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.ID
+	}
+	return out
+}
+
+func groupName(g int) string {
+	return string(rune('A'+g%26)) + string(rune('0'+g/26))
+}

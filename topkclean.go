@@ -1,0 +1,104 @@
+package topkclean
+
+import (
+	"github.com/probdb/topkclean/internal/quality"
+	"github.com/probdb/topkclean/internal/topkq"
+	"github.com/probdb/topkclean/internal/uncertain"
+)
+
+// Model types, re-exported from the implementation packages so callers need
+// only this import.
+type (
+	// Database is an x-tuple probabilistic database.
+	Database = uncertain.Database
+	// Tuple is one alternative of an x-tuple.
+	Tuple = uncertain.Tuple
+	// XTuple is one uncertain entity (a set of mutually exclusive tuples).
+	XTuple = uncertain.XTuple
+	// RankFunc scores a tuple's attributes; higher scores rank higher.
+	RankFunc = uncertain.RankFunc
+	// DatabaseStats summarizes a database.
+	DatabaseStats = uncertain.Stats
+
+	// RankInfo carries rank-h and top-k probabilities for all tuples.
+	RankInfo = topkq.RankInfo
+	// RankedAnswer is a U-kRanks answer entry.
+	RankedAnswer = topkq.RankedAnswer
+	// ScoredAnswer is a PT-k or Global-topk answer entry.
+	ScoredAnswer = topkq.ScoredAnswer
+
+	// QualityEvaluation is the TP algorithm's output: the quality score plus
+	// the per-x-tuple gains that drive cleaning decisions.
+	QualityEvaluation = quality.Evaluation
+	// PWResult is one possible top-k answer with its probability.
+	PWResult = quality.PWResult
+	// Distribution is a pw-result distribution.
+	Distribution = quality.Distribution
+)
+
+// Ranking functions.
+var (
+	// ByFirstAttr ranks by the first attribute (larger is better).
+	ByFirstAttr RankFunc = uncertain.ByFirstAttr
+	// SumOfAttrs ranks by the sum of all attributes.
+	SumOfAttrs RankFunc = uncertain.SumOfAttrs
+)
+
+// WeightedSum returns a RankFunc scoring sum_i w_i * attr_i.
+func WeightedSum(weights ...float64) RankFunc { return uncertain.WeightedSum(weights...) }
+
+// NewDatabase returns an empty database; add x-tuples with AddXTuple and
+// finalize with Build.
+func NewDatabase() *Database { return uncertain.New() }
+
+// Quality computes the PWS-quality of a top-k query on db with the TP
+// algorithm (Theorem 1; O(kn)). The score is <= 0; 0 means the answer is
+// certain. Use Evaluate to obtain query answers and quality from one
+// shared rank-probability pass.
+func Quality(db *Database, k int) (float64, error) {
+	ev, err := quality.TP(db, k)
+	if err != nil {
+		return 0, err
+	}
+	return ev.S, nil
+}
+
+// QualityEval computes the full TP evaluation (score, per-tuple weights,
+// per-x-tuple gains). The evaluation feeds the cleaning planners.
+func QualityEval(db *Database, k int) (*QualityEvaluation, error) {
+	return quality.TP(db, k)
+}
+
+// QualityPWR computes the quality with the PWR algorithm (Algorithm 1),
+// which enumerates pw-results directly. Exponential in k; useful for
+// moderate k and as a cross-check.
+func QualityPWR(db *Database, k int) (float64, error) {
+	return quality.PWR(db, k)
+}
+
+// QualityPW computes the quality from the possible-world definition
+// directly. Exponential in the number of x-tuples; only for tiny databases.
+func QualityPW(db *Database, k int) (float64, error) {
+	return quality.PW(db, k)
+}
+
+// PWResultDistribution returns all pw-results of the top-k query with their
+// probabilities (via PWR), sorted by descending probability.
+func PWResultDistribution(db *Database, k int) (Distribution, error) {
+	return quality.PWRDist(db, k)
+}
+
+// RankProbabilities runs the PSR algorithm, returning rank-h and top-k
+// probabilities for every tuple. The same RankInfo answers all three query
+// semantics and the quality computation.
+func RankProbabilities(db *Database, k int) (*RankInfo, error) {
+	return topkq.RankProbabilities(db, k)
+}
+
+// UTopK evaluates the U-Topk query: the single most probable complete
+// top-k answer vector (the mode of the pw-result distribution), computed
+// exactly via the PWR search. Exponential in k like PWR; intended for
+// moderate k.
+func UTopK(db *Database, k int) (PWResult, error) {
+	return quality.UTopK(db, k)
+}
