@@ -1,7 +1,8 @@
 package topkclean
 
 import (
-	"github.com/probdb/topkclean/internal/quality"
+	"context"
+
 	"github.com/probdb/topkclean/internal/topkq"
 )
 
@@ -25,33 +26,26 @@ type Result struct {
 // Evaluate runs a probabilistic top-k query on db, answering all three
 // semantics and computing the PWS-quality from one shared rank-probability
 // computation. ptkThreshold is the PT-k probability threshold (the paper's
-// default is 0.1).
+// default is 0.1). Unlike WithPTKThreshold, any threshold value is
+// accepted, as this function always has (out-of-range values simply give
+// an empty or complete PT-k answer).
+//
+// Deprecated: use New and Engine.Answers, which additionally memoizes the
+// shared pass across the queries of a session.
 func Evaluate(db *Database, k int, ptkThreshold float64) (*Result, error) {
-	info, err := topkq.RankProbabilities(db, k)
+	eng, err := New(db, WithK(k))
 	if err != nil {
 		return nil, err
 	}
-	uk, err := topkq.UKRanks(db, info)
-	if err != nil {
-		return nil, err
-	}
-	ev, err := quality.TPFromInfo(db, info)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{
-		K:          k,
-		Threshold:  ptkThreshold,
-		UKRanks:    uk,
-		PTK:        topkq.PTK(db, info, ptkThreshold),
-		GlobalTopK: topkq.GlobalTopK(db, info),
-		Quality:    ev.S,
-		Eval:       ev,
-		Info:       info,
-	}, nil
+	// answersAt takes the caller's raw threshold directly, preserving this
+	// function's historically unvalidated threshold domain.
+	return eng.answersAt(context.Background(), ptkThreshold)
 }
 
 // UKRanks evaluates only the U-kRanks query.
+//
+// Deprecated: use New and Engine.Answers; the engine's shared pass makes
+// answering one semantics alone no cheaper than answering all three.
 func UKRanks(db *Database, k int) ([]RankedAnswer, error) {
 	info, err := topkq.RankProbabilities(db, k)
 	if err != nil {
@@ -61,6 +55,8 @@ func UKRanks(db *Database, k int) ([]RankedAnswer, error) {
 }
 
 // PTK evaluates only the PT-k query.
+//
+// Deprecated: use New and Engine.Answers.
 func PTK(db *Database, k int, threshold float64) ([]ScoredAnswer, error) {
 	info, err := topkq.TopKProbabilities(db, k)
 	if err != nil {
@@ -70,6 +66,8 @@ func PTK(db *Database, k int, threshold float64) ([]ScoredAnswer, error) {
 }
 
 // GlobalTopK evaluates only the Global-topk query.
+//
+// Deprecated: use New and Engine.Answers.
 func GlobalTopK(db *Database, k int) ([]ScoredAnswer, error) {
 	info, err := topkq.TopKProbabilities(db, k)
 	if err != nil {

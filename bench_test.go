@@ -8,6 +8,7 @@ package topkclean
 // the series. cmd/experiments prints the same series as readable tables.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -628,6 +629,56 @@ func BenchmarkFig6g_MOV_ImprovementVsAvgSC(b *testing.B) {
 			b.ReportMetric(imp, "improvement")
 		})
 	}
+}
+
+// --- Engine session reuse vs one-shot free functions -----------------------
+
+// BenchmarkSessionReuse demonstrates the Engine redesign's payoff: the
+// one-shot path pays a full PSR pass in Evaluate and a second TP evaluation
+// in NewCleaningContext on every query, while an Engine runs the pass once
+// and serves every subsequent Answers/PlanCleaning from the memoized state.
+// The engine-session variant should be dramatically faster per iteration.
+func BenchmarkSessionReuse(b *testing.B) {
+	db := benchSynthetic(b, 2000)
+	spec := benchSpec(b, db)
+	const k, budget = 15, 100
+
+	b.Run("oneshot-free-functions", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := Evaluate(db, k, 0.1) // full PSR + TP pass
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx, err := NewCleaningContext(db, k, spec, budget) // second full pass
+			if err != nil {
+				b.Fatal(err)
+			}
+			plan, err := PlanCleaning(ctx, MethodGreedy, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, _ = res, plan
+		}
+	})
+
+	b.Run("engine-session", func(b *testing.B) {
+		eng, err := New(db, WithK(k), WithPTKThreshold(0.1), WithSeed(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		bg := context.Background()
+		for i := 0; i < b.N; i++ {
+			res, err := eng.Answers(bg) // memoized after the first iteration
+			if err != nil {
+				b.Fatal(err)
+			}
+			plan, _, err := eng.PlanCleaning(bg, "greedy", spec, budget)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, _ = res, plan
+		}
+	})
 }
 
 // --- Running example (Tables I/II, Figures 2-3) ----------------------------

@@ -1,6 +1,7 @@
 package topkclean
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -24,9 +25,13 @@ type (
 )
 
 // Method selects a cleaning planner.
+//
+// Deprecated: planners are first-class values now; use the Planner
+// registry (RegisterPlanner, LookupPlanner, Planners) and refer to
+// planners by plain string name.
 type Method string
 
-// The four planners of Section V-D.
+// The four planners of Section V-D, under their registry names.
 const (
 	MethodDP     Method = "dp"     // optimal dynamic program
 	MethodGreedy Method = "greedy" // near-optimal, heap-based
@@ -34,7 +39,10 @@ const (
 	MethodRandU  Method = "randu"  // random, uniform
 )
 
-// Methods lists all planner names, in decreasing expected effectiveness.
+// Methods lists the four paper planners, in decreasing expected
+// effectiveness.
+//
+// Deprecated: use Planners for every registered planner name.
 func Methods() []Method { return []Method{MethodDP, MethodGreedy, MethodRandP, MethodRandU} }
 
 // UniformCleaningSpec builds a spec with identical cost and sc-probability
@@ -45,27 +53,30 @@ func UniformCleaningSpec(m, cost int, scProb float64) CleaningSpec {
 
 // NewCleaningContext evaluates the query quality on db and prepares a
 // planning context with the given spec and budget.
+//
+// Deprecated: use New and Engine.CleaningContext, which reuses the
+// engine's memoized evaluation instead of re-running TP per call.
 func NewCleaningContext(db *Database, k int, spec CleaningSpec, budget int) (*CleaningContext, error) {
-	return cleaning.NewContext(db, k, spec, budget)
+	eng, err := New(db, WithK(k))
+	if err != nil {
+		return nil, err
+	}
+	return eng.CleaningContext(context.Background(), spec, budget)
 }
 
 // PlanCleaning selects the x-tuples to clean and the number of operations
 // for each, maximizing the expected quality improvement within the
 // context's budget, using the requested method. seed drives the random
 // planners (MethodRandU/MethodRandP) and is ignored by DP and Greedy.
+//
+// Deprecated: use Engine.PlanCleaning, which plans against the engine's
+// memoized evaluation and threads a context.Context for cancellation.
 func PlanCleaning(ctx *CleaningContext, method Method, seed int64) (CleaningPlan, error) {
-	switch method {
-	case MethodDP:
-		return cleaning.DP(ctx)
-	case MethodGreedy:
-		return cleaning.Greedy(ctx)
-	case MethodRandU:
-		return cleaning.RandU(ctx, rand.New(rand.NewSource(seed)))
-	case MethodRandP:
-		return cleaning.RandP(ctx, rand.New(rand.NewSource(seed)))
-	default:
-		return nil, fmt.Errorf("topkclean: unknown cleaning method %q", method)
+	p, err := seeded(string(method), seed)
+	if err != nil {
+		return nil, err
 	}
+	return p.Plan(context.Background(), ctx)
 }
 
 // ExpectedImprovement computes the expected quality improvement of a plan
@@ -105,6 +116,9 @@ func CleaningCandidates(ctx *CleaningContext) ([]CleaningCandidate, error) {
 // improvement for a plan against a parallel Monte-Carlo simulation of the
 // cleaning agent, returning (analytical, simulated). Useful to build trust
 // in a plan before spending a real budget on it.
+//
+// Deprecated: use Engine.VerifyImprovement, which takes a context.Context
+// and the engine's configured seed and parallelism.
 func VerifyImprovement(ctx *CleaningContext, plan CleaningPlan, seed int64, trials, workers int) (analytical, simulated float64, err error) {
 	analytical = cleaning.ExpectedImprovement(ctx, plan)
 	simulated, err = cleaning.MonteCarloImprovementParallel(ctx, plan, seed, trials, workers)
@@ -118,32 +132,42 @@ type AdaptiveOutcome = cleaning.AdaptiveOutcome
 // as future work: plan, execute, and feed the budget refunded by early
 // successes into fresh plans against the partially cleaned database, for
 // up to maxRounds rounds. Only deterministic planners are supported.
+//
+// Deprecated: use Engine.AdaptiveCleaning, which accepts any registered
+// planner and a context.Context.
 func AdaptiveCleaning(ctx *CleaningContext, method Method, rng *rand.Rand, maxRounds int) (*AdaptiveOutcome, error) {
-	var planner func(*CleaningContext) (CleaningPlan, error)
-	switch method {
-	case MethodDP:
-		planner = cleaning.DP
-	case MethodGreedy:
-		planner = cleaning.Greedy
-	default:
-		return nil, fmt.Errorf("topkclean: AdaptiveCleaning needs a deterministic method, got %q", method)
+	planner, err := deterministicPlanner(string(method), "AdaptiveCleaning")
+	if err != nil {
+		return nil, err
 	}
-	return cleaning.AdaptiveExecute(ctx, planner, rng, maxRounds)
+	return cleaning.AdaptiveExecuteContext(context.Background(), ctx, planner.Plan, rng, maxRounds)
 }
 
 // MinBudgetForTarget returns the smallest budget whose optimal (or greedy,
 // depending on method) expected post-cleaning quality reaches target, with
 // the corresponding plan. This implements the extension the paper's
 // conclusion poses as future work.
+//
+// Deprecated: use Engine.MinBudgetForTarget.
 func MinBudgetForTarget(ctx *CleaningContext, target float64, maxBudget int, method Method) (int, CleaningPlan, error) {
-	var planner func(*CleaningContext) (CleaningPlan, error)
-	switch method {
-	case MethodDP:
-		planner = cleaning.DP
-	case MethodGreedy:
-		planner = cleaning.Greedy
-	default:
-		return 0, nil, fmt.Errorf("topkclean: MinBudgetForTarget needs a deterministic method, got %q", method)
+	planner, err := deterministicPlanner(string(method), "MinBudgetForTarget")
+	if err != nil {
+		return 0, nil, err
 	}
-	return cleaning.MinBudgetForTarget(ctx, target, maxBudget, planner)
+	return cleaning.MinBudgetForTargetContext(context.Background(), ctx, target, maxBudget, planner.Plan)
+}
+
+// deterministicPlanner resolves a planner that must not be randomized:
+// adaptive re-planning would replay one random stream instead of drawing
+// independently, and the min-budget binary search requires improvement to
+// be monotone in the budget, which random plans do not guarantee.
+func deterministicPlanner(name, caller string) (Planner, error) {
+	p, err := LookupPlanner(name)
+	if err != nil {
+		return nil, err
+	}
+	if _, randomized := p.(SeedablePlanner); randomized {
+		return nil, fmt.Errorf("topkclean: %s needs a deterministic planner, got %q", caller, name)
+	}
+	return p, nil
 }

@@ -1,13 +1,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
 
-	"github.com/probdb/topkclean/internal/cleaning"
+	topkclean "github.com/probdb/topkclean"
 	"github.com/probdb/topkclean/internal/exp"
 	"github.com/probdb/topkclean/internal/gen"
-	"github.com/probdb/topkclean/internal/quality"
 	"github.com/probdb/topkclean/internal/uncertain"
 )
 
@@ -15,41 +14,59 @@ import (
 // single-run improvement is noisy).
 const randReps = 5
 
-// cleaningContext prepares a planning context on db with the paper's
-// default cleaning environment (costs U[1,10], sc-pdf U[0,1]) and budget.
-func cleaningContext(cfg config, db *uncertain.Database, k, budget int, pdf gen.SCPdf) (*cleaning.Context, error) {
-	spec, err := gen.CleanSpec(db.NumGroups(), 1, 10, pdf, cfg.seed+7)
+// planWith resolves a planner from the public registry, seeds it when it
+// is randomized, and plans on c. The experiments go through the same
+// registry as library users so the figures measure the shipped path.
+func planWith(name string, seed int64, c *topkclean.CleaningContext) (topkclean.CleaningPlan, error) {
+	p, err := topkclean.PlannerWithSeed(name, seed)
 	if err != nil {
 		return nil, err
 	}
-	return cleaning.NewContext(db, k, spec, budget)
+	return p.Plan(context.Background(), c)
+}
+
+// cleaningEngine builds a session engine on db for query size k; each
+// figure reuses one engine so the TP evaluation behind every budget/pdf
+// point is computed exactly once.
+func cleaningEngine(db *uncertain.Database, k int) (*topkclean.Engine, error) {
+	return topkclean.New(db, topkclean.WithK(k))
+}
+
+// cleaningContext prepares a planning context on the engine with the
+// paper's default cleaning environment (costs U[1,10]) and budget.
+func cleaningContext(cfg config, eng *topkclean.Engine, budget int, pdf gen.SCPdf) (*topkclean.CleaningContext, error) {
+	spec, err := gen.CleanSpec(eng.DB().NumGroups(), 1, 10, pdf, cfg.seed+7)
+	if err != nil {
+		return nil, err
+	}
+	return eng.CleaningContext(context.Background(), spec, budget)
 }
 
 // improvements runs all four planners on the context and returns their
 // expected improvements (random ones averaged over randReps seeds).
-func improvements(ctx *cleaning.Context) (dp, greedy, randP, randU float64, err error) {
-	dpPlan, err := cleaning.DP(ctx)
+func improvements(ctx *topkclean.CleaningContext) (dp, greedy, randP, randU float64, err error) {
+	dpPlan, err := planWith("dp", 0, ctx)
 	if err != nil {
 		return
 	}
-	dp = cleaning.ExpectedImprovement(ctx, dpPlan)
-	grPlan, err := cleaning.Greedy(ctx)
+	dp = topkclean.ExpectedImprovement(ctx, dpPlan)
+	grPlan, err := planWith("greedy", 0, ctx)
 	if err != nil {
 		return
 	}
-	greedy = cleaning.ExpectedImprovement(ctx, grPlan)
+	greedy = topkclean.ExpectedImprovement(ctx, grPlan)
 	for i := 0; i < randReps; i++ {
-		var p cleaning.Plan
-		p, err = cleaning.RandP(ctx, rand.New(rand.NewSource(int64(100+i))))
+		var p topkclean.CleaningPlan
+		p, err = planWith("randp", int64(100+i), ctx)
 		if err != nil {
 			return
 		}
-		randP += cleaning.ExpectedImprovement(ctx, p) / randReps
-		p, err = cleaning.RandU(ctx, rand.New(rand.NewSource(int64(200+i))))
+		randP += topkclean.ExpectedImprovement(ctx, p) / randReps
+		p, err = planWith("randu", int64(200+i), ctx)
 		if err != nil {
 			return
 		}
-		randU += cleaning.ExpectedImprovement(ctx, p) / randReps
+		randU += topkclean.ExpectedImprovement(ctx, p) / randReps
 	}
 	return
 }
@@ -83,14 +100,18 @@ func runFig6f(cfg config) error {
 }
 
 func improvementVsBudget(cfg config, db *uncertain.Database, title string) error {
-	ev, err := quality.TP(db, defaultK)
+	eng, err := cleaningEngine(db, defaultK)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(cfg.out, "initial quality S = %.6f (paper synthetic: -66.797551); max possible I = %.6f\n\n", ev.S, -ev.S)
+	s, err := eng.Quality(context.Background())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.out, "initial quality S = %.6f (paper synthetic: -66.797551); max possible I = %.6f\n\n", s, -s)
 	tab := exp.NewTable(title, "C", "DP", "Greedy", "RandP", "RandU")
 	for _, c := range budgetSweep(cfg) {
-		ctx, err := cleaningContext(cfg, db, defaultK, c, gen.UniformSC{Lo: 0, Hi: 1})
+		ctx, err := cleaningContext(cfg, eng, c, gen.UniformSC{Lo: 0, Hi: 1})
 		if err != nil {
 			return err
 		}
@@ -111,6 +132,10 @@ func runFig6b(cfg config) error {
 	if err != nil {
 		return err
 	}
+	eng, err := cleaningEngine(db, defaultK)
+	if err != nil {
+		return err
+	}
 	pdfs := []gen.SCPdf{
 		gen.NormalSC{Mean: 0.5, Sigma: 0.13},
 		gen.NormalSC{Mean: 0.5, Sigma: 0.167},
@@ -119,7 +144,7 @@ func runFig6b(cfg config) error {
 	}
 	tab := exp.NewTable("Figure 6(b): expected improvement I vs sc-pdf (C=100)", "sc-pdf", "DP", "Greedy", "RandP", "RandU")
 	for _, pdf := range pdfs {
-		ctx, err := cleaningContext(cfg, db, defaultK, 100, pdf)
+		ctx, err := cleaningContext(cfg, eng, 100, pdf)
 		if err != nil {
 			return err
 		}
@@ -152,9 +177,13 @@ func runFig6g(cfg config) error {
 }
 
 func improvementVsAvgSC(cfg config, db *uncertain.Database, title string) error {
+	eng, err := cleaningEngine(db, defaultK)
+	if err != nil {
+		return err
+	}
 	tab := exp.NewTable(title, "avg sc-prob", "DP", "Greedy", "RandP", "RandU")
 	for _, lo := range []float64{0, 0.2, 0.4, 0.6, 0.8, 1} {
-		ctx, err := cleaningContext(cfg, db, defaultK, 100, gen.UniformSC{Lo: lo, Hi: 1})
+		ctx, err := cleaningContext(cfg, eng, 100, gen.UniformSC{Lo: lo, Hi: 1})
 		if err != nil {
 			return err
 		}
@@ -175,27 +204,30 @@ func runFig6d(cfg config) error {
 	if err != nil {
 		return err
 	}
+	eng, err := cleaningEngine(db, defaultK)
+	if err != nil {
+		return err
+	}
 	tab := exp.NewTable("Figure 6(d): planning time (ms) vs budget C", "C", "DP", "Greedy", "RandP", "RandU")
 	for _, c := range budgetSweep(cfg) {
-		ctx, err := cleaningContext(cfg, db, defaultK, c, gen.UniformSC{Lo: 0, Hi: 1})
+		ctx, err := cleaningContext(cfg, eng, c, gen.UniformSC{Lo: 0, Hi: 1})
 		if err != nil {
 			return err
 		}
 		var perr error
-		dpMs := exp.TimeMs(func() { _, perr = cleaning.DP(ctx) })
+		dpMs := exp.TimeMs(func() { _, perr = planWith("dp", 0, ctx) })
 		if perr != nil {
 			return perr
 		}
-		grMs := exp.BenchMs(func() { _, perr = cleaning.Greedy(ctx) })
+		grMs := exp.BenchMs(func() { _, perr = planWith("greedy", 0, ctx) })
 		if perr != nil {
 			return perr
 		}
-		rng := rand.New(rand.NewSource(1))
-		rpMs := exp.BenchMs(func() { _, perr = cleaning.RandP(ctx, rng) })
+		rpMs := exp.BenchMs(func() { _, perr = planWith("randp", 1, ctx) })
 		if perr != nil {
 			return perr
 		}
-		ruMs := exp.BenchMs(func() { _, perr = cleaning.RandU(ctx, rng) })
+		ruMs := exp.BenchMs(func() { _, perr = planWith("randu", 1, ctx) })
 		if perr != nil {
 			return perr
 		}
@@ -217,7 +249,11 @@ func runFig6e(cfg config) error {
 		if k > db.NumGroups() {
 			continue
 		}
-		ctx, err := cleaningContext(cfg, db, k, 100, gen.UniformSC{Lo: 0, Hi: 1})
+		eng, err := cleaningEngine(db, k)
+		if err != nil {
+			return err
+		}
+		ctx, err := cleaningContext(cfg, eng, 100, gen.UniformSC{Lo: 0, Hi: 1})
 		if err != nil {
 			return err
 		}
@@ -229,20 +265,19 @@ func runFig6e(cfg config) error {
 			}
 		}
 		var perr error
-		dpMs := exp.BenchMs(func() { _, perr = cleaning.DP(ctx) })
+		dpMs := exp.BenchMs(func() { _, perr = planWith("dp", 0, ctx) })
 		if perr != nil {
 			return perr
 		}
-		grMs := exp.BenchMs(func() { _, perr = cleaning.Greedy(ctx) })
+		grMs := exp.BenchMs(func() { _, perr = planWith("greedy", 0, ctx) })
 		if perr != nil {
 			return perr
 		}
-		rng := rand.New(rand.NewSource(1))
-		rpMs := exp.BenchMs(func() { _, perr = cleaning.RandP(ctx, rng) })
+		rpMs := exp.BenchMs(func() { _, perr = planWith("randp", 1, ctx) })
 		if perr != nil {
 			return perr
 		}
-		ruMs := exp.BenchMs(func() { _, perr = cleaning.RandU(ctx, rng) })
+		ruMs := exp.BenchMs(func() { _, perr = planWith("randu", 1, ctx) })
 		if perr != nil {
 			return perr
 		}

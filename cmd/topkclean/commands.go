@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -10,6 +11,10 @@ import (
 
 	topkclean "github.com/probdb/topkclean"
 )
+
+// runCtx is the context every command threads into the engine; main swaps
+// in a signal-aware context so Ctrl-C aborts long-running planners.
+var runCtx = context.Background()
 
 // loadDB reads a dataset by extension (.csv or .json) and ranks it by the
 // requested function.
@@ -140,7 +145,10 @@ func cmdQuality(args []string, w io.Writer) error {
 	var s float64
 	switch *algo {
 	case "tp":
-		s, err = topkclean.Quality(db, *k)
+		var eng *topkclean.Engine
+		if eng, err = topkclean.New(db, topkclean.WithK(*k)); err == nil {
+			s, err = eng.Quality(runCtx)
+		}
 	case "pwr":
 		s, err = topkclean.QualityPWR(db, *k)
 	case "pw":
@@ -177,7 +185,7 @@ func cmdQuery(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	data := fs.String("data", "", "dataset file (.csv or .json)")
 	k := fs.Int("k", 15, "query size k")
-	threshold := fs.Float64("threshold", 0.1, "PT-k probability threshold")
+	threshold := fs.Float64("threshold", 0.1, "PT-k probability threshold, in [0, 1]")
 	rank := fs.String("rank", "first", "ranking function: first | sum")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -189,7 +197,11 @@ func cmdQuery(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	res, err := topkclean.Evaluate(db, *k, *threshold)
+	eng, err := topkclean.New(db, topkclean.WithK(*k), topkclean.WithPTKThreshold(*threshold))
+	if err != nil {
+		return err
+	}
+	res, err := eng.Answers(runCtx)
 	if err != nil {
 		return err
 	}
@@ -225,20 +237,20 @@ func cmdClean(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	ctx, err := topkclean.NewCleaningContext(db, *k, spec, *budget)
+	eng, err := topkclean.New(db, topkclean.WithK(*k), topkclean.WithSeed(*seed))
 	if err != nil {
 		return err
 	}
-	plan, err := topkclean.PlanCleaning(ctx, topkclean.Method(*method), *seed)
+	plan, cctx, err := eng.PlanCleaning(runCtx, *method, spec, *budget)
 	if err != nil {
 		return err
 	}
-	imp := topkclean.ExpectedImprovement(ctx, plan)
-	fmt.Fprintf(w, "quality before cleaning: %.6f\n", ctx.Eval.S)
+	imp := topkclean.ExpectedImprovement(cctx, plan)
+	fmt.Fprintf(w, "quality before cleaning: %.6f\n", cctx.Eval.S)
 	fmt.Fprintf(w, "plan (%s): %d x-tuples, %d operations, cost %d of %d\n",
 		*method, plan.Groups(), plan.Ops(), plan.TotalCost(spec), *budget)
 	fmt.Fprintf(w, "expected improvement:    %.6f\n", imp)
-	fmt.Fprintf(w, "expected quality after:  %.6f\n", ctx.Eval.S+imp)
+	fmt.Fprintf(w, "expected quality after:  %.6f\n", cctx.Eval.S+imp)
 	for _, l := range plan.SortedGroups() {
 		g, err := db.Group(l)
 		if err != nil {
@@ -248,7 +260,7 @@ func cmdClean(args []string, w io.Writer) error {
 			g.Name, plan[l], spec.Costs[l], spec.SCProbs[l])
 	}
 	if *explain {
-		cands, err := topkclean.CleaningCandidates(ctx)
+		cands, err := topkclean.CleaningCandidates(cctx)
 		if err != nil {
 			return err
 		}
@@ -293,15 +305,16 @@ func cmdVerify(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	ctx, err := topkclean.NewCleaningContext(db, *k, spec, *budget)
+	eng, err := topkclean.New(db, topkclean.WithK(*k), topkclean.WithSeed(*seed),
+		topkclean.WithParallelism(*workers))
 	if err != nil {
 		return err
 	}
-	plan, err := topkclean.PlanCleaning(ctx, topkclean.Method(*method), *seed)
+	plan, cctx, err := eng.PlanCleaning(runCtx, *method, spec, *budget)
 	if err != nil {
 		return err
 	}
-	analytical, simulated, err := topkclean.VerifyImprovement(ctx, plan, *seed+1, *trials, *workers)
+	analytical, simulated, err := eng.VerifyImprovement(runCtx, cctx, plan, *trials)
 	if err != nil {
 		return err
 	}
@@ -341,20 +354,20 @@ func cmdSimulate(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	ctx, err := topkclean.NewCleaningContext(db, *k, spec, *budget)
+	eng, err := topkclean.New(db, topkclean.WithK(*k), topkclean.WithSeed(*seed))
 	if err != nil {
 		return err
 	}
-	plan, err := topkclean.PlanCleaning(ctx, topkclean.Method(*method), *seed)
+	plan, cctx, err := eng.PlanCleaning(runCtx, *method, spec, *budget)
 	if err != nil {
 		return err
 	}
-	outcome, err := topkclean.ExecuteCleaning(ctx, plan, rand.New(rand.NewSource(*seed+99)))
+	outcome, err := topkclean.ExecuteCleaning(cctx, plan, rand.New(rand.NewSource(*seed+99)))
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "quality before:  %.6f\n", ctx.Eval.S)
-	fmt.Fprintf(w, "expected after:  %.6f\n", ctx.Eval.S+topkclean.ExpectedImprovement(ctx, plan))
+	fmt.Fprintf(w, "quality before:  %.6f\n", cctx.Eval.S)
+	fmt.Fprintf(w, "expected after:  %.6f\n", cctx.Eval.S+topkclean.ExpectedImprovement(cctx, plan))
 	fmt.Fprintf(w, "realized after:  %.6f (improvement %.6f)\n", outcome.NewQuality, outcome.Improvement)
 	fmt.Fprintf(w, "operations: %d of %d planned; cost %d of %d planned (early successes refund)\n",
 		outcome.OpsUsed, outcome.OpsPlanned, outcome.CostUsed, outcome.CostPlanned)

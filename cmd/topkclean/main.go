@@ -16,8 +16,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"os/signal"
 )
 
 func main() {
@@ -25,6 +27,12 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// Ctrl-C cancels the engine context, so long-running planners (a big DP
+	// table, a large Monte-Carlo verification) abort promptly instead of
+	// running to completion after the user gave up.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	runCtx = ctx
 	var err error
 	switch os.Args[1] {
 	case "gen":

@@ -18,7 +18,7 @@ func cmdReport(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("report", flag.ExitOnError)
 	data := fs.String("data", "", "dataset file (.csv or .json)")
 	k := fs.Int("k", 15, "query size k")
-	threshold := fs.Float64("threshold", 0.1, "PT-k probability threshold")
+	threshold := fs.Float64("threshold", 0.1, "PT-k probability threshold, in [0, 1]")
 	rank := fs.String("rank", "first", "ranking function: first | sum")
 	specPath := fs.String("spec", "", "cleaning spec JSON (default: generated)")
 	seed := fs.Int64("seed", 1, "random seed for spec generation")
@@ -35,8 +35,14 @@ func cmdReport(args []string, w io.Writer) error {
 	fmt.Fprintf(w, "# Quality report: %s\n\n", *data)
 	fmt.Fprintf(w, "dataset: %s\n\n", db.ComputeStats())
 
-	// Query answers and quality from one shared pass.
-	res, err := topkclean.Evaluate(db, *k, *threshold)
+	// One engine session serves the whole report: the query answers, the
+	// quality-vs-k sweep, and the cleaning outlook share its memoized
+	// rank-probability passes.
+	eng, err := topkclean.New(db, topkclean.WithK(*k), topkclean.WithPTKThreshold(*threshold))
+	if err != nil {
+		return err
+	}
+	res, err := eng.Answers(runCtx)
 	if err != nil {
 		return err
 	}
@@ -52,7 +58,7 @@ func cmdReport(args []string, w io.Writer) error {
 		if kk > db.NumGroups() || kk < 1 {
 			continue
 		}
-		s, err := topkclean.Quality(db, kk)
+		s, err := eng.QualityAt(runCtx, kk)
 		if err != nil {
 			return err
 		}
@@ -67,7 +73,7 @@ func cmdReport(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	ctx, err := topkclean.NewCleaningContext(db, *k, spec, 0)
+	ctx, err := eng.CleaningContext(runCtx, spec, 0)
 	if err != nil {
 		return err
 	}

@@ -23,7 +23,13 @@
 //     near-optimal Greedy, and the RandU/RandP baselines. A simulator
 //     executes plans against a stochastic cleaning agent.
 //
-// # Quick start
+// # Sessions: the Engine
+//
+// The paper's central trick is computation sharing (Section IV-C): one PSR
+// rank-probability pass answers all three query semantics and the
+// PWS-quality that drives cleaning, at ~6% overhead. An Engine extends
+// that sharing across a whole session — it runs the pass once per (db, k)
+// and memoizes it, so Answers, Quality, and PlanCleaning never recompute:
 //
 //	db := topkclean.NewDatabase()
 //	db.AddXTuple("S1",
@@ -32,13 +38,37 @@
 //	db.AddXTuple("S4", topkclean.Tuple{ID: "t6", Attrs: []float64{26}, Prob: 1})
 //	db.Build(topkclean.ByFirstAttr)
 //
-//	res, _ := topkclean.Evaluate(db, 2, 0.4)   // answers + quality, one PSR pass
+//	eng, _ := topkclean.New(db, topkclean.WithK(2), topkclean.WithPTKThreshold(0.4))
+//	ctx := context.Background()
+//
+//	res, _ := eng.Answers(ctx) // all three semantics + quality, one PSR pass
 //	fmt.Println(res.PTK, res.Quality)
 //
 //	spec := topkclean.UniformCleaningSpec(db.NumGroups(), 1, 0.8)
-//	ctx, _ := topkclean.NewCleaningContext(db, 2, spec, 10)
-//	plan, _ := topkclean.PlanCleaning(ctx, topkclean.MethodGreedy, 0)
-//	fmt.Println(topkclean.ExpectedImprovement(ctx, plan))
+//	plan, cctx, _ := eng.PlanCleaning(ctx, "greedy", spec, 10) // reuses the pass
+//	fmt.Println(topkclean.ExpectedImprovement(cctx, plan))
+//
+// Functional options configure the session: WithK, WithPTKThreshold,
+// WithRankFunc (builds an unbuilt database), WithParallelism (simulation
+// workers), and WithSeed (randomized planners and Monte-Carlo streams).
+// Engines are safe for concurrent use; every method takes a
+// context.Context, and cancellation aborts the DP/Greedy/Monte-Carlo hot
+// loops promptly with ctx.Err().
+//
+// # Planners as values
+//
+// Plan-selection strategies implement the Planner interface and live in a
+// concurrency-safe registry. The four paper planners are pre-registered as
+// "dp", "greedy", "randp", and "randu"; add your own with RegisterPlanner
+// and it becomes addressable by name everywhere a planner name is
+// accepted (Engine.PlanCleaning, the topkclean CLI's -method flag, and —
+// for deterministic planners — Engine.AdaptiveCleaning and
+// Engine.MinBudgetForTarget, whose re-planning loop and budget binary
+// search require non-random, monotone plans).
+//
+// The stateless free functions (Evaluate, Quality, NewCleaningContext,
+// PlanCleaning, ...) remain as deprecated wrappers over the engine for
+// compatibility; new code should construct an Engine.
 //
 // See the examples directory for complete programs and DESIGN.md for the
 // mapping between this library and the paper.

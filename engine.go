@@ -1,0 +1,325 @@
+package topkclean
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+
+	"github.com/probdb/topkclean/internal/cleaning"
+	"github.com/probdb/topkclean/internal/quality"
+	"github.com/probdb/topkclean/internal/topkq"
+	"github.com/probdb/topkclean/internal/uncertain"
+)
+
+// newRand builds the deterministic random source the engine hands to
+// simulation helpers.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Engine is a query session over one database: it runs the PSR
+// rank-probability pass and the TP quality evaluation once per k and
+// memoizes the result, so Answers, Quality, and PlanCleaning all reuse a
+// single pass (the computation sharing of Section IV-C — the paper
+// measures the quality overhead at ~6% of query time this way; an Engine
+// extends that sharing across every query of a session).
+//
+// Construct with New and functional options:
+//
+//	eng, err := topkclean.New(db, topkclean.WithK(15), topkclean.WithPTKThreshold(0.1))
+//	res, err := eng.Answers(ctx)
+//	plan, cctx, err := eng.PlanCleaning(ctx, "greedy", spec, budget)
+//
+// An Engine is safe for concurrent use. The database must not be mutated
+// while the engine exists (Build already freezes it).
+type Engine struct {
+	db  *Database
+	cfg config
+
+	mu     sync.Mutex      // guards the states map itself
+	states map[int]*kEntry // memoized per-k shared state
+}
+
+// kEntry is one k's memoization slot. Its own mutex makes the first
+// computation single-flight per k while letting passes for distinct k run
+// concurrently.
+type kEntry struct {
+	mu sync.Mutex
+	st *evalState // nil until computed; guarded by mu
+}
+
+// evalState is the shared per-(db, k) computation: one PSR pass and the TP
+// evaluation derived from it. full records whether the pass kept the
+// per-rank probabilities U-kRanks needs; quality and cleaning only need
+// the lighter top-k retention, so the engine upgrades lazily. The
+// threshold-independent query answers (U-kRanks, Global-topk) are cached
+// on first use too — only the cheap PT-k threshold scan runs per call.
+type evalState struct {
+	info *RankInfo
+	eval *QualityEvaluation
+	full bool
+
+	ansOnce sync.Once
+	uk      []RankedAnswer
+	gtk     []ScoredAnswer
+	ansErr  error
+}
+
+// New builds an Engine over db. Options configure the query size k, the
+// PT-k threshold, the ranking function (for an unbuilt database), the
+// simulation parallelism, and the random seed; defaults are the paper's
+// (k = 15, threshold 0.1). The database must already be built unless
+// WithRankFunc is given, in which case New builds it.
+func New(db *Database, opts ...Option) (*Engine, error) {
+	if db == nil {
+		return nil, ErrNilDatabase
+	}
+	cfg := defaultConfig()
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.rankSet {
+		if db.Built() {
+			return nil, ErrRankOnBuilt
+		}
+		if err := db.Build(cfg.rank); err != nil {
+			return nil, err
+		}
+	}
+	if !db.Built() {
+		return nil, uncertain.ErrNotBuilt
+	}
+	return &Engine{db: db, cfg: cfg, states: make(map[int]*kEntry)}, nil
+}
+
+// DB returns the engine's database.
+func (e *Engine) DB() *Database { return e.db }
+
+// K returns the configured query size.
+func (e *Engine) K() int { return e.cfg.k }
+
+// Threshold returns the configured PT-k probability threshold.
+func (e *Engine) Threshold() float64 { return e.cfg.threshold }
+
+// Invalidate drops all memoized rank/quality state. Only needed if the
+// engine should recompute from scratch (e.g. to re-measure); databases
+// are immutable after Build, so normal use never requires it.
+func (e *Engine) Invalidate() {
+	e.mu.Lock()
+	e.states = make(map[int]*kEntry)
+	e.mu.Unlock()
+}
+
+// state returns the memoized per-k evaluation, computing it on first use.
+// The per-k entry mutex is a single-flight guard: concurrent first calls
+// for the same k compute the pass exactly once, while passes for distinct
+// k proceed in parallel. needFull requests the full rank-h probabilities
+// (U-kRanks); quality and cleaning get by with the cheaper top-k-only
+// retention, and a light state is upgraded in place the first time a full
+// one is needed.
+func (e *Engine) state(ctx context.Context, k int, needFull bool) (*evalState, error) {
+	e.mu.Lock()
+	ent, ok := e.states[k]
+	if !ok {
+		ent = &kEntry{}
+		e.states[k] = ent
+	}
+	e.mu.Unlock()
+
+	ent.mu.Lock()
+	defer ent.mu.Unlock()
+	if ent.st != nil && (ent.st.full || !needFull) {
+		return ent.st, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var info *topkq.RankInfo
+	var err error
+	if needFull {
+		info, err = topkq.RankProbabilities(e.db, k)
+	} else {
+		info, err = topkq.TopKProbabilities(e.db, k)
+	}
+	if err != nil {
+		return nil, err
+	}
+	ev, err := quality.TPFromInfo(e.db, info)
+	if err != nil {
+		return nil, err
+	}
+	st := &evalState{info: info, eval: ev, full: needFull}
+	ent.st = st
+	return st, nil
+}
+
+// RankInfo returns the engine's shared rank-probability information (the
+// full PSR pass), computing and memoizing it on first use. Subsequent
+// calls — and Answers, Quality, and PlanCleaning — reuse the identical
+// pointer. (Quality/cleaning-only sessions that never ask for rank-h
+// probabilities get a lighter top-k-only pass until one is needed.)
+func (e *Engine) RankInfo(ctx context.Context) (*RankInfo, error) {
+	st, err := e.state(ctx, e.cfg.k, true)
+	if err != nil {
+		return nil, err
+	}
+	return st.info, nil
+}
+
+// Quality returns the PWS-quality of the top-k query (TP algorithm,
+// Theorem 1). The score is <= 0; 0 means the answer is certain.
+func (e *Engine) Quality(ctx context.Context) (float64, error) {
+	st, err := e.state(ctx, e.cfg.k, false)
+	if err != nil {
+		return 0, err
+	}
+	return st.eval.S, nil
+}
+
+// QualityAt returns the PWS-quality of a top-k query for an explicit k,
+// memoized independently of the engine's configured k. Useful for
+// quality-vs-k sweeps over one session.
+func (e *Engine) QualityAt(ctx context.Context, k int) (float64, error) {
+	st, err := e.state(ctx, k, false)
+	if err != nil {
+		return 0, err
+	}
+	return st.eval.S, nil
+}
+
+// QualityEvaluation returns the full TP evaluation (score, per-tuple
+// weights, per-x-tuple gains) that drives the cleaning planners.
+func (e *Engine) QualityEvaluation(ctx context.Context) (*QualityEvaluation, error) {
+	st, err := e.state(ctx, e.cfg.k, false)
+	if err != nil {
+		return nil, err
+	}
+	return st.eval, nil
+}
+
+// Answers evaluates all three probabilistic top-k semantics (U-kRanks,
+// PT-k at the configured threshold, Global-topk) plus the PWS-quality,
+// all from the engine's one memoized PSR pass. The threshold-independent
+// answers are memoized too, so repeated calls only re-run the PT-k
+// threshold scan. The returned Result shares the session's cached slices;
+// treat its contents as read-only.
+func (e *Engine) Answers(ctx context.Context) (*Result, error) {
+	return e.answersAt(ctx, e.cfg.threshold)
+}
+
+// answersAt is Answers with an explicit PT-k threshold; the deprecated
+// Evaluate wrapper uses it to honour thresholds the option validation
+// would reject.
+func (e *Engine) answersAt(ctx context.Context, threshold float64) (*Result, error) {
+	st, err := e.state(ctx, e.cfg.k, true)
+	if err != nil {
+		return nil, err
+	}
+	st.ansOnce.Do(func() {
+		st.uk, st.ansErr = topkq.UKRanks(e.db, st.info)
+		if st.ansErr == nil {
+			st.gtk = topkq.GlobalTopK(e.db, st.info)
+		}
+	})
+	if st.ansErr != nil {
+		return nil, st.ansErr
+	}
+	return &Result{
+		K:          e.cfg.k,
+		Threshold:  threshold,
+		UKRanks:    st.uk,
+		PTK:        topkq.PTK(e.db, st.info, threshold),
+		GlobalTopK: st.gtk,
+		Quality:    st.eval.S,
+		Eval:       st.eval,
+		Info:       st.info,
+	}, nil
+}
+
+// CleaningContext assembles a planning context from the engine's memoized
+// quality evaluation — no PSR or TP recomputation — with the given
+// cleaning spec and budget.
+func (e *Engine) CleaningContext(ctx context.Context, spec CleaningSpec, budget int) (*CleaningContext, error) {
+	st, err := e.state(ctx, e.cfg.k, false)
+	if err != nil {
+		return nil, err
+	}
+	c := &cleaning.Context{DB: e.db, K: e.cfg.k, Eval: st.eval, Spec: spec, Budget: budget}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// PlanCleaning selects the x-tuples to clean and the number of operations
+// for each, maximizing the expected quality improvement within budget,
+// using the planner registered under the given name ("dp", "greedy",
+// "randp", "randu", or any planner added with RegisterPlanner). The
+// engine's seed drives randomized planners, so repeated calls are
+// reproducible — two PlanCleaning("randu", ...) calls on one engine return
+// the identical plan; use PlannerWithSeed with varying seeds for
+// independent random draws. It returns the plan together with the
+// planning context it was built against, so callers can score it
+// (ExpectedImprovement) or execute it (ExecuteCleaning) without
+// re-evaluating anything.
+func (e *Engine) PlanCleaning(ctx context.Context, planner string, spec CleaningSpec, budget int) (CleaningPlan, *CleaningContext, error) {
+	c, err := e.CleaningContext(ctx, spec, budget)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := seeded(planner, e.cfg.seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan, err := p.Plan(ctx, c)
+	if err != nil {
+		return nil, nil, err
+	}
+	return plan, c, nil
+}
+
+// VerifyImprovement cross-checks Theorem 2's closed-form expected
+// improvement for a plan against a Monte-Carlo simulation of the cleaning
+// agent run on the engine's configured parallelism, returning
+// (analytical, simulated).
+func (e *Engine) VerifyImprovement(ctx context.Context, c *CleaningContext, plan CleaningPlan, trials int) (analytical, simulated float64, err error) {
+	analytical = cleaning.ExpectedImprovement(c, plan)
+	// seed+1 decorrelates the verification streams from the randomized
+	// planners' stream (seeded with the engine seed): replaying the draws
+	// that selected a plan would bias the very cross-check this provides.
+	simulated, err = cleaning.MonteCarloImprovementParallelContext(ctx, c, plan, e.cfg.seed+1, trials, e.cfg.workers())
+	return analytical, simulated, err
+}
+
+// AdaptiveCleaning runs the multi-round re-planning loop (plan, execute,
+// feed refunded budget into fresh plans) with the named planner, for up to
+// maxRounds rounds. The planner must be deterministic (not a
+// SeedablePlanner): re-planning rounds would otherwise replay one random
+// stream rather than draw independently. rng drives the simulated cleaning
+// agent; pass nil to derive one from the engine seed (note that repeated
+// nil-rng calls then replay the identical stream — supply distinct rngs
+// for independent simulated sessions).
+func (e *Engine) AdaptiveCleaning(ctx context.Context, c *CleaningContext, planner string, rng *rand.Rand, maxRounds int) (*AdaptiveOutcome, error) {
+	p, err := deterministicPlanner(planner, "AdaptiveCleaning")
+	if err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		rng = newRand(e.cfg.seed)
+	}
+	return cleaning.AdaptiveExecuteContext(ctx, c, p.Plan, rng, maxRounds)
+}
+
+// MinBudgetForTarget returns the smallest budget whose expected
+// post-cleaning quality (under the named planner) reaches target, with
+// the corresponding plan, searching budgets up to maxBudget. The planner
+// must be deterministic (not a SeedablePlanner): the doubling/binary
+// search is only correct when expected improvement is non-decreasing in
+// the budget, which a random planner does not guarantee.
+func (e *Engine) MinBudgetForTarget(ctx context.Context, c *CleaningContext, target float64, maxBudget int, planner string) (int, CleaningPlan, error) {
+	p, err := deterministicPlanner(planner, "MinBudgetForTarget")
+	if err != nil {
+		return 0, nil, err
+	}
+	return cleaning.MinBudgetForTargetContext(ctx, c, target, maxBudget, p.Plan)
+}

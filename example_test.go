@@ -5,6 +5,7 @@ package topkclean_test
 // compares the printed output against the Output comments).
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -27,6 +28,54 @@ func buildPaperExample() *topkclean.Database {
 		topkclean.Tuple{ID: "t6", Attrs: []float64{26}, Prob: 1})
 	_ = db.Build(topkclean.ByFirstAttr)
 	return db
+}
+
+func ExampleNew() {
+	db := buildPaperExample()
+	// One Engine session computes the rank-probability pass once; answers,
+	// quality, and cleaning plans all reuse it.
+	eng, err := topkclean.New(db, topkclean.WithK(2), topkclean.WithPTKThreshold(0.4))
+	if err != nil {
+		panic(err)
+	}
+	ctx := context.Background()
+	res, err := eng.Answers(ctx)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("PT-2:", topkclean.FormatScored(res.PTK))
+	fmt.Printf("quality: %.4f\n", res.Quality)
+	// Output:
+	// PT-2: {t1, t2, t5}
+	// quality: -2.5513
+}
+
+func ExampleEngine_PlanCleaning() {
+	db := buildPaperExample()
+	eng, err := topkclean.New(db, topkclean.WithK(2))
+	if err != nil {
+		panic(err)
+	}
+	// Every probe costs 1 unit and always succeeds; budget of 2 probes.
+	spec := topkclean.UniformCleaningSpec(db.NumGroups(), 1, 1.0)
+	plan, cctx, err := eng.PlanCleaning(context.Background(), "dp", spec, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("probes: %d, expected improvement: %.4f\n",
+		plan.Ops(), topkclean.ExpectedImprovement(cctx, plan))
+	// Output:
+	// probes: 2, expected improvement: 1.8522
+}
+
+func ExampleLookupPlanner() {
+	p, err := topkclean.LookupPlanner("greedy")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(p.Name())
+	// Output:
+	// greedy
 }
 
 func ExampleEvaluate() {

@@ -2,9 +2,13 @@
 // future work: instead of "maximize quality for a fixed budget", answer
 // "what is the minimal budget that reaches a target quality?" — and show
 // the whole budget/quality trade-off curve so an operator can pick a point.
+//
+// One Engine session serves the entire sweep: the expensive TP evaluation
+// runs once, and every budget point plans against the memoized state.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,27 +18,30 @@ import (
 const k = 15
 
 func main() {
+	ctx := context.Background()
+
 	cfg := topkclean.DefaultSyntheticConfig()
 	cfg.NumXTuples = 1000
 	db, err := topkclean.GenerateSynthetic(cfg)
 	must(err)
 
+	eng, err := topkclean.New(db, topkclean.WithK(k))
+	must(err)
 	spec, err := topkclean.DefaultCleaningSpec(db.NumGroups(), 5)
 	must(err)
-	ctx, err := topkclean.NewCleaningContext(db, k, spec, 0)
+
+	s0, err := eng.Quality(ctx)
 	must(err)
-	s0 := ctx.Eval.S
 	fmt.Printf("dataset: %s\n", db.ComputeStats())
 	fmt.Printf("top-%d quality without cleaning: %.4f (deficit %.4f)\n\n", k, s0, -s0)
 
-	// The trade-off curve: expected post-cleaning quality per budget.
+	// The trade-off curve: expected post-cleaning quality per budget. Each
+	// point reuses the session's evaluation; only the greedy plan reruns.
 	fmt.Println("budget -> expected quality (greedy plans):")
 	for _, c := range []int{0, 10, 25, 50, 100, 250, 500, 1000, 2500} {
-		sub := *ctx
-		sub.Budget = c
-		plan, err := topkclean.PlanCleaning(&sub, topkclean.MethodGreedy, 0)
+		plan, cctx, err := eng.PlanCleaning(ctx, "greedy", spec, c)
 		must(err)
-		imp := topkclean.ExpectedImprovement(&sub, plan)
+		imp := topkclean.ExpectedImprovement(cctx, plan)
 		bar := ""
 		for i := 0.0; i < imp; i += -s0 / 40 {
 			bar += "#"
@@ -43,10 +50,12 @@ func main() {
 	}
 
 	// Inverse queries: minimal budget for quality targets.
+	cctx, err := eng.CleaningContext(ctx, spec, 0)
+	must(err)
 	fmt.Println("\nminimal budget to reach a target quality:")
 	for _, frac := range []float64{0.25, 0.5, 0.75, 0.9} {
 		target := s0 * (1 - frac) // remove frac of the deficit
-		budget, plan, err := topkclean.MinBudgetForTarget(ctx, target, 1_000_000, topkclean.MethodGreedy)
+		budget, plan, err := eng.MinBudgetForTarget(ctx, cctx, target, 1_000_000, "greedy")
 		must(err)
 		fmt.Printf("  remove %3.0f%% of ambiguity (S >= %9.4f): C = %5d  (%d x-tuples, %d ops)\n",
 			frac*100, target, budget, plan.Groups(), plan.Ops())
@@ -54,7 +63,7 @@ func main() {
 
 	// Fully certain answers are usually unreachable with failure-prone
 	// cleaning under any finite budget worth paying; show the detection.
-	_, _, err = topkclean.MinBudgetForTarget(ctx, -0.0001, 2000, topkclean.MethodGreedy)
+	_, _, err = eng.MinBudgetForTarget(ctx, cctx, -0.0001, 2000, "greedy")
 	if err != nil {
 		fmt.Printf("\nnear-perfect quality within C<=2000: %v\n", err)
 	}

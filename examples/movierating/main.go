@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -22,6 +23,8 @@ const (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// Generate the MOV-like dataset (the real Netflix-based MOV dataset is
 	// not redistributable; this generator matches its published shape:
 	// 4999 x-tuples, ~2 alternatives each, score = date + rating).
@@ -29,7 +32,11 @@ func main() {
 	db, err := topkclean.GenerateMOV(cfg)
 	must(err)
 
-	res, err := topkclean.Evaluate(db, k, threshold)
+	// The session engine: board queries and call planning share one pass.
+	eng, err := topkclean.New(db, topkclean.WithK(k), topkclean.WithPTKThreshold(threshold))
+	must(err)
+
+	res, err := eng.Answers(ctx)
 	must(err)
 	fmt.Printf("rating store: %s\n", db.ComputeStats())
 	fmt.Printf("initial top-%d board quality: %.4f\n\n", k, res.Quality)
@@ -48,16 +55,14 @@ func main() {
 		spec.SCProbs[l] = 0.2 + 0.8*rng.Float64()
 	}
 
-	ctx, err := topkclean.NewCleaningContext(db, k, spec, callBudget)
-	must(err)
-
 	// Compare the optimal plan with the greedy plan the paper recommends.
-	dpPlan, err := topkclean.PlanCleaning(ctx, topkclean.MethodDP, 0)
+	// Both reuse the evaluation already computed for the board query above.
+	dpPlan, cctx, err := eng.PlanCleaning(ctx, "dp", spec, callBudget)
 	must(err)
-	grPlan, err := topkclean.PlanCleaning(ctx, topkclean.MethodGreedy, 0)
+	grPlan, _, err := eng.PlanCleaning(ctx, "greedy", spec, callBudget)
 	must(err)
-	dpImp := topkclean.ExpectedImprovement(ctx, dpPlan)
-	grImp := topkclean.ExpectedImprovement(ctx, grPlan)
+	dpImp := topkclean.ExpectedImprovement(cctx, dpPlan)
+	grImp := topkclean.ExpectedImprovement(cctx, grPlan)
 	fmt.Printf("\ncall budget: $%d\n", callBudget)
 	fmt.Printf("optimal plan (DP):   call %2d viewers, %2d calls, expected improvement %.4f\n",
 		dpPlan.Groups(), dpPlan.Ops(), dpImp)
@@ -65,17 +70,20 @@ func main() {
 		grPlan.Groups(), grPlan.Ops(), grImp, 100*grImp/dpImp)
 
 	// Execute the greedy call campaign.
-	out, err := topkclean.ExecuteCleaning(ctx, grPlan, rand.New(rand.NewSource(11)))
+	out, err := topkclean.ExecuteCleaning(cctx, grPlan, rand.New(rand.NewSource(11)))
 	must(err)
 	fmt.Printf("\ncampaign result: %d of %d calls made ($%d of $%d spent), %d ratings confirmed\n",
 		out.OpsUsed, out.OpsPlanned, out.CostUsed, out.CostPlanned, len(out.Choices))
 	fmt.Printf("board quality: %.4f -> %.4f (improvement %.4f)\n",
-		ctx.Eval.S, out.NewQuality, out.Improvement)
+		cctx.Eval.S, out.NewQuality, out.Improvement)
 
-	after, err := topkclean.Evaluate(out.DB, k, threshold)
+	// The confirmed database is a new session.
+	after, err := topkclean.New(out.DB, topkclean.WithK(k), topkclean.WithPTKThreshold(threshold))
+	must(err)
+	afterRes, err := after.Answers(ctx)
 	must(err)
 	fmt.Printf("\nboard after confirmations:\n")
-	for i, a := range after.GlobalTopK {
+	for i, a := range afterRes.GlobalTopK {
 		mark := ""
 		if g, err := out.DB.Group(a.Tuple.Group); err == nil && g.Certain() {
 			mark = "  (confirmed)"

@@ -1,10 +1,12 @@
 // Quickstart walks through the paper's running example (Tables I and II):
-// build the sensor database udb1, run a probabilistic top-2 query, inspect
-// its PWS-quality and pw-result distribution, then clean sensor S3 and
-// watch the quality improve to udb2's.
+// build the sensor database udb1, open an Engine session on it, run a
+// probabilistic top-2 query, inspect its PWS-quality and pw-result
+// distribution, then clean sensor S3 and watch the quality improve to
+// udb2's.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,6 +14,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// Table I: four temperature sensors; alternatives within a sensor are
 	// mutually exclusive readings with confidences.
 	db := topkclean.NewDatabase()
@@ -26,10 +30,17 @@ func main() {
 		topkclean.Tuple{ID: "t5", Attrs: []float64{27}, Prob: 0.6}))
 	must(db.AddXTuple("S4",
 		topkclean.Tuple{ID: "t6", Attrs: []float64{26}, Prob: 1}))
-	must(db.Build(topkclean.ByFirstAttr)) // higher temperature ranks higher
 
-	// One PSR pass answers all three query semantics and the quality.
-	res, err := topkclean.Evaluate(db, 2, 0.4)
+	// One Engine is a query session: the PSR pass behind the query answers,
+	// the quality score, and the cleaning plan below runs exactly once.
+	// WithRankFunc builds the database (higher temperature ranks higher).
+	eng, err := topkclean.New(db,
+		topkclean.WithRankFunc(topkclean.ByFirstAttr),
+		topkclean.WithK(2),
+		topkclean.WithPTKThreshold(0.4))
+	must(err)
+
+	res, err := eng.Answers(ctx)
 	must(err)
 	fmt.Println("=== udb1 (Table I), top-2 query ===")
 	fmt.Printf("PT-2 answer (T=0.4):  %s   (paper: {t1, t2, t5})\n", topkclean.FormatScored(res.PTK))
@@ -51,23 +62,24 @@ func main() {
 	// udb2 (Table II).
 	cleaned, err := topkclean.ApplyCleaning(db, topkclean.CleanChoices{2: 1})
 	must(err)
-	q2, err := topkclean.Quality(cleaned, 2)
+	eng2, err := topkclean.New(cleaned, topkclean.WithK(2))
+	must(err)
+	q2, err := eng2.Quality(ctx)
 	must(err)
 	fmt.Printf("\n=== udb2 (Table II): after successfully cleaning S3 ===\n")
 	fmt.Printf("PWS-quality: %.4f (paper: -1.85) - higher, i.e. less ambiguous\n\n", q2)
 
-	// Which sensor was the best one to clean? Ask the planner: cost 1 per
-	// probe, probes always succeed, budget 1 probe.
+	// Which sensor was the best one to clean? Ask the optimal planner:
+	// cost 1 per probe, probes always succeed, budget 1 probe. The plan
+	// reuses the session's memoized evaluation — no recomputation.
 	spec := topkclean.UniformCleaningSpec(db.NumGroups(), 1, 1.0)
-	ctx, err := topkclean.NewCleaningContext(db, 2, spec, 1)
-	must(err)
-	plan, err := topkclean.PlanCleaning(ctx, topkclean.MethodDP, 0)
+	plan, cctx, err := eng.PlanCleaning(ctx, "dp", spec, 1)
 	must(err)
 	for l := range plan {
 		g, err := db.Group(l)
 		must(err)
 		fmt.Printf("optimal single probe: sensor %s (expected improvement %.4f)\n",
-			g.Name, topkclean.ExpectedImprovement(ctx, plan))
+			g.Name, topkclean.ExpectedImprovement(cctx, plan))
 	}
 }
 

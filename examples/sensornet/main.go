@@ -5,12 +5,15 @@
 // can fail (packet loss), and different sensors cost different amounts of
 // energy to reach.
 //
-// The program plans probes with each strategy, simulates the probing
-// rounds, and compares realized quality improvements — a miniature version
-// of the paper's Figure 6 experiments.
+// The program plans probes with every registered strategy, simulates the
+// probing rounds, and compares realized quality improvements — a miniature
+// version of the paper's Figure 6 experiments. All planning happens on one
+// Engine session, so the rank-probability pass runs once for the whole
+// comparison.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -25,6 +28,7 @@ const (
 )
 
 func main() {
+	ctx := context.Background()
 	rng := rand.New(rand.NewSource(42))
 
 	// Build the sensor database: each sensor's stale reading is modeled by
@@ -45,9 +49,14 @@ func main() {
 		}
 		must(db.AddXTuple(fmt.Sprintf("sensor-%d", s), alts...))
 	}
-	must(db.Build(topkclean.ByFirstAttr))
 
-	res, err := topkclean.Evaluate(db, k, 0.1)
+	eng, err := topkclean.New(db,
+		topkclean.WithRankFunc(topkclean.ByFirstAttr), // higher temperature ranks higher
+		topkclean.WithK(k),
+		topkclean.WithSeed(7))
+	must(err)
+
+	res, err := eng.Answers(ctx)
 	must(err)
 	fmt.Printf("sensor field: %s\n", db.ComputeStats())
 	fmt.Printf("initial top-%d quality: %.4f\n", k, res.Quality)
@@ -65,19 +74,17 @@ func main() {
 
 	fmt.Printf("probing budget: %d energy units\n\n", budget)
 	fmt.Printf("%-8s  %-22s  %-22s  %s\n", "planner", "expected improvement", "realized improvement", "probes (used/planned)")
-	for _, method := range topkclean.Methods() {
-		ctx, err := topkclean.NewCleaningContext(db, k, spec, budget)
+	for _, method := range topkclean.Planners() {
+		plan, cctx, err := eng.PlanCleaning(ctx, method, spec, budget)
 		must(err)
-		plan, err := topkclean.PlanCleaning(ctx, method, 7)
-		must(err)
-		expected := topkclean.ExpectedImprovement(ctx, plan)
+		expected := topkclean.ExpectedImprovement(cctx, plan)
 
 		// Simulate several probing rounds to estimate the realized gain.
 		var realized float64
 		var used, planned int
 		const rounds = 20
 		for r := 0; r < rounds; r++ {
-			out, err := topkclean.ExecuteCleaning(ctx, plan, rand.New(rand.NewSource(int64(100+r))))
+			out, err := topkclean.ExecuteCleaning(cctx, plan, rand.New(rand.NewSource(int64(100+r))))
 			must(err)
 			realized += out.Improvement / rounds
 			used += out.OpsUsed
@@ -88,14 +95,15 @@ func main() {
 
 	// Adaptive probing: when a sensor answers on the first try, the energy
 	// reserved for its retries is re-planned into additional probes (the
-	// re-planning loop the paper leaves as future work).
+	// re-planning loop the paper leaves as future work). Distinct rngs per
+	// round give independent simulated sessions on the one engine.
 	fmt.Println()
 	var adaptive float64
 	const rounds = 20
+	adaptiveCtx, err := eng.CleaningContext(ctx, spec, budget)
+	must(err)
 	for r := 0; r < rounds; r++ {
-		ctx, err := topkclean.NewCleaningContext(db, k, spec, budget)
-		must(err)
-		out, err := topkclean.AdaptiveCleaning(ctx, topkclean.MethodGreedy,
+		out, err := eng.AdaptiveCleaning(ctx, adaptiveCtx, "greedy",
 			rand.New(rand.NewSource(int64(500+r))), 10)
 		must(err)
 		adaptive += out.Improvement / rounds
@@ -104,10 +112,10 @@ func main() {
 
 	// How much energy would guarantee (in expectation) halving the
 	// ambiguity? The min-budget extension answers without trial and error.
-	ctx, err := topkclean.NewCleaningContext(db, k, spec, 0)
+	cctx, err := eng.CleaningContext(ctx, spec, 0)
 	must(err)
-	target := ctx.Eval.S / 2
-	minBudget, _, err := topkclean.MinBudgetForTarget(ctx, target, 1_000_000, topkclean.MethodGreedy)
+	target := cctx.Eval.S / 2
+	minBudget, _, err := eng.MinBudgetForTarget(ctx, cctx, target, 1_000_000, "greedy")
 	must(err)
 	fmt.Printf("energy needed to halve the quality deficit (to %.4f): %d units\n", target, minBudget)
 }

@@ -1,0 +1,3 @@
+module github.com/probdb/topkclean
+
+go 1.24

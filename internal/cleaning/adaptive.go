@@ -1,11 +1,23 @@
 package cleaning
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"github.com/probdb/topkclean/internal/quality"
 )
+
+// PlannerFunc is a context-aware plan-selection algorithm: given a
+// planning context, produce a plan or fail (for example because ctx was
+// cancelled). DPContext, GreedyContext, and seeded closures over
+// RandUContext/RandPContext all satisfy it.
+type PlannerFunc func(ctx context.Context, c *Context) (Plan, error)
+
+// background lifts a legacy context-free planner into a PlannerFunc.
+func background(planner func(*Context) (Plan, error)) PlannerFunc {
+	return func(_ context.Context, c *Context) (Plan, error) { return planner(c) }
+}
 
 // AdaptiveOutcome reports an adaptive cleaning session: several plan/execute
 // rounds that feed leftover budget back into new plans.
@@ -44,6 +56,12 @@ func (a *AdaptiveOutcome) FinalDB(ctx *Context) interface{ NumGroups() int } {
 // its realized improvement stochastically dominates the one-shot planner's
 // (verified statistically in the tests).
 func AdaptiveExecute(ctx *Context, planner func(*Context) (Plan, error), rng *rand.Rand, maxRounds int) (*AdaptiveOutcome, error) {
+	return AdaptiveExecuteContext(context.Background(), ctx, background(planner), rng, maxRounds)
+}
+
+// AdaptiveExecuteContext is AdaptiveExecute with a context-aware planner;
+// cancellation is checked between rounds and inside the planner itself.
+func AdaptiveExecuteContext(stdctx context.Context, ctx *Context, planner PlannerFunc, rng *rand.Rand, maxRounds int) (*AdaptiveOutcome, error) {
 	if err := ctx.Validate(); err != nil {
 		return nil, err
 	}
@@ -57,7 +75,10 @@ func AdaptiveExecute(ctx *Context, planner func(*Context) (Plan, error), rng *ra
 	}
 	cur := &Context{DB: ctx.DB, K: ctx.K, Eval: ctx.Eval, Spec: ctx.Spec, Budget: ctx.Budget}
 	for round := 0; round < maxRounds; round++ {
-		plan, err := planner(cur)
+		if err := stdctx.Err(); err != nil {
+			return nil, err
+		}
+		plan, err := planner(stdctx, cur)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package cleaning
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -9,62 +10,90 @@ import (
 // cells). 2^27 cells = 256 MiB at 2 bytes/cell.
 const dpMaxCells = 1 << 27
 
-// DP solves the cleaning problem optimally (Section V-D.1). The problem
-// P(C, Z) is a 0-1 knapsack over items (l, j) with value b(l,D,j) and cost
-// c_l; because the marginal gains within an x-tuple decrease (Lemma 4), the
-// optimum always takes a prefix of each x-tuple's items (Theorem 3), so the
-// knapsack is solved group-wise: process one x-tuple at a time, choosing
-// how many operations M_l in 0..J_l to buy. Runtime O(C * sum_l J_l),
-// matching the paper's O(C^2 |Z|) bound since J_l <= C / c_l <= C.
+// DP solves the cleaning problem optimally (Section V-D.1). It is
+// DPContext with a background context; prefer DPContext in servers so a
+// caller can abandon a long-running plan.
+func DP(c *Context) (Plan, error) {
+	return dp(context.Background(), c, true)
+}
+
+// DPContext solves the cleaning problem optimally (Section V-D.1),
+// honouring ctx cancellation. The problem P(C, Z) is a 0-1 knapsack over
+// items (l, j) with value b(l,D,j) and cost c_l; because the marginal gains
+// within an x-tuple decrease (Lemma 4), the optimum always takes a prefix
+// of each x-tuple's items (Theorem 3), so the knapsack is solved
+// group-wise: process one x-tuple at a time, choosing how many operations
+// M_l in 0..J_l to buy. Runtime O(C * sum_l J_l), matching the paper's
+// O(C^2 |Z|) bound since J_l <= C / c_l <= C.
 //
 // The per-group item count J_l = floor(C/c_l) is additionally capped at the
 // smallest j whose marginal gain falls below 1e-15 (the gains decay
 // geometrically), which preserves the optimum to within 1e-15 while keeping
 // the table small.
-func DP(ctx *Context) (Plan, error) {
-	return dp(ctx, true)
+//
+// Cancellation is checked between x-tuple rows and every few thousand
+// budget cells; a cancelled ctx returns ctx.Err() with a nil plan.
+func DPContext(ctx context.Context, c *Context) (Plan, error) {
+	return dp(ctx, c, true)
 }
 
 // AblationDPNoCap runs the dynamic program without the geometric-decay cap
 // on per-x-tuple operation counts (J_l = floor(C/c_l) exactly, as in the
 // paper's formulation). It exists to measure what the cap buys; the
 // returned plan's value matches DP's to within the 1e-15 cap tolerance.
-func AblationDPNoCap(ctx *Context) (Plan, error) {
-	return dp(ctx, false)
+func AblationDPNoCap(c *Context) (Plan, error) {
+	return dp(context.Background(), c, false)
 }
 
-func dp(ctx *Context, capped bool) (Plan, error) {
-	if err := ctx.Validate(); err != nil {
+// dpCancelStride is how many budget cells a DP row processes between
+// cancellation checks; ctx.Err() is two atomic loads, so checking every
+// few thousand cells keeps the overhead unmeasurable while bounding the
+// cancellation latency to a fraction of one row.
+const dpCancelStride = 4096
+
+func dp(ctx context.Context, c *Context, capped bool) (Plan, error) {
+	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	z := ctx.candidates()
-	c := ctx.Budget
-	if len(z) == 0 || c == 0 {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	z := c.candidates()
+	budget := c.Budget
+	if len(z) == 0 || budget == 0 {
 		return Plan{}, nil
 	}
-	if cells := (len(z) + 1) * (c + 1); cells > dpMaxCells || cells < 0 {
-		return nil, fmt.Errorf("cleaning: DP table of %d x-tuples x %d budget exceeds memory bound; use Greedy", len(z), c)
+	if cells := (len(z) + 1) * (budget + 1); cells > dpMaxCells || cells < 0 {
+		return nil, fmt.Errorf("cleaning: DP table of %d x-tuples x %d budget exceeds memory bound; use Greedy", len(z), budget)
 	}
 
 	// dp[b] = best expected improvement achievable with budget b using the
 	// x-tuples processed so far; choice[li][b] = operations bought for
 	// x-tuple z[li] at that state.
-	dp := make([]float64, c+1)
-	next := make([]float64, c+1)
+	dp := make([]float64, budget+1)
+	next := make([]float64, budget+1)
 	choice := make([][]uint16, len(z))
 
 	for li, l := range z {
-		cost := ctx.Spec.Costs[l]
-		p := ctx.Spec.SCProbs[l]
-		gain := ctx.Eval.GroupGain[l]
-		jMax := c / cost
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		cost := c.Spec.Costs[l]
+		p := c.Spec.SCProbs[l]
+		gain := c.Eval.GroupGain[l]
+		jMax := budget / cost
 		if capped {
 			jMax = maxUsefulOps(gain, p, jMax)
 		} else if jMax > math.MaxUint16 {
 			jMax = math.MaxUint16
 		}
-		row := make([]uint16, c+1)
-		for b := 0; b <= c; b++ {
+		row := make([]uint16, budget+1)
+		for b := 0; b <= budget; b++ {
+			if b%dpCancelStride == 0 && b > 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			best := dp[b]
 			bestJ := 0
 			// G(l, D, j) = (1 - (1-P)^j) * (-g): expected improvement from
@@ -88,13 +117,13 @@ func dp(ctx *Context, capped bool) (Plan, error) {
 
 	// Reconstruct the optimal plan.
 	plan := Plan{}
-	b := c
+	b := budget
 	for li := len(z) - 1; li >= 0; li-- {
 		j := int(choice[li][b])
 		if j > 0 {
 			l := z[li]
 			plan[l] = j
-			b -= j * ctx.Spec.Costs[l]
+			b -= j * c.Spec.Costs[l]
 		}
 	}
 	return plan, nil

@@ -1,39 +1,64 @@
 package cleaning
 
-import "container/heap"
+import (
+	"container/heap"
+	"context"
+)
 
-// Greedy implements the heuristic of Section V-D.4: repeatedly take the
-// cleaning operation with the highest score gamma_{l,j} = b(l,D,j) / c_l
-// (expected improvement per unit cost) that still fits in the remaining
-// budget. Because gamma_{l,j+1} <= gamma_{l,j} (Lemma 4), a heap seeded
-// with each x-tuple's first operation and refilled with the successor of
-// each taken operation yields operations in globally non-increasing gamma
-// order. Runtime O(N log |Z|).
+// greedyCancelStride is how many heap pops Greedy performs between
+// cancellation checks.
+const greedyCancelStride = 256
+
+// Greedy implements the heuristic of Section V-D.4 with a background
+// context; prefer GreedyContext in servers so a caller can abandon a
+// long-running plan.
+func Greedy(c *Context) (Plan, error) {
+	return GreedyContext(context.Background(), c)
+}
+
+// GreedyContext implements the heuristic of Section V-D.4, honouring ctx
+// cancellation: repeatedly take the cleaning operation with the highest
+// score gamma_{l,j} = b(l,D,j) / c_l (expected improvement per unit cost)
+// that still fits in the remaining budget. Because gamma_{l,j+1} <=
+// gamma_{l,j} (Lemma 4), a heap seeded with each x-tuple's first operation
+// and refilled with the successor of each taken operation yields operations
+// in globally non-increasing gamma order. Runtime O(N log |Z|).
 //
 // For knapsack-type problems this greedy is known to be near-optimal on
 // average [34], which Figure 6 confirms empirically.
-func Greedy(ctx *Context) (Plan, error) {
-	if err := ctx.Validate(); err != nil {
+//
+// Cancellation is checked every few hundred heap pops; a cancelled ctx
+// returns ctx.Err() with a nil plan.
+func GreedyContext(ctx context.Context, c *Context) (Plan, error) {
+	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	z := ctx.candidates()
-	remaining := ctx.Budget
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	z := c.candidates()
+	remaining := c.Budget
 	plan := Plan{}
 	if len(z) == 0 || remaining == 0 {
 		return plan, nil
 	}
 	h := make(gammaHeap, 0, len(z))
 	for _, l := range z {
-		g := MarginalGain(ctx.Eval.GroupGain[l], ctx.Spec.SCProbs[l], 1)
+		g := MarginalGain(c.Eval.GroupGain[l], c.Spec.SCProbs[l], 1)
 		if g <= 0 {
 			continue
 		}
-		h = append(h, gammaItem{gamma: g / float64(ctx.Spec.Costs[l]), group: l, j: 1})
+		h = append(h, gammaItem{gamma: g / float64(c.Spec.Costs[l]), group: l, j: 1})
 	}
 	heap.Init(&h)
-	for h.Len() > 0 && remaining > 0 {
+	for pops := 0; h.Len() > 0 && remaining > 0; pops++ {
+		if pops%greedyCancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		item := heap.Pop(&h).(gammaItem)
-		cost := ctx.Spec.Costs[item.group]
+		cost := c.Spec.Costs[item.group]
 		if cost > remaining {
 			// Neither this operation nor any later one for this x-tuple
 			// (same cost) can fit; drop the whole chain.
@@ -41,7 +66,7 @@ func Greedy(ctx *Context) (Plan, error) {
 		}
 		remaining -= cost
 		plan[item.group]++
-		next := MarginalGain(ctx.Eval.GroupGain[item.group], ctx.Spec.SCProbs[item.group], item.j+1)
+		next := MarginalGain(c.Eval.GroupGain[item.group], c.Spec.SCProbs[item.group], item.j+1)
 		if next > gainFloor {
 			heap.Push(&h, gammaItem{gamma: next / float64(cost), group: item.group, j: item.j + 1})
 		}
@@ -54,12 +79,12 @@ func Greedy(ctx *Context) (Plan, error) {
 // O(N log |Z|). It produces exactly the same plans as Greedy (the scan
 // order ties break identically) and exists to measure the heap's benefit
 // and as an independent cross-check of the heap implementation.
-func AblationGreedyRescan(ctx *Context) (Plan, error) {
-	if err := ctx.Validate(); err != nil {
+func AblationGreedyRescan(c *Context) (Plan, error) {
+	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	z := ctx.candidates()
-	remaining := ctx.Budget
+	z := c.candidates()
+	remaining := c.Budget
 	plan := Plan{}
 	nextJ := make(map[int]int, len(z))
 	for _, l := range z {
@@ -69,16 +94,16 @@ func AblationGreedyRescan(ctx *Context) (Plan, error) {
 		best := -1
 		bestGamma := 0.0
 		for _, l := range z {
-			if ctx.Spec.Costs[l] > remaining {
+			if c.Spec.Costs[l] > remaining {
 				continue
 			}
-			g := MarginalGain(ctx.Eval.GroupGain[l], ctx.Spec.SCProbs[l], nextJ[l])
+			g := MarginalGain(c.Eval.GroupGain[l], c.Spec.SCProbs[l], nextJ[l])
 			if g <= gainFloor {
 				continue
 			}
 			// z ascends by x-tuple index, so strict > keeps the smallest
 			// index on ties — the same tie-break as the heap's Less.
-			gamma := g / float64(ctx.Spec.Costs[l])
+			gamma := g / float64(c.Spec.Costs[l])
 			if gamma > bestGamma {
 				best, bestGamma = l, gamma
 			}
@@ -88,7 +113,7 @@ func AblationGreedyRescan(ctx *Context) (Plan, error) {
 		}
 		plan[best]++
 		nextJ[best]++
-		remaining -= ctx.Spec.Costs[best]
+		remaining -= c.Spec.Costs[best]
 	}
 	return plan, nil
 }

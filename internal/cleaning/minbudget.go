@@ -1,6 +1,7 @@
 package cleaning
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
@@ -21,6 +22,13 @@ var ErrTargetUnreachable = errors.New("cleaning: target quality unreachable by c
 // budget; Greedy gives an upper bound that is near-optimal in practice.
 // maxBudget caps the search.
 func MinBudgetForTarget(ctx *Context, target float64, maxBudget int, planner func(*Context) (Plan, error)) (int, Plan, error) {
+	return MinBudgetForTargetContext(context.Background(), ctx, target, maxBudget, background(planner))
+}
+
+// MinBudgetForTargetContext is MinBudgetForTarget with a context-aware
+// planner; cancellation is checked before every budget probe and inside
+// the planner itself.
+func MinBudgetForTargetContext(stdctx context.Context, ctx *Context, target float64, maxBudget int, planner PlannerFunc) (int, Plan, error) {
 	if err := ctx.Validate(); err != nil {
 		return 0, nil, err
 	}
@@ -44,9 +52,12 @@ func MinBudgetForTarget(ctx *Context, target float64, maxBudget int, planner fun
 	}
 
 	improvementAt := func(c int) (float64, Plan, error) {
+		if err := stdctx.Err(); err != nil {
+			return 0, nil, err
+		}
 		sub := *ctx
 		sub.Budget = c
-		plan, err := planner(&sub)
+		plan, err := planner(stdctx, &sub)
 		if err != nil {
 			return 0, nil, err
 		}

@@ -1,6 +1,7 @@
 package cleaning
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -9,14 +10,26 @@ import (
 	"github.com/probdb/topkclean/internal/numeric"
 )
 
-// MonteCarloImprovementParallel is MonteCarloImprovement fanned out over a
-// fixed pool of workers, one independent random stream per worker (seeded
-// deterministically from seed, so results are reproducible regardless of
-// scheduling). Each trial simulates the cleaning agent and re-evaluates
-// the cleaned database's quality — embarrassingly parallel work that
-// dominates verification time on large databases.
-func MonteCarloImprovementParallel(ctx *Context, plan Plan, seed int64, trials, workers int) (float64, error) {
-	if err := ctx.Validate(); err != nil {
+// MonteCarloImprovementParallel is MonteCarloImprovementParallelContext
+// with a background context.
+func MonteCarloImprovementParallel(c *Context, plan Plan, seed int64, trials, workers int) (float64, error) {
+	return MonteCarloImprovementParallelContext(context.Background(), c, plan, seed, trials, workers)
+}
+
+// MonteCarloImprovementParallelContext is MonteCarloImprovement fanned out
+// over a fixed pool of workers, one independent random stream per worker
+// (seeded deterministically from seed, so results are reproducible
+// regardless of scheduling). Each trial simulates the cleaning agent and
+// re-evaluates the cleaned database's quality — embarrassingly parallel
+// work that dominates verification time on large databases.
+//
+// Every worker checks ctx between trials; a cancelled ctx makes the whole
+// call return ctx.Err().
+func MonteCarloImprovementParallelContext(ctx context.Context, c *Context, plan Plan, seed int64, trials, workers int) (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
 	if trials < 1 {
@@ -49,7 +62,11 @@ func MonteCarloImprovementParallel(ctx *Context, plan Plan, seed int64, trials, 
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed + int64(w)*1_000_003))
 			for i := 0; i < n; i++ {
-				out, err := Execute(ctx, plan, rng)
+				if err := ctx.Err(); err != nil {
+					results[w].err = err
+					return
+				}
+				out, err := Execute(c, plan, rng)
 				if err != nil {
 					results[w].err = err
 					return

@@ -1,51 +1,74 @@
 package cleaning
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 )
 
-// RandU implements the uniform-random baseline of Section V-D.2: x-tuples
-// are selected uniformly at random with replacement — regardless of whether
-// cleaning them can help — until the budget cannot afford any further
-// operation. O(C) expected time.
-func RandU(ctx *Context, rng *rand.Rand) (Plan, error) {
-	if err := ctx.Validate(); err != nil {
+// randCancelStride is how many draws the random planners make between
+// cancellation checks.
+const randCancelStride = 256
+
+// RandU implements the uniform-random baseline of Section V-D.2 with a
+// background context; prefer RandUContext in servers.
+func RandU(c *Context, rng *rand.Rand) (Plan, error) {
+	return RandUContext(context.Background(), c, rng)
+}
+
+// RandUContext implements the uniform-random baseline of Section V-D.2,
+// honouring ctx cancellation: x-tuples are selected uniformly at random
+// with replacement — regardless of whether cleaning them can help — until
+// the budget cannot afford any further operation. O(C) expected time.
+func RandUContext(ctx context.Context, c *Context, rng *rand.Rand) (Plan, error) {
+	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	m := ctx.DB.NumGroups()
+	m := c.DB.NumGroups()
 	weights := make([]float64, m)
 	for l := 0; l < m; l++ {
 		weights[l] = 1
 	}
-	return randomPlan(ctx, rng, weights)
+	return randomPlan(ctx, c, rng, weights)
 }
 
-// RandP implements the probability-weighted baseline of Section V-D.3: an
-// x-tuple is selected with probability sum_{t_i in tau_l} p_i / k, the
-// intuition being that x-tuples with large top-k probability matter more to
-// the query answer. Selection is with replacement until the budget is
-// exhausted. O(C log m) expected time.
-func RandP(ctx *Context, rng *rand.Rand) (Plan, error) {
-	if err := ctx.Validate(); err != nil {
+// RandP implements the probability-weighted baseline of Section V-D.3 with
+// a background context; prefer RandPContext in servers.
+func RandP(c *Context, rng *rand.Rand) (Plan, error) {
+	return RandPContext(context.Background(), c, rng)
+}
+
+// RandPContext implements the probability-weighted baseline of Section
+// V-D.3, honouring ctx cancellation: an x-tuple is selected with
+// probability sum_{t_i in tau_l} p_i / k, the intuition being that x-tuples
+// with large top-k probability matter more to the query answer. Selection
+// is with replacement until the budget is exhausted. O(C log m) expected
+// time.
+func RandPContext(ctx context.Context, c *Context, rng *rand.Rand) (Plan, error) {
+	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	m := ctx.DB.NumGroups()
+	m := c.DB.NumGroups()
 	weights := make([]float64, m)
-	info := ctx.Eval.Info
+	info := c.Eval.Info
 	if info == nil {
 		return nil, fmt.Errorf("cleaning: RandP needs rank info in the evaluation")
 	}
-	for _, t := range ctx.DB.Sorted() {
+	for _, t := range c.DB.Sorted() {
 		weights[t.Group] += info.P(t.Index())
 	}
-	return randomPlan(ctx, rng, weights)
+	return randomPlan(ctx, c, rng, weights)
 }
 
 // randomPlan repeatedly draws an x-tuple from the weighted distribution and
 // buys one cleaning operation for it when affordable, stopping when no
-// drawable x-tuple fits the remaining budget.
-func randomPlan(ctx *Context, rng *rand.Rand, weights []float64) (Plan, error) {
+// drawable x-tuple fits the remaining budget. Cancellation is checked
+// every few hundred draws; a cancelled ctx returns ctx.Err() with a nil
+// plan.
+func randomPlan(ctx context.Context, c *Context, rng *rand.Rand, weights []float64) (Plan, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	m := len(weights)
 	cum := make([]float64, m)
 	run := 0.0
@@ -53,26 +76,31 @@ func randomPlan(ctx *Context, rng *rand.Rand, weights []float64) (Plan, error) {
 	for l := 0; l < m; l++ {
 		run += weights[l]
 		cum[l] = run
-		if weights[l] > 0 && (minAffordable == -1 || ctx.Spec.Costs[l] < minAffordable) {
-			minAffordable = ctx.Spec.Costs[l]
+		if weights[l] > 0 && (minAffordable == -1 || c.Spec.Costs[l] < minAffordable) {
+			minAffordable = c.Spec.Costs[l]
 		}
 	}
 	plan := Plan{}
 	if run == 0 || minAffordable == -1 {
 		return plan, nil
 	}
-	remaining := ctx.Budget
-	for remaining >= minAffordable {
+	remaining := c.Budget
+	for draws := 0; remaining >= minAffordable; draws++ {
+		if draws%randCancelStride == 0 && draws > 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		u := rng.Float64() * run
 		l := searchCum(cum, u)
 		if weights[l] == 0 {
 			continue // u landed exactly on a boundary of a zero-weight x-tuple
 		}
-		if ctx.Spec.Costs[l] > remaining {
+		if c.Spec.Costs[l] > remaining {
 			continue // rejection: this draw does not fit, try another
 		}
 		plan[l]++
-		remaining -= ctx.Spec.Costs[l]
+		remaining -= c.Spec.Costs[l]
 	}
 	return plan, nil
 }

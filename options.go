@@ -1,0 +1,116 @@
+package topkclean
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+
+	"github.com/probdb/topkclean/internal/uncertain"
+)
+
+// Option configuration errors, wrapped into the errors New returns so
+// callers can match them with errors.Is.
+var (
+	// ErrNilDatabase is returned by New when db is nil.
+	ErrNilDatabase = errors.New("topkclean: engine needs a non-nil database")
+	// ErrBadK is returned for a non-positive query size.
+	ErrBadK = errors.New("topkclean: k must be a positive integer")
+	// ErrBadThreshold is returned for a PT-k threshold outside [0, 1].
+	ErrBadThreshold = errors.New("topkclean: PT-k threshold must lie in [0, 1]")
+	// ErrBadParallelism is returned for a negative worker count.
+	ErrBadParallelism = errors.New("topkclean: parallelism must be non-negative")
+	// ErrRankOnBuilt is returned when WithRankFunc is combined with a
+	// database that was already built (its rank order is immutable).
+	ErrRankOnBuilt = errors.New("topkclean: WithRankFunc needs an unbuilt database (Build fixes the rank order)")
+	// ErrNotBuilt is returned by New for a database that has not been
+	// built and no WithRankFunc option was given to build it.
+	ErrNotBuilt = uncertain.ErrNotBuilt
+)
+
+// config carries an Engine's settings; options mutate it before New
+// validates the result.
+type config struct {
+	k           int
+	threshold   float64
+	rank        RankFunc
+	rankSet     bool
+	parallelism int
+	seed        int64
+}
+
+// defaultConfig matches the paper's evaluation defaults: k = 15 and PT-k
+// threshold 0.1 (Section VI), all CPUs for simulation work, seed 1.
+func defaultConfig() config {
+	return config{k: 15, threshold: 0.1, parallelism: 0, seed: 1}
+}
+
+// Option customizes an Engine; pass options to New. The zero set of
+// options gives the paper's defaults (k = 15, PT-k threshold 0.1).
+type Option func(*config) error
+
+// WithK sets the query size k shared by Answers, Quality, and
+// PlanCleaning. k must be positive.
+func WithK(k int) Option {
+	return func(c *config) error {
+		if k < 1 {
+			return fmt.Errorf("%w (got %d)", ErrBadK, k)
+		}
+		c.k = k
+		return nil
+	}
+}
+
+// WithPTKThreshold sets the PT-k probability threshold used by Answers.
+// The threshold must lie in [0, 1]; the paper's default is 0.1.
+func WithPTKThreshold(t float64) Option {
+	return func(c *config) error {
+		if math.IsNaN(t) || t < 0 || t > 1 {
+			return fmt.Errorf("%w (got %v)", ErrBadThreshold, t)
+		}
+		c.threshold = t
+		return nil
+	}
+}
+
+// WithRankFunc makes New build the (still unbuilt) database with the given
+// ranking function; nil means ByFirstAttr. Combining it with an already
+// built database is an error, because Build freezes the rank order every
+// algorithm relies on.
+func WithRankFunc(rank RankFunc) Option {
+	return func(c *config) error {
+		c.rank = rank
+		c.rankSet = true
+		return nil
+	}
+}
+
+// WithParallelism sets the number of workers the engine uses for
+// simulation-heavy work such as VerifyImprovement. Zero (the default)
+// means all CPUs.
+func WithParallelism(workers int) Option {
+	return func(c *config) error {
+		if workers < 0 {
+			return fmt.Errorf("%w (got %d)", ErrBadParallelism, workers)
+		}
+		c.parallelism = workers
+		return nil
+	}
+}
+
+// WithSeed sets the seed that drives the engine's random planners (randp,
+// randu) and its Monte-Carlo verification streams. The default is 1.
+func WithSeed(seed int64) Option {
+	return func(c *config) error {
+		c.seed = seed
+		return nil
+	}
+}
+
+// workers resolves the configured parallelism to a concrete worker count.
+func (c config) workers() int {
+	if c.parallelism == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.parallelism
+}

@@ -1,0 +1,102 @@
+package topkclean
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/probdb/topkclean/internal/uncertain"
+)
+
+func TestNewValidatesOptions(t *testing.T) {
+	db := paperUDB1(t)
+	cases := []struct {
+		name string
+		opt  Option
+		want error
+	}{
+		{"zero k", WithK(0), ErrBadK},
+		{"negative k", WithK(-3), ErrBadK},
+		{"negative threshold", WithPTKThreshold(-0.1), ErrBadThreshold},
+		{"threshold above one", WithPTKThreshold(1.5), ErrBadThreshold},
+		{"NaN threshold", WithPTKThreshold(math.NaN()), ErrBadThreshold},
+		{"negative parallelism", WithParallelism(-1), ErrBadParallelism},
+		{"rank func on built db", WithRankFunc(SumOfAttrs), ErrRankOnBuilt},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := New(db, tc.opt); !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestNewRejectsNilAndUnbuilt(t *testing.T) {
+	if _, err := New(nil); !errors.Is(err, ErrNilDatabase) {
+		t.Fatalf("nil db: got %v", err)
+	}
+	db := NewDatabase()
+	if err := db.AddXTuple("A", Tuple{ID: "a", Attrs: []float64{1}, Prob: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(db); !errors.Is(err, uncertain.ErrNotBuilt) {
+		t.Fatalf("unbuilt db without WithRankFunc: got %v", err)
+	}
+}
+
+func TestWithRankFuncBuildsUnbuiltDatabase(t *testing.T) {
+	db := NewDatabase()
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(db.AddXTuple("A", Tuple{ID: "low", Attrs: []float64{10, 0}, Prob: 1}))
+	must(db.AddXTuple("B", Tuple{ID: "high", Attrs: []float64{0, 10}, Prob: 1}))
+	eng, err := New(db, WithK(1), WithRankFunc(WeightedSum(0.1, 1.0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db.Built() {
+		t.Fatal("New with WithRankFunc should build the database")
+	}
+	res, err := eng.Answers(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.GlobalTopK) != 1 || res.GlobalTopK[0].Tuple.ID != "high" {
+		t.Fatalf("rank func not applied: %s", FormatScored(res.GlobalTopK))
+	}
+}
+
+func TestEngineDefaultsArePaperDefaults(t *testing.T) {
+	cfg := DefaultSyntheticConfig()
+	cfg.NumXTuples = 200
+	db, err := GenerateSynthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.K() != 15 {
+		t.Fatalf("default k = %d, want the paper's 15", eng.K())
+	}
+	if eng.Threshold() != 0.1 {
+		t.Fatalf("default threshold = %v, want the paper's 0.1", eng.Threshold())
+	}
+	if eng.DB() != db {
+		t.Fatal("DB() should return the session database")
+	}
+}
+
+func TestOptionErrorsAreReportedFirst(t *testing.T) {
+	// An option error surfaces even when a later option is fine.
+	db := paperUDB1(t)
+	if _, err := New(db, WithK(0), WithSeed(9)); !errors.Is(err, ErrBadK) {
+		t.Fatalf("got %v", err)
+	}
+}

@@ -53,8 +53,10 @@ func NewDatabase() *Database { return uncertain.New() }
 
 // Quality computes the PWS-quality of a top-k query on db with the TP
 // algorithm (Theorem 1; O(kn)). The score is <= 0; 0 means the answer is
-// certain. Use Evaluate to obtain query answers and quality from one
-// shared rank-probability pass.
+// certain.
+//
+// Deprecated: use New and Engine.Quality, which memoizes the shared
+// rank-probability pass so answers, quality, and cleaning plans reuse it.
 func Quality(db *Database, k int) (float64, error) {
 	ev, err := quality.TP(db, k)
 	if err != nil {
@@ -65,6 +67,8 @@ func Quality(db *Database, k int) (float64, error) {
 
 // QualityEval computes the full TP evaluation (score, per-tuple weights,
 // per-x-tuple gains). The evaluation feeds the cleaning planners.
+//
+// Deprecated: use New and Engine.QualityEvaluation.
 func QualityEval(db *Database, k int) (*QualityEvaluation, error) {
 	return quality.TP(db, k)
 }
