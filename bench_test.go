@@ -681,6 +681,79 @@ func BenchmarkSessionReuse(b *testing.B) {
 	})
 }
 
+// --- Streaming updates: incremental mutation vs full rebuild ----------------
+
+// BenchmarkMutateRequery measures the versioned-mutation payoff: one new
+// x-tuple arrives and the quality is re-evaluated. The mutate variant
+// inserts into the live database (ordered insertion, O(n)) and lets the
+// version-aware engine revalidate; the rebuild variant does what was
+// previously the only option — reconstruct and re-sort the whole database
+// and start a fresh session. Both variants serve the identical answers
+// (TestEngineAnswersTrackMutations); only the cost differs.
+func BenchmarkMutateRequery(b *testing.B) {
+	const k = 15
+	base := benchSynthetic(b, 2000)
+	midScore := base.Sorted()[base.NumTuples()/2].Score
+	newTuples := func(i int) []Tuple {
+		name := fmt.Sprintf("stream-%d", i)
+		return []Tuple{
+			{ID: name + ".a", Attrs: []float64{midScore + 0.25}, Prob: 0.5},
+			{ID: name + ".b", Attrs: []float64{midScore - 0.25}, Prob: 0.4},
+		}
+	}
+
+	b.Run("mutate", func(b *testing.B) {
+		db := base.Clone() // keep the shared cache pristine
+		eng, err := New(db, WithK(k))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		for i := 0; i < b.N; i++ {
+			if err := db.InsertXTuple(fmt.Sprintf("stream-%d", i), newTuples(i)...); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.Quality(ctx); err != nil {
+				b.Fatal(err)
+			}
+			// Retire the insert so the database stays the same size; the
+			// delete is itself a mutation the variant pays for.
+			if err := db.DeleteXTuple(db.NumGroups() - 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("rebuild", func(b *testing.B) {
+		ctx := context.Background()
+		for i := 0; i < b.N; i++ {
+			db := NewDatabase()
+			for _, g := range base.Groups() {
+				ts := make([]Tuple, 0, len(g.Tuples))
+				for _, tp := range g.RealTuples() {
+					ts = append(ts, Tuple{ID: tp.ID, Attrs: tp.Attrs, Prob: tp.Prob})
+				}
+				if err := db.AddXTuple(g.Name, ts...); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := db.AddXTuple(fmt.Sprintf("stream-%d", i), newTuples(i)...); err != nil {
+				b.Fatal(err)
+			}
+			if err := db.Build(base.Rank()); err != nil {
+				b.Fatal(err)
+			}
+			eng, err := New(db, WithK(k))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.Quality(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // --- Running example (Tables I/II, Figures 2-3) ----------------------------
 
 func BenchmarkTables12_UDB1AllAlgorithms(b *testing.B) {

@@ -8,6 +8,12 @@ import (
 	"github.com/probdb/topkclean/internal/cleaning"
 )
 
+// ErrStaleCleaningContext is returned by Engine.ApplyCleaning when the
+// cleaning context was planned against an older database version: a
+// mutation since planning has invalidated the gains the plan was chosen by.
+// Re-plan with a fresh Engine.CleaningContext.
+var ErrStaleCleaningContext = cleaning.ErrStaleContext
+
 // Cleaning types, re-exported.
 type (
 	// CleaningSpec holds per-x-tuple cleaning costs and success

@@ -221,8 +221,11 @@ func cmdClean(args []string, w io.Writer) error {
 	budget := fs.Int("budget", 100, "cleaning budget C")
 	method := fs.String("method", "greedy", "planner: dp | greedy | randp | randu")
 	specPath := fs.String("spec", "", "cleaning spec JSON (default: generated)")
-	seed := fs.Int64("seed", 1, "random seed (spec generation and random planners)")
+	seed := fs.Int64("seed", 1, "random seed (spec generation, random planners, and the cleaning agent)")
 	explain := fs.Bool("explain", false, "also list candidate x-tuples ranked by improvement per cost")
+	apply := fs.Bool("apply", false, "execute the plan onto the database and show before/after answers")
+	threshold := fs.Float64("threshold", 0.1, "PT-k probability threshold for -apply answers")
+	out := fs.String("o", "", "with -apply: write the cleaned dataset here (.csv or .json)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -237,9 +240,16 @@ func cmdClean(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	eng, err := topkclean.New(db, topkclean.WithK(*k), topkclean.WithSeed(*seed))
+	eng, err := topkclean.New(db, topkclean.WithK(*k), topkclean.WithSeed(*seed),
+		topkclean.WithPTKThreshold(*threshold))
 	if err != nil {
 		return err
+	}
+	var before *topkclean.Result
+	if *apply {
+		if before, err = eng.Answers(runCtx); err != nil {
+			return err
+		}
 	}
 	plan, cctx, err := eng.PlanCleaning(runCtx, *method, spec, *budget)
 	if err != nil {
@@ -275,6 +285,43 @@ func cmdClean(args []string, w io.Writer) error {
 		}
 		if len(cands) > limit {
 			fmt.Fprintf(w, "  ... and %d more\n", len(cands)-limit)
+		}
+	}
+	if *apply {
+		outcome, err := eng.ApplyCleaning(runCtx, cctx, plan, nil)
+		if err != nil {
+			return err
+		}
+		after, err := eng.Answers(runCtx)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\napplied: %d of %d operations used (cost %d of %d; early successes refund), %d x-tuples resolved\n",
+			outcome.OpsUsed, outcome.OpsPlanned, outcome.CostUsed, outcome.CostPlanned, len(outcome.Choices))
+		fmt.Fprintf(w, "database now at version %d\n\n", db.Version())
+		fmt.Fprintf(w, "                before                          after\n")
+		fmt.Fprintf(w, "U-kRanks:    %-30s  %s\n",
+			topkclean.FormatRanked(before.UKRanks), topkclean.FormatRanked(after.UKRanks))
+		fmt.Fprintf(w, "PT-%d (T=%g): %-30s  %s\n",
+			*k, *threshold, topkclean.FormatScored(before.PTK), topkclean.FormatScored(after.PTK))
+		fmt.Fprintf(w, "Global-topk: %-30s  %s\n",
+			topkclean.FormatScored(before.GlobalTopK), topkclean.FormatScored(after.GlobalTopK))
+		fmt.Fprintf(w, "PWS-quality: %-30.6f  %.6f (realized improvement %.6f)\n",
+			before.Quality, after.Quality, outcome.Improvement)
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if strings.HasSuffix(*out, ".json") {
+				err = topkclean.WriteJSON(f, db)
+			} else {
+				err = topkclean.WriteCSV(f, db)
+			}
+			if err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -114,6 +114,30 @@ func TestCmdCleanAndSimulate(t *testing.T) {
 	}
 }
 
+func TestCmdCleanApply(t *testing.T) {
+	dir := t.TempDir()
+	data, spec := genTestData(t, dir)
+	cleanedPath := filepath.Join(dir, "applied.csv")
+	var out strings.Builder
+	err := cmdClean([]string{"-data", data, "-k", "5", "-budget", "40",
+		"-method", "greedy", "-spec", spec, "-seed", "3", "-apply", "-o", cleanedPath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"applied:", "database now at version", "before", "after",
+		"U-kRanks:", "Global-topk:", "realized improvement"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("apply output missing %q:\n%s", want, s)
+		}
+	}
+	// The applied dataset must load and evaluate.
+	var q strings.Builder
+	if err := cmdQuality([]string{"-data", cleanedPath, "-k", "5"}, &q); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestCmdGenPaperKindAndQualityDist(t *testing.T) {
 	dir := t.TempDir()
 	data := filepath.Join(dir, "paper.csv")

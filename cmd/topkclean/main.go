@@ -69,7 +69,8 @@ commands:
   gen       generate a synthetic or MOV-like dataset (CSV/JSON)
   quality   compute the PWS-quality of a top-k query
   query     evaluate U-kRanks, PT-k, and Global-topk with quality
-  clean     plan budgeted cleaning (dp | greedy | randp | randu)
+  clean     plan budgeted cleaning (dp | greedy | randp | randu);
+            -apply executes the plan in place and shows before/after answers
   simulate  plan and then simulate the cleaning agent
   verify    cross-check a plan's expected improvement by simulation
   report    one-page quality + cleaning-outlook report for a dataset

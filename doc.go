@@ -55,6 +55,27 @@
 // context.Context, and cancellation aborts the DP/Greedy/Monte-Carlo hot
 // loops promptly with ctx.Err().
 //
+// # Mutation and versioning
+//
+// A built database can be mutated in place: InsertXTuple and
+// InsertAbsentXTuple add x-tuples by ordered insertion into the existing
+// rank order, DeleteXTuple removes one (renumbering later indices),
+// Reweight revises an x-tuple's existential probabilities (maintaining its
+// null alternative), and Collapse resolves an x-tuple to one alternative
+// with probability 1 — the effect of a successful cleaning operation.
+// Every mutation bumps Database.Version, and the Engine keys its memoized
+// state by (version, k): after a mutation the next query recomputes for
+// the new version and stale entries are dropped lazily, so one session
+// spans any number of updates and its answers always match a freshly
+// rebuilt database. Engine.ApplyCleaning executes a cleaning plan onto the
+// live database this way and re-evaluates the quality, closing the paper's
+// clean→re-query loop; contexts are version-stamped, and applying one that
+// predates a later mutation fails with ErrStaleCleaningContext.
+//
+// Mutations follow the same single-writer discipline as Build: they must
+// not run concurrently with queries or other mutations. Concurrent
+// queries remain safe.
+//
 // # Planners as values
 //
 // Plan-selection strategies implement the Planner interface and live in a

@@ -28,14 +28,29 @@ func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 //	res, err := eng.Answers(ctx)
 //	plan, cctx, err := eng.PlanCleaning(ctx, "greedy", spec, budget)
 //
-// An Engine is safe for concurrent use. The database must not be mutated
-// while the engine exists (Build already freezes it).
+// The engine is version-aware: memoized state is keyed by the database's
+// monotonic version counter, so mutating the database (InsertXTuple,
+// DeleteXTuple, Reweight, Collapse, or Engine.ApplyCleaning) does not
+// require throwing the engine away — the next query simply computes fresh
+// state for the new version and the stale entries are dropped lazily.
+//
+// An Engine is safe for concurrent use, with the same single-writer
+// discipline the Database requires: queries may run concurrently with each
+// other, but database mutations must not run concurrently with queries or
+// with other mutations.
 type Engine struct {
 	db  *Database
 	cfg config
 
-	mu     sync.Mutex      // guards the states map itself
-	states map[int]*kEntry // memoized per-k shared state
+	mu     sync.Mutex           // guards the states map itself
+	states map[stateKey]*kEntry // memoized shared state per (version, k)
+}
+
+// stateKey identifies one memoization slot: the database version the state
+// was computed against and the query size.
+type stateKey struct {
+	version uint64
+	k       int
 }
 
 // kEntry is one k's memoization slot. Its own mutex makes the first
@@ -89,7 +104,7 @@ func New(db *Database, opts ...Option) (*Engine, error) {
 	if !db.Built() {
 		return nil, uncertain.ErrNotBuilt
 	}
-	return &Engine{db: db, cfg: cfg, states: make(map[int]*kEntry)}, nil
+	return &Engine{db: db, cfg: cfg, states: make(map[stateKey]*kEntry)}, nil
 }
 
 // DB returns the engine's database.
@@ -101,28 +116,43 @@ func (e *Engine) K() int { return e.cfg.k }
 // Threshold returns the configured PT-k probability threshold.
 func (e *Engine) Threshold() float64 { return e.cfg.threshold }
 
-// Invalidate drops all memoized rank/quality state. Only needed if the
-// engine should recompute from scratch (e.g. to re-measure); databases
-// are immutable after Build, so normal use never requires it.
+// Invalidate drops all memoized rank/quality state. Normal use never
+// requires it: database mutations bump the version counter and the engine
+// keys its state by version, so stale entries are dropped lazily. It
+// remains for callers that want to recompute from scratch (e.g. to
+// re-measure).
 func (e *Engine) Invalidate() {
 	e.mu.Lock()
-	e.states = make(map[int]*kEntry)
+	e.states = make(map[stateKey]*kEntry)
 	e.mu.Unlock()
 }
 
-// state returns the memoized per-k evaluation, computing it on first use.
-// The per-k entry mutex is a single-flight guard: concurrent first calls
-// for the same k compute the pass exactly once, while passes for distinct
-// k proceed in parallel. needFull requests the full rank-h probabilities
-// (U-kRanks); quality and cleaning get by with the cheaper top-k-only
-// retention, and a light state is upgraded in place the first time a full
-// one is needed.
+// state returns the memoized evaluation for (current db version, k),
+// computing it on first use. The per-entry mutex is a single-flight guard:
+// concurrent first calls for the same key compute the pass exactly once,
+// while passes for distinct keys proceed in parallel. needFull requests the
+// full rank-h probabilities (U-kRanks); quality and cleaning get by with
+// the cheaper top-k-only retention, and a light state is upgraded in place
+// the first time a full one is needed — reusing the already-memoized
+// quality evaluation, whose top-k probabilities are identical in both
+// passes, so Quality/PlanCleaning keep the identical pointer across the
+// upgrade.
+//
+// Entries for other (stale) versions are dropped lazily whenever a new
+// version's entry is first created; no explicit invalidation is needed
+// after a mutation.
 func (e *Engine) state(ctx context.Context, k int, needFull bool) (*evalState, error) {
+	key := stateKey{version: e.db.Version(), k: k}
 	e.mu.Lock()
-	ent, ok := e.states[k]
+	ent, ok := e.states[key]
 	if !ok {
+		for old := range e.states {
+			if old.version != key.version {
+				delete(e.states, old)
+			}
+		}
 		ent = &kEntry{}
-		e.states[k] = ent
+		e.states[key] = ent
 	}
 	e.mu.Unlock()
 
@@ -144,13 +174,24 @@ func (e *Engine) state(ctx context.Context, k int, needFull bool) (*evalState, e
 	if err != nil {
 		return nil, err
 	}
+	if ent.st != nil {
+		// Light → full upgrade: the top-k probabilities (and hence the TP
+		// evaluation) are identical in both passes, so the memoized eval —
+		// and any pointers callers already hold to it — stays valid; only
+		// the rank info is replaced. The eval keeps pointing at the light
+		// info it was computed from (repointing it could race with a
+		// concurrent planner reading Eval.Info; both infos agree on every
+		// top-k probability).
+		ent.st.info = info
+		ent.st.full = true
+		return ent.st, nil
+	}
 	ev, err := quality.TPFromInfo(e.db, info)
 	if err != nil {
 		return nil, err
 	}
-	st := &evalState{info: info, eval: ev, full: needFull}
-	ent.st = st
-	return st, nil
+	ent.st = &evalState{info: info, eval: ev, full: needFull}
+	return ent.st, nil
 }
 
 // RankInfo returns the engine's shared rank-probability information (the
@@ -238,17 +279,69 @@ func (e *Engine) answersAt(ctx context.Context, threshold float64) (*Result, err
 
 // CleaningContext assembles a planning context from the engine's memoized
 // quality evaluation — no PSR or TP recomputation — with the given
-// cleaning spec and budget.
+// cleaning spec and budget. The context is stamped with the database
+// version it was evaluated against; ApplyCleaning refuses contexts whose
+// version a later mutation has left behind.
 func (e *Engine) CleaningContext(ctx context.Context, spec CleaningSpec, budget int) (*CleaningContext, error) {
+	version := e.db.Version()
 	st, err := e.state(ctx, e.cfg.k, false)
 	if err != nil {
 		return nil, err
 	}
-	c := &cleaning.Context{DB: e.db, K: e.cfg.k, Eval: st.eval, Spec: spec, Budget: budget}
+	c := &cleaning.Context{DB: e.db, K: e.cfg.k, Eval: st.eval, Spec: spec, Budget: budget, Version: version}
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
 	return c, nil
+}
+
+// ApplyCleaning executes a cleaning plan onto the live database: it
+// simulates the cleaning agent (the same draws Execute would make from
+// rng), collapses each successfully cleaned x-tuple to its resolved
+// alternative in place — bumping the database version — and re-evaluates
+// the query quality at the new version through the engine's memoized state,
+// closing the paper's clean→re-query loop in one session. The returned
+// outcome's DB is the engine's own (now mutated) database, and NewQuality
+// and Improvement reflect the re-evaluation.
+//
+// The context must come from this engine's CleaningContext at the current
+// database version; a context planned before a later mutation fails with
+// ErrStaleCleaningContext before anything is mutated. A nil rng derives
+// one from the engine seed. Like every database mutation, ApplyCleaning
+// must not run concurrently with queries on the same engine.
+//
+// If the re-evaluation itself fails (e.g. the context is cancelled after
+// the mutations were applied), the outcome is returned alongside the error
+// with NewQuality and Improvement left zero: the cleaning has happened and
+// the caller can still see what was executed.
+func (e *Engine) ApplyCleaning(ctx context.Context, c *CleaningContext, plan CleaningPlan, rng *rand.Rand) (*CleaningOutcome, error) {
+	if c == nil || c.DB != e.db {
+		return nil, ErrForeignContext
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		// seed+2 decorrelates the agent's draws from the randomized
+		// planners' stream (seeded with the engine seed) and from the
+		// Monte-Carlo verification streams (seed+1): replaying the draws
+		// that selected the plan would bias the realized improvement.
+		rng = newRand(e.cfg.seed + 2)
+	}
+	out, err := cleaning.ExecuteApply(c, plan, rng)
+	if err != nil {
+		return nil, err
+	}
+	before := c.Eval.S // validated non-nil by ExecuteApply, unchanged by the mutations
+	q, err := e.Quality(ctx) // fresh state at the bumped version, memoized for later queries
+	if err != nil {
+		// The mutations are already applied; hand the outcome back with
+		// the error so the executed work is not unreportable.
+		return out, err
+	}
+	out.NewQuality = q
+	out.Improvement = q - before
+	return out, nil
 }
 
 // PlanCleaning selects the x-tuples to clean and the number of operations

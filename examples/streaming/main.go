@@ -1,0 +1,110 @@
+// Streaming demonstrates the versioned mutation API on a live serving
+// workload: a sensor field answers top-k queries continuously while new
+// sensors come online (InsertXTuple), dead sensors are decommissioned
+// (DeleteXTuple), firmware updates revise reading distributions (Reweight),
+// and a budgeted cleaning plan is executed onto the live database
+// (Engine.ApplyCleaning) — all without ever rebuilding the database or
+// discarding the Engine. The engine keys its memoized rank/quality state by
+// the database version, so every mutation is followed by an incremental
+// revalidation rather than a from-scratch session.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+
+	topkclean "github.com/probdb/topkclean"
+)
+
+const (
+	initialSensors = 200
+	batches        = 3  // insert batches interleaved with queries
+	batchSize      = 25 // sensors per batch
+	k              = 8
+	budget         = 40
+)
+
+func main() {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(99))
+
+	db := topkclean.NewDatabase()
+	for s := 0; s < initialSensors; s++ {
+		must(db.AddXTuple(fmt.Sprintf("sensor-%d", s), readings(s, rng)...))
+	}
+
+	eng, err := topkclean.New(db,
+		topkclean.WithRankFunc(topkclean.ByFirstAttr),
+		topkclean.WithK(k),
+		topkclean.WithSeed(7))
+	must(err)
+
+	query := func(stage string) {
+		res, err := eng.Answers(ctx)
+		must(err)
+		fmt.Printf("%-28s v%-3d m=%-4d quality %9.6f  top-%d: %s\n",
+			stage, db.Version(), db.NumGroups(), res.Quality, k,
+			topkclean.FormatScored(res.GlobalTopK))
+	}
+	query("initial build")
+
+	// New sensors stream in between queries; each batch bumps the version
+	// once per insert and the next query revalidates incrementally.
+	next := initialSensors
+	for b := 0; b < batches; b++ {
+		for i := 0; i < batchSize; i++ {
+			must(db.InsertXTuple(fmt.Sprintf("sensor-%d", next), readings(next, rng)...))
+			next++
+		}
+		query(fmt.Sprintf("after insert batch %d", b+1))
+	}
+
+	// A sensor is decommissioned, and a firmware update narrows another's
+	// reading distribution onto its central alternative.
+	must(db.DeleteXTuple(3))
+	must(db.Reweight(10, []float64{0.02, 0.06, 0.84, 0.06, 0.02}))
+	query("after delete + reweight")
+
+	// Close the clean→re-query loop: plan a budgeted probe of the most
+	// ambiguous sensors and execute it onto the live database.
+	spec := topkclean.UniformCleaningSpec(db.NumGroups(), 2, 0.8)
+	plan, cctx, err := eng.PlanCleaning(ctx, "greedy", spec, budget)
+	must(err)
+	outcome, err := eng.ApplyCleaning(ctx, cctx, plan, rng)
+	must(err)
+	fmt.Printf("cleaning: %d ops planned, %d used, %d sensors resolved, realized improvement %.6f\n",
+		outcome.OpsPlanned, outcome.OpsUsed, len(outcome.Choices), outcome.Improvement)
+	query("after applied cleaning")
+
+	// A stale cleaning context (planned before the mutations above) is
+	// rejected instead of silently cleaning the wrong sensors.
+	if _, err := eng.ApplyCleaning(ctx, cctx, plan, rng); err != nil {
+		fmt.Printf("re-applying the old plan: %v\n", err)
+	}
+}
+
+// readings models one sensor's stale reading as five alternatives around a
+// base temperature; a 10% chance the sensor contributes nothing leaves a
+// null alternative in the model.
+func readings(s int, rng *rand.Rand) []topkclean.Tuple {
+	base := 10 + rng.Float64()*25
+	drift := 0.5 + rng.Float64()*3
+	weights := []float64{0.09, 0.18, 0.36, 0.18, 0.09} // sums to 0.9
+	alts := make([]topkclean.Tuple, len(weights))
+	for a := range alts {
+		alts[a] = topkclean.Tuple{
+			ID:    fmt.Sprintf("s%d.r%d", s, a),
+			Attrs: []float64{base + float64(a-2)*drift},
+			Prob:  weights[a],
+		}
+	}
+	return alts
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -576,6 +576,94 @@ func TestMinBudgetForTargetEdgeCases(t *testing.T) {
 	if _, _, err := MinBudgetForTarget(ctx2, -0.1, 1000, Greedy); !errors.Is(err, ErrTargetUnreachable) {
 		t.Fatalf("err = %v, want ErrTargetUnreachable", err)
 	}
+	// A non-positive budget cap has no valid probe: rejected up front, even
+	// when the target is already satisfied.
+	for _, cap := range []int{0, -5} {
+		if _, _, err := MinBudgetForTarget(ctx, ctx.Eval.S-1, cap, Greedy); !errors.Is(err, ErrBadMaxBudget) {
+			t.Fatalf("maxBudget=%d: err = %v, want ErrBadMaxBudget", cap, err)
+		}
+		if _, _, err := MinBudgetForTarget(ctx, ctx.Eval.S/2, cap, Greedy); !errors.Is(err, ErrBadMaxBudget) {
+			t.Fatalf("maxBudget=%d: err = %v, want ErrBadMaxBudget", cap, err)
+		}
+	}
+}
+
+// TestExecuteApplyMatchesExecute: the in-place execution path must make the
+// identical draws as Execute and leave the live database in the same state
+// Execute's rebuilt copy reaches.
+func TestExecuteApplyMatchesExecute(t *testing.T) {
+	ctx := ctxUDB1(t, 10, Spec{})
+	plan := Plan{0: 2, 1: 1, 2: 3}
+	want, err := Execute(ctx, plan, rand.New(rand.NewSource(21)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ExecuteApply(ctx, plan, rand.New(rand.NewSource(21)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DB != ctx.DB {
+		t.Fatal("ExecuteApply must return the live database")
+	}
+	if len(got.Choices) != len(want.Choices) {
+		t.Fatalf("choices %v, Execute chose %v", got.Choices, want.Choices)
+	}
+	for l, c := range want.Choices {
+		if got.Choices[l] != c {
+			t.Fatalf("x-tuple %d: choice %d, Execute chose %d", l, got.Choices[l], c)
+		}
+	}
+	gs, ws := ctx.DB.Sorted(), want.DB.Sorted()
+	if len(gs) != len(ws) {
+		t.Fatalf("live db has %d alternatives, Execute's copy %d", len(gs), len(ws))
+	}
+	for i := range gs {
+		if gs[i].ID != ws[i].ID || gs[i].Prob != ws[i].Prob {
+			t.Fatalf("rank %d: live (%s, %v), copy (%s, %v)", i, gs[i].ID, gs[i].Prob, ws[i].ID, ws[i].Prob)
+		}
+	}
+	if err := ctx.DB.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStaleContextRejectedEverywhere: a context stamped with an older
+// database version must not clean, simulate, verify, or plan anything —
+// its gains no longer describe the database.
+func TestStaleContextRejectedEverywhere(t *testing.T) {
+	ctx := ctxUDB1(t, 10, Spec{})
+	ctx.Version = ctx.DB.Version()
+	if err := ctx.DB.Reweight(0, []float64{0.5, 0.4}); err != nil {
+		t.Fatal(err)
+	}
+	plan := Plan{0: 1}
+	cases := map[string]func() error{
+		"ExecuteApply": func() error {
+			_, err := ExecuteApply(ctx, plan, rand.New(rand.NewSource(1)))
+			return err
+		},
+		"Execute": func() error {
+			_, err := Execute(ctx, plan, rand.New(rand.NewSource(1)))
+			return err
+		},
+		"MonteCarlo": func() error {
+			_, err := MonteCarloImprovementParallel(ctx, plan, 1, 10, 2)
+			return err
+		},
+		"Candidates": func() error {
+			_, err := Candidates(ctx)
+			return err
+		},
+		"Greedy": func() error {
+			_, err := Greedy(ctx)
+			return err
+		},
+	}
+	for name, call := range cases {
+		if err := call(); !errors.Is(err, ErrStaleContext) {
+			t.Errorf("%s: err = %v, want ErrStaleContext", name, err)
+		}
+	}
 }
 
 func TestImprovementIncreasesWithSCProb(t *testing.T) {

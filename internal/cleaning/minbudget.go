@@ -11,6 +11,12 @@ import (
 // everything infinitely often is still below the target).
 var ErrTargetUnreachable = errors.New("cleaning: target quality unreachable by cleaning")
 
+// ErrBadMaxBudget is returned when the budget cap given to
+// MinBudgetForTarget is not a positive integer: the search probes the
+// planner with budgets in [1, maxBudget], so a zero or negative cap has no
+// valid probe at all.
+var ErrBadMaxBudget = errors.New("cleaning: maxBudget must be at least 1")
+
 // MinBudgetForTarget implements the future-work problem the paper's
 // conclusion poses: "how to use minimal cost to attain a given quality
 // score". It returns the smallest budget C whose optimal expected
@@ -31,6 +37,11 @@ func MinBudgetForTarget(ctx *Context, target float64, maxBudget int, planner fun
 func MinBudgetForTargetContext(stdctx context.Context, ctx *Context, target float64, maxBudget int, planner PlannerFunc) (int, Plan, error) {
 	if err := ctx.Validate(); err != nil {
 		return 0, nil, err
+	}
+	if maxBudget < 1 {
+		// Without this check the doubling search would probe the planner
+		// with a zero or negative budget cap.
+		return 0, nil, fmt.Errorf("%w (got %d)", ErrBadMaxBudget, maxBudget)
 	}
 	if target > 0 {
 		return 0, nil, fmt.Errorf("cleaning: target quality %v is positive; quality is at most 0", target)

@@ -17,13 +17,14 @@ import (
 
 // Validation errors.
 var (
-	ErrSpecSize    = errors.New("cleaning: spec length does not match x-tuple count")
-	ErrBadCost     = errors.New("cleaning: cleaning cost must be a positive integer")
-	ErrBadSCProb   = errors.New("cleaning: sc-probability must lie in [0, 1]")
-	ErrBadBudget   = errors.New("cleaning: budget must be non-negative")
-	ErrOverBudget  = errors.New("cleaning: plan exceeds budget")
-	ErrNilEval     = errors.New("cleaning: context needs a quality evaluation")
-	ErrEvalMissing = errors.New("cleaning: evaluation does not match database")
+	ErrSpecSize     = errors.New("cleaning: spec length does not match x-tuple count")
+	ErrBadCost      = errors.New("cleaning: cleaning cost must be a positive integer")
+	ErrBadSCProb    = errors.New("cleaning: sc-probability must lie in [0, 1]")
+	ErrBadBudget    = errors.New("cleaning: budget must be non-negative")
+	ErrOverBudget   = errors.New("cleaning: plan exceeds budget")
+	ErrNilEval      = errors.New("cleaning: context needs a quality evaluation")
+	ErrEvalMissing  = errors.New("cleaning: evaluation does not match database")
+	ErrStaleContext = errors.New("cleaning: context was planned against an older database version")
 )
 
 // Spec describes the cleaning environment: for each x-tuple, the cost c_l
@@ -121,6 +122,11 @@ type Context struct {
 	Eval   *quality.Evaluation
 	Spec   Spec
 	Budget int
+
+	// Version, when nonzero, records the database version the evaluation
+	// was computed against. ExecuteApply refuses to mutate a database whose
+	// version has moved past it, catching plans made against stale gains.
+	Version uint64
 }
 
 // NewContext evaluates the query quality on db and assembles a planning
@@ -138,10 +144,16 @@ func NewContext(db *uncertain.Database, k int, spec Spec, budget int) (*Context,
 	return ctx, nil
 }
 
-// Validate checks internal consistency.
+// Validate checks internal consistency, including (for version-stamped
+// contexts) that the database has not been mutated since the evaluation
+// was computed — stale gains would silently mis-price every plan.
 func (ctx *Context) Validate() error {
 	if ctx.DB == nil || !ctx.DB.Built() {
 		return uncertain.ErrNotBuilt
+	}
+	if ctx.Version != 0 && ctx.DB.Version() != ctx.Version {
+		return fmt.Errorf("%w: context version %d, database version %d",
+			ErrStaleContext, ctx.Version, ctx.DB.Version())
 	}
 	if ctx.Eval == nil {
 		return ErrNilEval

@@ -6,9 +6,22 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"github.com/probdb/topkclean/internal/numeric"
 )
+
+// mcBlockSize is the number of trials per independently seeded simulation
+// block. Seeding per fixed-size block — rather than per worker — makes the
+// simulated improvement a pure function of (seed, trials): workers pull
+// whole blocks, every block's stream is derived only from the block index,
+// and the block sums are reduced in block order, so the result is
+// bit-identical for any worker count (and for any GOMAXPROCS default).
+const mcBlockSize = 64
+
+// mcSeedStride decorrelates the per-block streams; it is an arbitrary prime
+// comfortably larger than any realistic block count.
+const mcSeedStride = 1_000_003
 
 // MonteCarloImprovementParallel is MonteCarloImprovementParallelContext
 // with a background context.
@@ -17,9 +30,11 @@ func MonteCarloImprovementParallel(c *Context, plan Plan, seed int64, trials, wo
 }
 
 // MonteCarloImprovementParallelContext is MonteCarloImprovement fanned out
-// over a fixed pool of workers, one independent random stream per worker
-// (seeded deterministically from seed, so results are reproducible
-// regardless of scheduling). Each trial simulates the cleaning agent and
+// over a pool of workers. Trials are partitioned into fixed-size blocks,
+// each with its own random stream seeded deterministically from (seed,
+// block index), and block results are combined in block order — so the
+// result is bit-identical for any worker count, including the workers < 1
+// default of GOMAXPROCS. Each trial simulates the cleaning agent and
 // re-evaluates the cleaned database's quality — embarrassingly parallel
 // work that dominates verification time on large databases.
 //
@@ -38,50 +53,52 @@ func MonteCarloImprovementParallelContext(ctx context.Context, c *Context, plan 
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > trials {
-		workers = trials
+	blocks := (trials + mcBlockSize - 1) / mcBlockSize
+	if workers > blocks {
+		workers = blocks
 	}
-	type result struct {
-		sum numeric.Kahan
-		err error
-	}
-	results := make([]result, workers)
+	sums := make([]numeric.Kahan, blocks)
+	errs := make([]error, blocks)
+	var next int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		// Split trials across workers; the first (trials % workers) workers
-		// take one extra.
-		n := trials / workers
-		if w < trials%workers {
-			n++
-		}
-		if n == 0 {
-			continue
-		}
 		wg.Add(1)
-		go func(w, n int) {
+		go func() {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(seed + int64(w)*1_000_003))
-			for i := 0; i < n; i++ {
-				if err := ctx.Err(); err != nil {
-					results[w].err = err
+			for {
+				b := int(atomic.AddInt64(&next, 1)) - 1
+				if b >= blocks {
 					return
 				}
-				out, err := Execute(c, plan, rng)
-				if err != nil {
-					results[w].err = err
-					return
+				rng := rand.New(rand.NewSource(seed + int64(b)*mcSeedStride))
+				n := mcBlockSize
+				if rest := trials - b*mcBlockSize; rest < n {
+					n = rest
 				}
-				results[w].sum.Add(out.Improvement)
+				for i := 0; i < n; i++ {
+					if err := ctx.Err(); err != nil {
+						errs[b] = err
+						return
+					}
+					out, err := Execute(c, plan, rng)
+					if err != nil {
+						errs[b] = err
+						return
+					}
+					sums[b].Add(out.Improvement)
+				}
 			}
-		}(w, n)
+		}()
 	}
 	wg.Wait()
+	// Reduce in block order: floating-point addition is not associative, so
+	// a scheduling-dependent order would reintroduce run-to-run jitter.
 	var total numeric.Kahan
-	for w := range results {
-		if results[w].err != nil {
-			return 0, results[w].err
+	for b := 0; b < blocks; b++ {
+		if errs[b] != nil {
+			return 0, errs[b]
 		}
-		total.Add(results[w].sum.Sum())
+		total.Add(sums[b].Sum())
 	}
 	return total.Sum() / float64(trials), nil
 }

@@ -58,6 +58,30 @@ func TestMonteCarloParallelWorkerEdgeCases(t *testing.T) {
 	}
 }
 
+// TestMonteCarloParallelWorkerCountInvariant is the regression test for
+// the per-worker seeding bug: the simulated improvement must be
+// bit-identical for any worker count (previously each worker had its own
+// stream, so the result — and VerifyImprovement — changed with the workers
+// flag, and workers<1 made it depend on GOMAXPROCS).
+func TestMonteCarloParallelWorkerCountInvariant(t *testing.T) {
+	ctx := ctxUDB1(t, 100, Spec{})
+	plan := Plan{0: 2, 1: 1, 2: 3}
+	// 1000 trials spans several blocks with a ragged tail block.
+	want, err := MonteCarloImprovementParallel(ctx, plan, 11, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8, 0} {
+		got, err := MonteCarloImprovementParallel(ctx, plan, 11, 1000, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("workers=%d: %v, workers=1: %v (must be bit-identical)", workers, got, want)
+		}
+	}
+}
+
 func TestMonteCarloParallelAgreesWithSerial(t *testing.T) {
 	ctx := ctxUDB1(t, 50, Spec{})
 	plan := Plan{0: 3, 1: 2}

@@ -27,6 +27,57 @@ type Outcome struct {
 // resolves to one of its alternatives according to their existential
 // probabilities. The cleaned database is rebuilt and its quality evaluated.
 func Execute(ctx *Context, plan Plan, rng *rand.Rand) (*Outcome, error) {
+	out, err := simulateAgent(ctx, plan, rng)
+	if err != nil {
+		return nil, err
+	}
+	db2, err := BuildCleaned(ctx.DB, out.Choices)
+	if err != nil {
+		return nil, err
+	}
+	ev, err := quality.TP(db2, ctx.K)
+	if err != nil {
+		return nil, err
+	}
+	out.DB = db2
+	out.NewQuality = ev.S
+	out.Improvement = ev.S - ctx.Eval.S
+	return out, nil
+}
+
+// ExecuteApply simulates the cleaning agent exactly like Execute (the same
+// rng stream yields the same draws) but applies the successful outcomes to
+// the live database via Collapse instead of building a cleaned copy: this
+// is what actually executing a cleaning plan does to a serving database.
+// Each successful x-tuple's mutation bumps the database version, so
+// version-aware consumers re-evaluate lazily. The returned Outcome's DB is
+// the (mutated) input database; NewQuality and Improvement are left zero —
+// the caller re-evaluates against the new version (the Engine does this
+// with its memoized state, sharing the pass with subsequent queries).
+//
+// When ctx.Version is nonzero it must match the database's current version;
+// ErrStaleContext is returned (by the context validation, before any draw
+// or mutation) otherwise, catching plans made against gains that a later
+// mutation has invalidated.
+func ExecuteApply(ctx *Context, plan Plan, rng *rand.Rand) (*Outcome, error) {
+	out, err := simulateAgent(ctx, plan, rng)
+	if err != nil {
+		return nil, err
+	}
+	for _, l := range sortedChoiceGroups(out.Choices) {
+		if err := ctx.DB.Collapse(l, out.Choices[l]); err != nil {
+			return nil, err
+		}
+	}
+	out.DB = ctx.DB
+	return out, nil
+}
+
+// simulateAgent draws the agent's operation outcomes for a plan: which
+// x-tuples resolve, to which alternative, and how much of the planned
+// effort was actually spent (the agent stops cleaning an x-tuple on its
+// first success).
+func simulateAgent(ctx *Context, plan Plan, rng *rand.Rand) (*Outcome, error) {
 	if err := ctx.Validate(); err != nil {
 		return nil, err
 	}
@@ -53,18 +104,18 @@ func Execute(ctx *Context, plan Plan, rng *rand.Rand) (*Outcome, error) {
 			}
 		}
 	}
-	db2, err := BuildCleaned(ctx.DB, out.Choices)
-	if err != nil {
-		return nil, err
-	}
-	ev, err := quality.TP(db2, ctx.K)
-	if err != nil {
-		return nil, err
-	}
-	out.DB = db2
-	out.NewQuality = ev.S
-	out.Improvement = ev.S - ctx.Eval.S
 	return out, nil
+}
+
+// sortedChoiceGroups returns the successfully cleaned x-tuple indices in
+// ascending order, for deterministic application order.
+func sortedChoiceGroups(choices CleanChoices) []int {
+	out := make([]int, 0, len(choices))
+	for l := range choices {
+		out = append(out, l)
+	}
+	sortInts(out)
+	return out
 }
 
 // sampleAlternative draws the true value of a successfully cleaned x-tuple:

@@ -1,0 +1,167 @@
+package topkq
+
+import (
+	"math"
+	"testing"
+
+	"github.com/probdb/topkclean/internal/uncertain"
+)
+
+// golden tests for the query-semantics layer: null-tuple filtering and the
+// documented tie-break orders, on databases small enough that every
+// probability is a short hand computation.
+
+// nullHeavyDB: two x-tuples whose null alternatives carry most of the mass.
+//
+//	A = {a: e=0.1, score 10}  -> null:A e=0.9
+//	B = {b: e=0.4, score 5}   -> null:B e=0.6
+//
+// Rank order: a, b, null:A, null:B. For k = 1:
+//
+//	p(a)      = 0.1
+//	p(b)      = 0.4 * (1-0.1)  = 0.36
+//	p(null:A) = 0.9 * (1-0.4)  = 0.54   <- highest p in the database
+//	p(null:B) : unprocessed (Lemma 2 stops once A's mass above is 1)
+func nullHeavyDB(t *testing.T) *uncertain.Database {
+	t.Helper()
+	db := uncertain.New()
+	if err := db.AddXTuple("A", uncertain.Tuple{ID: "a", Attrs: []float64{10}, Prob: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddXTuple("B", uncertain.Tuple{ID: "b", Attrs: []float64{5}, Prob: 0.4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Build(uncertain.ByFirstAttr); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestGoldenNullProbabilities(t *testing.T) {
+	db := nullHeavyDB(t)
+	info, err := RankProbabilities(db, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.1, 0.36, 0.54}
+	if info.Processed != 3 {
+		t.Fatalf("Processed = %d, want 3 (Lemma 2 stops before null:B)", info.Processed)
+	}
+	for i, w := range want {
+		if math.Abs(info.P(i)-w) > 1e-12 {
+			t.Fatalf("p(%s) = %v, want %v", db.Sorted()[i].ID, info.P(i), w)
+		}
+	}
+}
+
+// TestGoldenNullFiltering: the null alternative holds the single highest
+// top-k probability (0.54), yet no query semantics may ever surface it.
+func TestGoldenNullFiltering(t *testing.T) {
+	db := nullHeavyDB(t)
+	info, err := RankProbabilities(db, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FormatScored(GlobalTopK(db, info)); got != "{b}" {
+		t.Fatalf("Global-top1 = %s, want {b} (null:A has higher p but must be filtered)", got)
+	}
+	// Threshold 0.5 admits only null:A's probability — the answer must be
+	// empty rather than contain a null.
+	if got := FormatScored(PTK(db, info, 0.5)); got != "{}" {
+		t.Fatalf("PT-1(T=0.5) = %s, want {}", got)
+	}
+	if got := FormatScored(PTK(db, info, 0.3)); got != "{b}" {
+		t.Fatalf("PT-1(T=0.3) = %s, want {b}", got)
+	}
+	uk, err := UKRanks(db, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FormatRanked(uk); got != "1:b" {
+		t.Fatalf("U-1Ranks = %s, want 1:b", got)
+	}
+	if math.Abs(uk[0].Prob-0.36) > 1e-12 {
+		t.Fatalf("U-1Ranks prob = %v, want 0.36", uk[0].Prob)
+	}
+}
+
+// tieDB: p(a) = p(b) = 0.5 exactly (both values are dyadic, so the
+// arithmetic is exact and the tie is bit-exact).
+//
+//	A = {a: e=0.5, score 10} -> null:A e=0.5
+//	B = {b: e=1.0, score 5}
+//
+//	p(a) = 0.5, p(b) = 1.0 * (1-0.5) = 0.5, rho_a(1) = rho_b(1) = 0.5
+func tieDB(t *testing.T) *uncertain.Database {
+	t.Helper()
+	db := uncertain.New()
+	if err := db.AddXTuple("A", uncertain.Tuple{ID: "a", Attrs: []float64{10}, Prob: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddXTuple("B", uncertain.Tuple{ID: "b", Attrs: []float64{5}, Prob: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Build(uncertain.ByFirstAttr); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestGoldenTieBreakTowardHigherRank: on an exact probability tie, both
+// U-kRanks and Global-topk must resolve toward the higher-ranked tuple.
+func TestGoldenTieBreakTowardHigherRank(t *testing.T) {
+	db := tieDB(t)
+	info, err := RankProbabilities(db, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.P(0) != 0.5 || info.P(1) != 0.5 {
+		t.Fatalf("want the exact tie p(a)=p(b)=0.5, got %v and %v", info.P(0), info.P(1))
+	}
+	if got := FormatScored(GlobalTopK(db, info)); got != "{a}" {
+		t.Fatalf("Global-top1 = %s, want {a} (tie resolves toward the higher rank)", got)
+	}
+	uk, err := UKRanks(db, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FormatRanked(uk); got != "1:a" {
+		t.Fatalf("U-1Ranks = %s, want 1:a (tie resolves toward the higher rank)", got)
+	}
+}
+
+// TestGoldenScoreTieBreaksByArrival: equal ranking scores order by
+// insertion, which in turn fixes the query answers deterministically.
+func TestGoldenScoreTieBreaksByArrival(t *testing.T) {
+	db := uncertain.New()
+	if err := db.AddXTuple("A", uncertain.Tuple{ID: "first", Attrs: []float64{7}, Prob: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddXTuple("B", uncertain.Tuple{ID: "second", Attrs: []float64{7}, Prob: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Build(uncertain.ByFirstAttr); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Sorted()[0].ID; got != "first" {
+		t.Fatalf("rank 0 = %s, want the earlier-arrived tuple", got)
+	}
+	info, err := RankProbabilities(db, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "first" certainly occupies rank 1, "second" certainly does not.
+	if got := FormatScored(GlobalTopK(db, info)); got != "{first}" {
+		t.Fatalf("Global-top1 = %s, want {first}", got)
+	}
+	uk, err := UKRanks(db, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FormatRanked(uk); got != "1:first" {
+		t.Fatalf("U-1Ranks = %s, want 1:first", got)
+	}
+	if got := FormatScored(PTK(db, info, 0.5)); got != "{first}" {
+		t.Fatalf("PT-1(T=0.5) = %s, want {first}", got)
+	}
+}

@@ -12,11 +12,13 @@ import (
 // alternatives, and fixes the global rank order that all algorithms assume
 // ("tuples in D are arranged in descending order of ranks", Section IV).
 type Database struct {
-	groups []*XTuple
-	rank   RankFunc
-	sorted []*Tuple // all alternatives (incl. nulls) in descending rank order
-	built  bool
-	nReal  int
+	groups  []*XTuple
+	rank    RankFunc
+	sorted  []*Tuple // all alternatives (incl. nulls) in descending rank order
+	built   bool
+	nReal   int
+	version uint64 // bumped by Build and every mutation; see Version
+	nextOrd int    // next insertion-order stamp for mutation-time inserts
 }
 
 // New returns an empty database.
@@ -64,8 +66,10 @@ func (db *Database) AddAbsentXTuple(name string) error {
 
 // Build validates the database, scores every tuple with rank, materializes
 // null alternatives, and sorts all alternatives into the global rank order.
-// After Build the database is immutable; derive modified copies with Clone
-// or Cleaned.
+// After Build the staging API (AddXTuple, AddAbsentXTuple) is closed; change
+// a built database with the mutation API (InsertXTuple, DeleteXTuple,
+// Reweight, Collapse), which maintains the rank order incrementally, or
+// derive modified copies with Clone or Cleaned.
 func (db *Database) Build(rank RankFunc) error {
 	if db.built {
 		return ErrAlreadyBuilt
@@ -129,9 +133,18 @@ func (db *Database) Build(rank RankFunc) error {
 			db.nReal++
 		}
 	}
+	db.nextOrd = ord
 	db.built = true
+	db.version++
 	return nil
 }
+
+// Version returns the database's monotonic version counter: 0 before Build,
+// and bumped by Build and by every mutation (InsertXTuple, DeleteXTuple,
+// Reweight, Collapse). Consumers that memoize derived state — the Engine's
+// per-k rank/quality passes — key it by version, so stale entries are
+// detected lazily instead of requiring explicit invalidation.
+func (db *Database) Version() uint64 { return db.version }
 
 // Built reports whether Build has completed successfully.
 func (db *Database) Built() bool { return db.built }
@@ -188,7 +201,7 @@ func (db *Database) TupleByID(id string) *Tuple {
 
 // Clone returns a deep copy of a built database, preserving the rank order.
 func (db *Database) Clone() *Database {
-	out := &Database{rank: db.rank, built: db.built, nReal: db.nReal}
+	out := &Database{rank: db.rank, built: db.built, nReal: db.nReal, version: db.version, nextOrd: db.nextOrd}
 	out.groups = make([]*XTuple, len(db.groups))
 	clones := make(map[*Tuple]*Tuple, len(db.sorted))
 	for gi, x := range db.groups {

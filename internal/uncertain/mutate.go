@@ -1,0 +1,263 @@
+package uncertain
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/probdb/topkclean/internal/numeric"
+)
+
+// This file is the mutation API for built databases. Build fixes the global
+// rank order once; real serving workloads then mutate continuously — new
+// sensor readings arrive (InsertXTuple), entities disappear (DeleteXTuple),
+// distributions are revised (Reweight), and cleaning operations resolve an
+// x-tuple to one alternative (Collapse). Each mutation maintains the sorted
+// rank array incrementally (ordered insertion / splicing plus an index
+// fixup, O(n) worst case, no re-sort) and bumps the version counter that
+// version-aware consumers key their memoized state by.
+//
+// Mutations are not synchronized internally: callers must not mutate a
+// database concurrently with queries or other mutations (the same
+// single-writer discipline required around Build).
+
+// ErrBadReweight is returned when Reweight is given the wrong number of
+// probabilities for the x-tuple's real alternatives.
+var ErrBadReweight = errors.New("uncertain: reweight needs one probability per real alternative")
+
+// ErrLastGroup is returned when DeleteXTuple would leave the database empty.
+var ErrLastGroup = errors.New("uncertain: cannot delete the last x-tuple")
+
+// InsertXTuple adds a new x-tuple to a built database. Like AddXTuple, each
+// Tuple's ID, Attrs, and Prob must be set and the values are copied; unlike
+// AddXTuple, the alternatives are scored, a null alternative is materialized
+// if needed, and every alternative is placed into the existing rank order by
+// ordered insertion — no rebuild. The new x-tuple gets index NumGroups()-1.
+// On any validation error the database is unchanged.
+func (db *Database) InsertXTuple(name string, tuples ...Tuple) error {
+	if !db.built {
+		return ErrNotBuilt
+	}
+	if len(tuples) == 0 {
+		return wrapGroup(ErrEmptyXTuple, name)
+	}
+	gi := len(db.groups)
+	x := &XTuple{Name: name, Tuples: make([]*Tuple, len(tuples))}
+	for i := range tuples {
+		t := tuples[i] // copy
+		t.Attrs = append([]float64(nil), tuples[i].Attrs...)
+		t.Group = gi
+		t.Score = db.rank(t.Attrs)
+		if math.IsNaN(t.Score) {
+			return fmt.Errorf("tuple %q: %w", t.ID, ErrBadScore)
+		}
+		x.Tuples[i] = &t
+	}
+	if err := x.validate(); err != nil {
+		return err
+	}
+	if deficit := 1 - x.RealMass(); deficit > nullThreshold {
+		x.Tuples = append(x.Tuples, &Tuple{
+			ID:    fmt.Sprintf("null:%s", name),
+			Prob:  deficit,
+			Group: gi,
+			Null:  true,
+		})
+	}
+	seen := make(map[string]bool, len(x.Tuples))
+	for _, t := range x.Tuples {
+		// Check within the call too (including against the materialized
+		// null), not just against the existing database.
+		if seen[t.ID] || db.TupleByID(t.ID) != nil {
+			return fmt.Errorf("tuple %q: %w", t.ID, ErrDuplicateID)
+		}
+		seen[t.ID] = true
+	}
+	// All checks passed; commit. Ord stamps continue past the build-time
+	// ones so score ties keep breaking by arrival order.
+	for _, t := range x.Tuples {
+		if !t.Null {
+			t.ord = db.nextOrd
+			db.nextOrd++
+		}
+		db.insertRanked(t)
+	}
+	db.groups = append(db.groups, x)
+	db.reindex()
+	db.version++
+	return nil
+}
+
+// InsertAbsentXTuple adds an x-tuple known to contribute no real tuple
+// (AddAbsentXTuple's mutation-time counterpart): a single null alternative
+// with probability 1 is placed at the bottom of the rank order.
+func (db *Database) InsertAbsentXTuple(name string) error {
+	if !db.built {
+		return ErrNotBuilt
+	}
+	gi := len(db.groups)
+	null := &Tuple{ID: fmt.Sprintf("null:%s", name), Prob: 1, Group: gi, Null: true}
+	if db.TupleByID(null.ID) != nil {
+		return fmt.Errorf("tuple %q: %w", null.ID, ErrDuplicateID)
+	}
+	db.groups = append(db.groups, &XTuple{Name: name, Tuples: []*Tuple{null}})
+	db.insertRanked(null)
+	db.reindex()
+	db.version++
+	return nil
+}
+
+// DeleteXTuple removes x-tuple l from a built database. Subsequent x-tuples
+// shift down one index (their tuples' Group fields are renumbered), which
+// preserves the relative order of the remaining null alternatives, so the
+// rank array only needs splicing, not re-sorting. Deleting the last
+// remaining x-tuple is an error.
+func (db *Database) DeleteXTuple(l int) error {
+	if !db.built {
+		return ErrNotBuilt
+	}
+	if l < 0 || l >= len(db.groups) {
+		return fmt.Errorf("index %d of %d: %w", l, len(db.groups), ErrBadGroupIndex)
+	}
+	if len(db.groups) == 1 {
+		return ErrLastGroup
+	}
+	drop := make(map[*Tuple]bool, len(db.groups[l].Tuples))
+	for _, t := range db.groups[l].Tuples {
+		drop[t] = true
+	}
+	db.groups = append(db.groups[:l], db.groups[l+1:]...)
+	for gi := l; gi < len(db.groups); gi++ {
+		for _, t := range db.groups[gi].Tuples {
+			t.Group = gi
+		}
+	}
+	db.removeSorted(drop)
+	db.reindex()
+	db.version++
+	return nil
+}
+
+// Reweight replaces the existential probabilities of x-tuple l's real
+// alternatives: probs[i] applies to RealTuples()[i]. Scores are unchanged,
+// so the real alternatives keep their rank positions; only the group's null
+// alternative is created, updated, or removed to absorb the new mass
+// deficit. On any validation error the database is unchanged.
+func (db *Database) Reweight(l int, probs []float64) error {
+	if !db.built {
+		return ErrNotBuilt
+	}
+	if l < 0 || l >= len(db.groups) {
+		return fmt.Errorf("index %d of %d: %w", l, len(db.groups), ErrBadGroupIndex)
+	}
+	x := db.groups[l]
+	real := x.RealTuples()
+	if len(probs) != len(real) {
+		return fmt.Errorf("x-tuple %q: %d probabilities for %d real alternatives: %w",
+			x.Name, len(probs), len(real), ErrBadReweight)
+	}
+	var mass numeric.Kahan
+	for _, p := range probs {
+		if !(p > 0) || p > 1 {
+			return wrapGroup(ErrProbOutOfRange, x.Name)
+		}
+		mass.Add(p)
+	}
+	if mass.Sum() > 1+massTolerance {
+		return wrapGroup(ErrMassExceedsOne, x.Name)
+	}
+	for i, t := range real {
+		t.Prob = probs[i]
+	}
+	deficit := 1 - mass.Sum()
+	null := x.NullTuple()
+	switch {
+	case deficit > nullThreshold && null != nil:
+		null.Prob = deficit
+	case deficit > nullThreshold:
+		null = &Tuple{ID: fmt.Sprintf("null:%s", x.Name), Prob: deficit, Group: l, Null: true}
+		x.Tuples = append(x.Tuples, null)
+		db.insertRanked(null)
+		db.reindex()
+	case null != nil:
+		x.Tuples = x.Tuples[:len(x.Tuples)-1]
+		db.removeSorted(map[*Tuple]bool{null: true})
+		db.reindex()
+	}
+	db.version++
+	return nil
+}
+
+// Collapse resolves x-tuple l to its alternative choice (an index into the
+// x-tuple's Tuples, including the null alternative) with probability 1 —
+// exactly what a successful pclean operation does (Definition 5), applied
+// in place instead of via the rebuilt copy Cleaned returns. Choosing the
+// null alternative leaves the x-tuple certainly absent. The chosen
+// alternative keeps its identity, score, and rank position; the discarded
+// alternatives are spliced out of the rank order.
+func (db *Database) Collapse(l, choice int) error {
+	if !db.built {
+		return ErrNotBuilt
+	}
+	if l < 0 || l >= len(db.groups) {
+		return fmt.Errorf("index %d of %d: %w", l, len(db.groups), ErrBadGroupIndex)
+	}
+	x := db.groups[l]
+	if choice < 0 || choice >= len(x.Tuples) {
+		return fmt.Errorf("choice %d of %d: %w", choice, len(x.Tuples), ErrBadChoice)
+	}
+	chosen := x.Tuples[choice]
+	drop := make(map[*Tuple]bool, len(x.Tuples)-1)
+	for _, t := range x.Tuples {
+		if t != chosen {
+			drop[t] = true
+		}
+	}
+	chosen.Prob = 1
+	x.Tuples = []*Tuple{chosen}
+	if len(drop) > 0 {
+		db.removeSorted(drop)
+	}
+	db.reindex()
+	db.version++
+	return nil
+}
+
+// insertRanked places t into the sorted rank array by binary search on the
+// total order ranksAbove defines.
+func (db *Database) insertRanked(t *Tuple) {
+	i := sort.Search(len(db.sorted), func(i int) bool {
+		return ranksAbove(t, db.sorted[i])
+	})
+	db.sorted = append(db.sorted, nil)
+	copy(db.sorted[i+1:], db.sorted[i:])
+	db.sorted[i] = t
+}
+
+// removeSorted splices the given tuples out of the rank array, preserving
+// the order of the rest.
+func (db *Database) removeSorted(drop map[*Tuple]bool) {
+	kept := db.sorted[:0]
+	for _, t := range db.sorted {
+		if !drop[t] {
+			kept = append(kept, t)
+		}
+	}
+	for i := len(kept); i < len(db.sorted); i++ {
+		db.sorted[i] = nil // release for GC
+	}
+	db.sorted = kept
+}
+
+// reindex recomputes every tuple's rank position and the real-tuple count
+// after a mutation changed the rank array.
+func (db *Database) reindex() {
+	db.nReal = 0
+	for i, t := range db.sorted {
+		t.idx = i
+		if !t.Null {
+			db.nReal++
+		}
+	}
+}

@@ -26,6 +26,9 @@ var (
 	// ErrNotBuilt is returned by New for a database that has not been
 	// built and no WithRankFunc option was given to build it.
 	ErrNotBuilt = uncertain.ErrNotBuilt
+	// ErrForeignContext is returned by Engine.ApplyCleaning for a cleaning
+	// context built against a different database than the engine's.
+	ErrForeignContext = errors.New("topkclean: cleaning context belongs to a different database")
 )
 
 // config carries an Engine's settings; options mutate it before New
