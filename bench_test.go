@@ -686,19 +686,25 @@ func BenchmarkSessionReuse(b *testing.B) {
 // BenchmarkMutateRequery measures the versioned-mutation payoff: one new
 // x-tuple arrives and the quality is re-evaluated. The mutate variant
 // inserts into the live database (ordered insertion, O(n)) and lets the
-// version-aware engine revalidate; the rebuild variant does what was
-// previously the only option — reconstruct and re-sort the whole database
-// and start a fresh session. Both variants serve the identical answers
-// (TestEngineAnswersTrackMutations); only the cost differs.
+// delta-aware engine resume its memoized PSR pass from the mutation's
+// dirty-rank watermark — an insert in the bottom half of the ranking lands
+// below the scan's early-termination point, so the resume is a pure cache
+// hit; mutate-top forces the worst case (full replay of the processed
+// prefix); mutate-batch retires the insert inside one Batch commit. The
+// rebuild variant does what was once the only option — reconstruct and
+// re-sort the whole database and start a fresh session. All variants serve
+// the identical answers (TestEngineAnswersTrackMutations and the Resume
+// bit-identity property test); only the cost differs.
 func BenchmarkMutateRequery(b *testing.B) {
 	const k = 15
 	base := benchSynthetic(b, 2000)
 	midScore := base.Sorted()[base.NumTuples()/2].Score
-	newTuples := func(i int) []Tuple {
+	topScore := base.Sorted()[0].Score
+	newTuples := func(i int, score float64) []Tuple {
 		name := fmt.Sprintf("stream-%d", i)
 		return []Tuple{
-			{ID: name + ".a", Attrs: []float64{midScore + 0.25}, Prob: 0.5},
-			{ID: name + ".b", Attrs: []float64{midScore - 0.25}, Prob: 0.4},
+			{ID: name + ".a", Attrs: []float64{score + 0.25}, Prob: 0.5},
+			{ID: name + ".b", Attrs: []float64{score - 0.25}, Prob: 0.4},
 		}
 	}
 
@@ -710,7 +716,7 @@ func BenchmarkMutateRequery(b *testing.B) {
 		}
 		ctx := context.Background()
 		for i := 0; i < b.N; i++ {
-			if err := db.InsertXTuple(fmt.Sprintf("stream-%d", i), newTuples(i)...); err != nil {
+			if err := db.InsertXTuple(fmt.Sprintf("stream-%d", i), newTuples(i, midScore)...); err != nil {
 				b.Fatal(err)
 			}
 			if _, err := eng.Quality(ctx); err != nil {
@@ -719,6 +725,53 @@ func BenchmarkMutateRequery(b *testing.B) {
 			// Retire the insert so the database stays the same size; the
 			// delete is itself a mutation the variant pays for.
 			if err := db.DeleteXTuple(db.NumGroups() - 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("mutate-top", func(b *testing.B) {
+		db := base.Clone()
+		eng, err := New(db, WithK(k))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		for i := 0; i < b.N; i++ {
+			if err := db.InsertXTuple(fmt.Sprintf("stream-%d", i), newTuples(i, topScore+1)...); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.Quality(ctx); err != nil {
+				b.Fatal(err)
+			}
+			if err := db.DeleteXTuple(db.NumGroups() - 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("mutate-batch", func(b *testing.B) {
+		db := base.Clone()
+		eng, err := New(db, WithK(k))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		for i := 0; i < b.N; i++ {
+			// Insert the arrival and retire the previous one under a single
+			// commit: one version bump, one index fixup, one watermark.
+			err := db.Batch(func(mb *Batch) error {
+				if i > 0 {
+					if err := mb.DeleteXTuple(db.NumGroups() - 1); err != nil {
+						return err
+					}
+				}
+				return mb.InsertXTuple(fmt.Sprintf("stream-%d", i), newTuples(i, midScore)...)
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.Quality(ctx); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -737,7 +790,7 @@ func BenchmarkMutateRequery(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
-			if err := db.AddXTuple(fmt.Sprintf("stream-%d", i), newTuples(i)...); err != nil {
+			if err := db.AddXTuple(fmt.Sprintf("stream-%d", i), newTuples(i, midScore)...); err != nil {
 				b.Fatal(err)
 			}
 			if err := db.Build(base.Rank()); err != nil {

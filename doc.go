@@ -55,22 +55,32 @@
 // context.Context, and cancellation aborts the DP/Greedy/Monte-Carlo hot
 // loops promptly with ctx.Err().
 //
-// # Mutation and versioning
+// # Mutation, watermarks, and incremental revalidation
 //
 // A built database can be mutated in place: InsertXTuple and
 // InsertAbsentXTuple add x-tuples by ordered insertion into the existing
 // rank order, DeleteXTuple removes one (renumbering later indices),
 // Reweight revises an x-tuple's existential probabilities (maintaining its
-// null alternative), and Collapse resolves an x-tuple to one alternative
-// with probability 1 — the effect of a successful cleaning operation.
-// Every mutation bumps Database.Version, and the Engine keys its memoized
-// state by (version, k): after a mutation the next query recomputes for
-// the new version and stale entries are dropped lazily, so one session
-// spans any number of updates and its answers always match a freshly
-// rebuilt database. Engine.ApplyCleaning executes a cleaning plan onto the
-// live database this way and re-evaluates the quality, closing the paper's
-// clean→re-query loop; contexts are version-stamped, and applying one that
-// predates a later mutation fails with ErrStaleCleaningContext.
+// null alternative), Collapse resolves an x-tuple to one alternative
+// with probability 1 — the effect of a successful cleaning operation —
+// and Database.Batch groups several mutations under a single commit.
+// Every mutation bumps Database.Version and records a dirty-rank
+// watermark: the lowest rank position it may have changed, answerable
+// afterwards via Database.DirtySince.
+//
+// The Engine is delta-aware: after a mutation it does not recompute its
+// memoized PSR pass but resumes it from the last scan checkpoint below
+// the watermark, bit-identically to a from-scratch pass — a mutation at
+// the bottom of the ranking (below the scan's early-termination point)
+// is a pure cache hit. One session spans any number of updates and its
+// answers always match a freshly rebuilt database. Previously returned
+// Results stay valid too: answer entries snapshot the tuple's ID, score,
+// and rank position at answer time, so later mutations cannot change
+// them under the caller. Engine.ApplyCleaning executes a cleaning plan
+// onto the live database this way and re-evaluates the quality, closing
+// the paper's clean→re-query loop; contexts are version-stamped, and
+// applying one that predates a later mutation fails with
+// ErrStaleCleaningContext.
 //
 // Mutations follow the same single-writer discipline as Build: they must
 // not run concurrently with queries or other mutations. Concurrent

@@ -28,11 +28,16 @@ func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 //	res, err := eng.Answers(ctx)
 //	plan, cctx, err := eng.PlanCleaning(ctx, "greedy", spec, budget)
 //
-// The engine is version-aware: memoized state is keyed by the database's
-// monotonic version counter, so mutating the database (InsertXTuple,
-// DeleteXTuple, Reweight, Collapse, or Engine.ApplyCleaning) does not
-// require throwing the engine away — the next query simply computes fresh
-// state for the new version and the stale entries are dropped lazily.
+// The engine is version-aware and delta-aware: memoized state carries the
+// database version it was computed against, so mutating the database
+// (InsertXTuple, DeleteXTuple, Reweight, Collapse, a Batch, or
+// Engine.ApplyCleaning) does not require throwing the engine away. On the
+// next query the engine asks Database.DirtySince for the mutations' merged
+// dirty-rank watermark and, instead of recomputing the PSR pass, resumes
+// it from the last checkpoint below the watermark (topkq.Resume) — a
+// mutation at the bottom of the ranking costs O(k·Δ) rather than O(k·n),
+// and one strictly below the scan's early-termination point costs nothing
+// at all. The resumed state is bit-identical to a recomputation.
 //
 // An Engine is safe for concurrent use, with the same single-writer
 // discipline the Database requires: queries may run concurrently with each
@@ -42,23 +47,20 @@ type Engine struct {
 	db  *Database
 	cfg config
 
-	mu     sync.Mutex           // guards the states map itself
-	states map[stateKey]*kEntry // memoized shared state per (version, k)
-}
-
-// stateKey identifies one memoization slot: the database version the state
-// was computed against and the query size.
-type stateKey struct {
-	version uint64
-	k       int
+	mu     sync.Mutex      // guards the states map itself
+	states map[int]*kEntry // memoized shared state per query size k
 }
 
 // kEntry is one k's memoization slot. Its own mutex makes the first
 // computation single-flight per k while letting passes for distinct k run
-// concurrently.
+// concurrently. Keying the map by k alone (the version lives inside the
+// entry and is migrated in place on every version change) keeps the map's
+// size bounded by the number of distinct query sizes ever asked for, no
+// matter how many mutations a session spans.
 type kEntry struct {
-	mu sync.Mutex
-	st *evalState // nil until computed; guarded by mu
+	mu      sync.Mutex
+	st      *evalState // nil until computed; guarded by mu
+	version uint64     // database version st was computed against; guarded by mu
 }
 
 // evalState is the shared per-(db, k) computation: one PSR pass and the TP
@@ -104,7 +106,7 @@ func New(db *Database, opts ...Option) (*Engine, error) {
 	if !db.Built() {
 		return nil, uncertain.ErrNotBuilt
 	}
-	return &Engine{db: db, cfg: cfg, states: make(map[stateKey]*kEntry)}, nil
+	return &Engine{db: db, cfg: cfg, states: make(map[int]*kEntry)}, nil
 }
 
 // DB returns the engine's database.
@@ -117,20 +119,20 @@ func (e *Engine) K() int { return e.cfg.k }
 func (e *Engine) Threshold() float64 { return e.cfg.threshold }
 
 // Invalidate drops all memoized rank/quality state. Normal use never
-// requires it: database mutations bump the version counter and the engine
-// keys its state by version, so stale entries are dropped lazily. It
+// requires it: database mutations bump the version counter, and the next
+// query resumes or recomputes the memoized state for the new version. It
 // remains for callers that want to recompute from scratch (e.g. to
 // re-measure).
 func (e *Engine) Invalidate() {
 	e.mu.Lock()
-	e.states = make(map[stateKey]*kEntry)
+	e.states = make(map[int]*kEntry)
 	e.mu.Unlock()
 }
 
 // state returns the memoized evaluation for (current db version, k),
 // computing it on first use. The per-entry mutex is a single-flight guard:
-// concurrent first calls for the same key compute the pass exactly once,
-// while passes for distinct keys proceed in parallel. needFull requests the
+// concurrent first calls for the same k compute the pass exactly once,
+// while passes for distinct k proceed in parallel. needFull requests the
 // full rank-h probabilities (U-kRanks); quality and cleaning get by with
 // the cheaper top-k-only retention, and a light state is upgraded in place
 // the first time a full one is needed — reusing the already-memoized
@@ -138,26 +140,28 @@ func (e *Engine) Invalidate() {
 // passes, so Quality/PlanCleaning keep the identical pointer across the
 // upgrade.
 //
-// Entries for other (stale) versions are dropped lazily whenever a new
-// version's entry is first created; no explicit invalidation is needed
-// after a mutation.
+// When the database version moved past the entry, the entry is not
+// dropped: migrate resumes the memoized PSR pass from the mutations'
+// dirty-rank watermark (keeping it wholesale when every mutation lies
+// below the scan's early-termination point) and re-derives the TP
+// evaluation from the resumed info. Only when the watermark log cannot
+// answer — or the resume fails (e.g. k now exceeds the x-tuple count) —
+// does the entry fall back to a from-scratch recomputation.
 func (e *Engine) state(ctx context.Context, k int, needFull bool) (*evalState, error) {
-	key := stateKey{version: e.db.Version(), k: k}
 	e.mu.Lock()
-	ent, ok := e.states[key]
+	ent, ok := e.states[k]
 	if !ok {
-		for old := range e.states {
-			if old.version != key.version {
-				delete(e.states, old)
-			}
-		}
 		ent = &kEntry{}
-		e.states[key] = ent
+		e.states[k] = ent
 	}
 	e.mu.Unlock()
 
 	ent.mu.Lock()
 	defer ent.mu.Unlock()
+	version := e.db.Version()
+	if ent.st != nil && ent.version != version {
+		ent.migrate(e.db, version)
+	}
 	if ent.st != nil && (ent.st.full || !needFull) {
 		return ent.st, nil
 	}
@@ -191,7 +195,56 @@ func (e *Engine) state(ctx context.Context, k int, needFull bool) (*evalState, e
 		return nil, err
 	}
 	ent.st = &evalState{info: info, eval: ev, full: needFull}
+	ent.version = version
 	return ent.st, nil
+}
+
+// migrate carries a memoized entry across database versions: it asks
+// DirtySince for the merged dirty-rank watermark of the intervening
+// mutations, resumes the PSR pass from it, and re-derives the TP
+// evaluation from the resumed info. The result is a new evalState (old
+// Results keep pointing at the superseded, still-consistent state), bit-
+// identical to what a from-scratch pass would memoize. On any failure the
+// entry is cleared and the caller recomputes from scratch.
+func (ent *kEntry) migrate(db *Database, version uint64) {
+	defer func() { ent.version = version }()
+	wm, ok := db.DirtySince(ent.version)
+	if !ok {
+		ent.st = nil
+		return
+	}
+	prior := ent.st.info
+	info, err := topkq.Resume(db, prior, wm)
+	if err != nil {
+		ent.st = nil
+		return
+	}
+	ev, err := ent.migrateEval(db, prior, info, wm)
+	if err != nil {
+		ent.st = nil
+		return
+	}
+	ent.st = &evalState{info: info, eval: ev, full: info.HasRho()}
+}
+
+// migrateEval carries the TP evaluation across the same version step. In
+// the pure-cache-hit case — every mutation at or below the early-
+// termination point — with stable group numbering, the evaluation is
+// reusable outright: S and Omega are computed from the unchanged prefix
+// alone, and GroupGain only needs resizing to the new group count, since
+// any group appended or dropped by such mutations has all its
+// alternatives below the termination point and hence zero gain. Otherwise
+// the evaluation is re-derived from the resumed info (still bit-identical
+// to a from-scratch pass, just costlier).
+func (ent *kEntry) migrateEval(db *Database, prior, info *topkq.RankInfo, wm int) (*quality.Evaluation, error) {
+	old := ent.st.eval
+	pureHit := wm >= prior.Processed && prior.Processed < prior.N
+	if pureHit && db.GroupIndicesStableSince(ent.version) {
+		gain := make([]float64, db.NumGroups())
+		copy(gain, old.GroupGain)
+		return &quality.Evaluation{S: old.S, Omega: old.Omega, GroupGain: gain, Info: info}, nil
+	}
+	return quality.TPFromInfo(db, info)
 }
 
 // RankInfo returns the engine's shared rank-probability information (the
@@ -332,7 +385,7 @@ func (e *Engine) ApplyCleaning(ctx context.Context, c *CleaningContext, plan Cle
 	if err != nil {
 		return nil, err
 	}
-	before := c.Eval.S // validated non-nil by ExecuteApply, unchanged by the mutations
+	before := c.Eval.S       // validated non-nil by ExecuteApply, unchanged by the mutations
 	q, err := e.Quality(ctx) // fresh state at the bumped version, memoized for later queries
 	if err != nil {
 		// The mutations are already applied; hand the outcome back with

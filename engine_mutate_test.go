@@ -108,9 +108,204 @@ func TestEngineAnswersTrackMutations(t *testing.T) {
 	assertAnswersMatchRebuild(t, eng, "after reweight")
 }
 
-// TestEngineDropsStaleVersions: the memo map must not grow without bound
-// as the database is mutated; stale versions are pruned lazily.
-func TestEngineDropsStaleVersions(t *testing.T) {
+// answerSnap is a deep copy of the snapshot fields of one answer entry,
+// used to detect in-place changes to previously returned Results.
+type answerSnap struct {
+	id    string
+	rank  int
+	score float64
+	prob  float64
+}
+
+func snapResult(res *Result) (out []answerSnap) {
+	for _, a := range res.UKRanks {
+		out = append(out, answerSnap{a.ID, a.Rank, a.Score, a.Prob})
+	}
+	for _, a := range res.PTK {
+		out = append(out, answerSnap{a.ID, a.Rank, a.Score, a.Prob})
+	}
+	for _, a := range res.GlobalTopK {
+		out = append(out, answerSnap{a.ID, a.Rank, a.Score, a.Prob})
+	}
+	return out
+}
+
+// TestResultImmuneToLaterMutations is the aliasing regression test: the
+// answer structs hold *Tuple pointers whose rank position and x-tuple
+// index are renumbered in place by later mutations, so a previously
+// returned Result must carry its own snapshots (ID, Score, Rank) rather
+// than read through the pointer.
+func TestResultImmuneToLaterMutations(t *testing.T) {
+	db := engineSyntheticDB(t, 100)
+	eng, err := New(db, WithK(5), WithPTKThreshold(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	res, err := eng.Answers(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := snapResult(res)
+	uk, ptk, gtk := FormatRanked(res.UKRanks), FormatScored(res.PTK), FormatScored(res.GlobalTopK)
+
+	// Renumber everything: a new top tuple shifts every rank position up,
+	// and deleting x-tuple 0 renumbers every group index.
+	top := db.Sorted()[0].Score
+	if err := db.InsertXTuple("above", Tuple{ID: "above.a", Attrs: []float64{top + 10}, Prob: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DeleteXTuple(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Answers(ctx); err != nil { // migrate the memoized state too
+		t.Fatal(err)
+	}
+
+	after := snapResult(res)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("captured answer %d changed under mutation: %+v -> %+v", i, before[i], after[i])
+		}
+	}
+	if g := FormatRanked(res.UKRanks); g != uk {
+		t.Fatalf("captured U-kRanks rendering changed: %s -> %s", uk, g)
+	}
+	if g := FormatScored(res.PTK); g != ptk {
+		t.Fatalf("captured PT-k rendering changed: %s -> %s", ptk, g)
+	}
+	if g := FormatScored(res.GlobalTopK); g != gtk {
+		t.Fatalf("captured Global-topk rendering changed: %s -> %s", gtk, g)
+	}
+	// Sanity: the mutations really did renumber the live tuples, i.e. the
+	// snapshots are load-bearing, not copies of still-identical state.
+	moved := false
+	for _, a := range res.GlobalTopK {
+		if a.Tuple.Index() != a.Rank {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("test fixture failed to shift any answered tuple's rank position")
+	}
+}
+
+// TestEngineResumeKeepsBottomMutationsFree pins the delta-aware fast path:
+// a mutation strictly below the scan's early-termination point must leave
+// the memoized top-k array untouched (shared backing, not recomputed), and
+// a mutation above it must still produce answers matching a rebuild.
+func TestEngineResumeKeepsBottomMutationsFree(t *testing.T) {
+	db := engineSyntheticDB(t, 150)
+	eng, err := New(db, WithK(6), WithPTKThreshold(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	res1, err := eng.Answers(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Info.Processed >= db.NumTuples() {
+		t.Fatalf("fixture did not early-terminate (Processed %d)", res1.Info.Processed)
+	}
+	bottom := db.Sorted()[db.NumTuples()-1].Score
+	if err := db.InsertXTuple("tail", Tuple{ID: "tail.a", Attrs: []float64{bottom - 5}, Prob: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := eng.Answers(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &res2.Info.TopK[0] != &res1.Info.TopK[0] {
+		t.Error("bottom mutation recomputed the pass; expected a pure resume cache hit")
+	}
+	if res2.Info == res1.Info {
+		t.Error("resume must produce a new RankInfo, not mutate the old one in place")
+	}
+	assertAnswersMatchRebuild(t, eng, "after bottom insert")
+
+	// Deleting a non-trailing x-tuple whose alternatives all lie below the
+	// termination point is still a pure resume hit for the scan, but it
+	// renumbers group indices — the per-group gain cache must be rebuilt,
+	// not carried over (quality would silently misattribute gains).
+	processed := res2.Info.Processed
+	victim := -1
+	for l, g := range db.Groups() {
+		if l == db.NumGroups()-1 {
+			continue
+		}
+		below := true
+		for _, tp := range g.Tuples {
+			if tp.Index() < processed {
+				below = false
+				break
+			}
+		}
+		if below {
+			victim = l
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("fixture has no non-trailing x-tuple entirely below the termination point")
+	}
+	if err := db.DeleteXTuple(victim); err != nil {
+		t.Fatal(err)
+	}
+	assertAnswersMatchRebuild(t, eng, "after renumbering delete below the prefix")
+
+	// A top mutation invalidates the whole prefix; the resumed state must
+	// be recomputed (distinct backing) yet still match a rebuild.
+	top := db.Sorted()[0].Score
+	if err := db.InsertXTuple("head", Tuple{ID: "head.a", Attrs: []float64{top + 5}, Prob: 0.9}); err != nil {
+		t.Fatal(err)
+	}
+	res3, err := eng.Answers(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Info.TopK) > 0 && len(res3.Info.TopK) > 0 && &res3.Info.TopK[0] == &res2.Info.TopK[0] {
+		t.Error("top mutation must not reuse the stale prefix wholesale")
+	}
+	assertAnswersMatchRebuild(t, eng, "after top insert")
+}
+
+// TestEngineStatesBoundedUnderMutateQueryLoop: the memo map must stay
+// bounded by the number of distinct query sizes — not grow per version —
+// when a session interleaves mutations with queries at several k's, and
+// entries must migrate rather than accrete.
+func TestEngineStatesBoundedUnderMutateQueryLoop(t *testing.T) {
+	db := engineSyntheticDB(t, 80)
+	eng, err := New(db, WithK(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 40; i++ {
+		if _, err := eng.Quality(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.QualityAt(ctx, 3+i%2); err != nil {
+			t.Fatal(err)
+		}
+		name := fmt.Sprintf("churn-%d", i)
+		if err := db.InsertXTuple(name, Tuple{ID: name + ".a", Attrs: []float64{float64(i)}, Prob: 0.5}); err != nil {
+			t.Fatal(err)
+		}
+		eng.mu.Lock()
+		n := len(eng.states)
+		eng.mu.Unlock()
+		if n > 3 { // k = 5 plus the two alternating QualityAt sizes
+			t.Fatalf("iteration %d: states map holds %d entries, want <= 3", i, n)
+		}
+	}
+}
+
+// TestEngineMigratesInPlace: a mutate/query churn loop on one k must keep
+// reusing (migrating) the single memoized entry for that k — versions are
+// carried in place, never accreted as new map entries.
+func TestEngineMigratesInPlace(t *testing.T) {
 	db := engineSyntheticDB(t, 60)
 	eng, err := New(db, WithK(5))
 	if err != nil {

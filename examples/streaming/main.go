@@ -1,12 +1,14 @@
 // Streaming demonstrates the versioned mutation API on a live serving
 // workload: a sensor field answers top-k queries continuously while new
-// sensors come online (InsertXTuple), dead sensors are decommissioned
-// (DeleteXTuple), firmware updates revise reading distributions (Reweight),
-// and a budgeted cleaning plan is executed onto the live database
-// (Engine.ApplyCleaning) — all without ever rebuilding the database or
-// discarding the Engine. The engine keys its memoized rank/quality state by
-// the database version, so every mutation is followed by an incremental
-// revalidation rather than a from-scratch session.
+// sensors come online (a whole batch per commit via Database.Batch), dead
+// sensors are decommissioned (DeleteXTuple), firmware updates revise
+// reading distributions (Reweight), and a budgeted cleaning plan is
+// executed onto the live database (Engine.ApplyCleaning) — all without
+// ever rebuilding the database or discarding the Engine. Each commit
+// records a dirty-rank watermark, so the next query resumes the engine's
+// memoized rank-probability pass from the mutation point instead of
+// recomputing it — and a batch leaves exactly one merged watermark to
+// catch up on, no matter how many sensors arrived.
 package main
 
 import (
@@ -50,14 +52,20 @@ func main() {
 	}
 	query("initial build")
 
-	// New sensors stream in between queries; each batch bumps the version
-	// once per insert and the next query revalidates incrementally.
+	// New sensors stream in between queries. Each batch commits as one
+	// unit — one version bump, one merged watermark — and the next query
+	// resumes the memoized pass across the single combined delta.
 	next := initialSensors
 	for b := 0; b < batches; b++ {
-		for i := 0; i < batchSize; i++ {
-			must(db.InsertXTuple(fmt.Sprintf("sensor-%d", next), readings(next, rng)...))
-			next++
-		}
+		must(db.Batch(func(bt *topkclean.Batch) error {
+			for i := 0; i < batchSize; i++ {
+				if err := bt.InsertXTuple(fmt.Sprintf("sensor-%d", next), readings(next, rng)...); err != nil {
+					return err
+				}
+				next++
+			}
+			return nil
+		}))
 		query(fmt.Sprintf("after insert batch %d", b+1))
 	}
 

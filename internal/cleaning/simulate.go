@@ -49,11 +49,14 @@ func Execute(ctx *Context, plan Plan, rng *rand.Rand) (*Outcome, error) {
 // rng stream yields the same draws) but applies the successful outcomes to
 // the live database via Collapse instead of building a cleaned copy: this
 // is what actually executing a cleaning plan does to a serving database.
-// Each successful x-tuple's mutation bumps the database version, so
-// version-aware consumers re-evaluate lazily. The returned Outcome's DB is
-// the (mutated) input database; NewQuality and Improvement are left zero —
-// the caller re-evaluates against the new version (the Engine does this
-// with its memoized state, sharing the pass with subsequent queries).
+// All collapses commit as one Batch — one version bump and one merged
+// dirty-rank watermark for the whole plan — so version-aware consumers
+// re-evaluate the entire cleaning as a single incremental step (and a
+// large plan cannot flood the bounded watermark log with one entry per
+// resolved x-tuple). The returned Outcome's DB is the (mutated) input
+// database; NewQuality and Improvement are left zero — the caller
+// re-evaluates against the new version (the Engine does this with its
+// memoized state, sharing the pass with subsequent queries).
 //
 // When ctx.Version is nonzero it must match the database's current version;
 // ErrStaleContext is returned (by the context validation, before any draw
@@ -64,8 +67,16 @@ func ExecuteApply(ctx *Context, plan Plan, rng *rand.Rand) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, l := range sortedChoiceGroups(out.Choices) {
-		if err := ctx.DB.Collapse(l, out.Choices[l]); err != nil {
+	if len(out.Choices) > 0 {
+		err := ctx.DB.Batch(func(b *uncertain.Batch) error {
+			for _, l := range sortedChoiceGroups(out.Choices) {
+				if err := b.Collapse(l, out.Choices[l]); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
 			return nil, err
 		}
 	}

@@ -2,6 +2,7 @@ package quality
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/probdb/topkclean/internal/numeric"
 	"github.com/probdb/topkclean/internal/topkq"
@@ -73,8 +74,12 @@ func TPFromInfo(db *uncertain.Database, info *topkq.RankInfo) (*Evaluation, erro
 	}
 	// E[l] is the running E_{i,l} of Equation 7: the mass of tau_l's
 	// alternatives ranked at or above the scan point. The recurrence of
-	// Equation 9 updates it in O(1) per alternative.
-	E := make([]float64, m)
+	// Equation 9 updates it in O(1) per alternative. The array is pure
+	// scratch, pooled so the mutate→requery serving loop (which re-derives
+	// the evaluation after every mutation) does not allocate O(m) per
+	// update.
+	E := scratchE(m)
+	defer eScratch.Put(E)
 	var s numeric.Kahan
 	limit := limit0
 	for i := 0; i < limit; i++ {
@@ -100,6 +105,22 @@ func TPFromInfo(db *uncertain.Database, info *topkq.RankInfo) (*Evaluation, erro
 		ev.S = 0
 	}
 	return ev, nil
+}
+
+// eScratch pools the per-evaluation E array; see TPFromInfo.
+var eScratch = sync.Pool{New: func() any { return []float64(nil) }}
+
+// scratchE returns a zeroed scratch slice of m float64s from the pool.
+func scratchE(m int) []float64 {
+	s := eScratch.Get().([]float64)
+	if cap(s) < m {
+		return make([]float64, m)
+	}
+	s = s[:m]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
 }
 
 // omega computes w_i (Equation 8):

@@ -12,6 +12,10 @@ import "github.com/probdb/topkclean/internal/uncertain"
 // rank-h probabilities rho_i(h) and the top-k probability p_i. It is the
 // artifact shared between query evaluation and quality computation
 // (Section IV-C).
+//
+// A RankInfo is immutable once returned: Resume builds a new info (sharing
+// immutable prefix data) rather than updating one in place, so answers
+// derived from an older version's info stay valid after mutations.
 type RankInfo struct {
 	K int
 	N int // alternatives in the database the info was computed on
@@ -33,7 +37,24 @@ type RankInfo struct {
 	// on the numerically delicate path (own-group mass above the scan point
 	// close to 1). Exposed for the ablation benchmarks.
 	Rebuilds int
+
+	// ckpts are periodic snapshots of the scan state (taken every
+	// checkpointEvery positions, plus one at exhaustion), recorded so that
+	// Resume can replay the scan from the last checkpoint at or below a
+	// mutation's dirty-rank watermark instead of from position 0. Sorted
+	// by position. See DESIGN.md ("Checkpoints").
+	ckpts []checkpoint
+
+	// deconvLim is the deconvolution threshold the pass ran with, kept so
+	// Resume replays with the identical numeric path. Zero marks an info
+	// that was not produced by the PSR scan (e.g. the naive baseline) and
+	// cannot seed a resume.
+	deconvLim float64
 }
+
+// CanResume reports whether the info carries the scan checkpoints (and
+// numeric configuration) Resume needs.
+func (ri *RankInfo) CanResume() bool { return ri.deconvLim != 0 }
 
 // HasRho reports whether per-rank probabilities were retained.
 func (ri *RankInfo) HasRho() bool { return ri.rho != nil }

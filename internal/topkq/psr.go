@@ -54,6 +54,99 @@ func AblationRebuildOnly(db *uncertain.Database, k int) (*RankInfo, error) {
 	return compute(db, k, false, -1)
 }
 
+// checkpointEvery is the spacing, in rank positions, of the scan-state
+// checkpoints compute records into RankInfo for Resume. Spacing trades the
+// replay bound (a resume reprocesses at most checkpointEvery positions
+// before the watermark) against snapshot memory (each checkpoint is O(k)
+// plus the active list); 64 keeps both negligible next to the O(k *
+// Processed) pass itself. See DESIGN.md ("Checkpoints") for the numbers.
+const checkpointEvery = 64
+
+// qSnapshot is one entry of a checkpoint's sparse q vector. The group is
+// keyed by *XTuple identity rather than index: mutations renumber group
+// indices in place (DeleteXTuple shifts later groups down), but the XTuple
+// object itself is stable, so a snapshot survives renumbering and is
+// re-resolved to current indices at restore time.
+type qSnapshot struct {
+	x *uncertain.XTuple
+	q float64
+}
+
+// checkpoint captures the PSR scan state immediately before processing one
+// rank position. Restoring it and replaying the scan from pos yields
+// output bit-identical to a from-scratch pass, because every float64
+// operation from the restored state onward is the same.
+type checkpoint struct {
+	pos        int
+	F          []float64   // truncated Poisson-binomial over groups above the scan point
+	q          []qSnapshot // active groups in first-appearance order (rebuild order matters)
+	fullGroups int
+	rebuilds   int // info.Rebuilds as of pos, so a resumed count matches a fresh one
+}
+
+// scanState is the live state of the PSR scan loop.
+type scanState struct {
+	q          []float64 // q[g]: mass of group g above the scan point
+	active     []int     // groups with q > 0, for from-scratch rebuilds
+	F, G       []float64
+	scratch    []float64
+	fullGroups int
+}
+
+func newScanState(k, m int) *scanState {
+	st := &scanState{
+		q:       make([]float64, m),
+		active:  make([]int, 0, 64),
+		F:       make([]float64, k),
+		G:       make([]float64, k),
+		scratch: make([]float64, k),
+	}
+	st.F[0] = 1
+	return st
+}
+
+// snapshot records the state as a checkpoint for position pos.
+func (st *scanState) snapshot(db *uncertain.Database, pos, rebuilds int) checkpoint {
+	c := checkpoint{
+		pos:        pos,
+		F:          append([]float64(nil), st.F...),
+		q:          make([]qSnapshot, 0, len(st.active)),
+		fullGroups: st.fullGroups,
+		rebuilds:   rebuilds,
+	}
+	groups := db.Groups()
+	for _, g := range st.active {
+		c.q = append(c.q, qSnapshot{x: groups[g], q: st.q[g]})
+	}
+	return c
+}
+
+// restore rebuilds a live scan state from the checkpoint against the
+// database's current group numbering. It reports false when a referenced
+// x-tuple no longer belongs to the database (it was deleted); that can
+// only happen for a checkpoint beyond the mutation's watermark, which
+// Resume never selects under the documented contract — the check is a
+// safety net that downgrades a contract violation to a fresh scan.
+func (c *checkpoint) restore(db *uncertain.Database, k int) (*scanState, bool) {
+	m := db.NumGroups()
+	st := newScanState(k, m)
+	copy(st.F, c.F)
+	groups := db.Groups()
+	for _, e := range c.q {
+		if len(e.x.Tuples) == 0 {
+			return nil, false
+		}
+		g := e.x.Tuples[0].Group
+		if g < 0 || g >= m || groups[g] != e.x {
+			return nil, false
+		}
+		st.q[g] = e.q
+		st.active = append(st.active, g)
+	}
+	st.fullGroups = c.fullGroups
+	return st, true
+}
+
 // compute scans the alternatives in descending rank order, maintaining the
 // truncated Poisson-binomial distribution
 //
@@ -82,47 +175,55 @@ func compute(db *uncertain.Database, k int, keepRho bool, deconvLim float64) (*R
 	if k > m {
 		return nil, fmt.Errorf("k = %d, m = %d: %w", k, m, ErrKTooLarge)
 	}
-	sorted := db.Sorted()
-	n := len(sorted)
 	// TopK and rho hold only the processed prefix: Lemma 2 usually stops
 	// the scan after a small fraction of a large database, and sizing the
 	// output to the prefix keeps PSR's cost O(k * Processed) rather than
 	// O(n) in allocations.
-	info := &RankInfo{K: k, N: n, TopK: make([]float64, 0, 256)}
+	info := &RankInfo{K: k, N: db.NumTuples(), TopK: make([]float64, 0, 256), deconvLim: deconvLim}
 	if keepRho {
 		info.rho = make([][]float64, 0, 256)
 	}
+	return scanFrom(db, info, newScanState(k, m), 0, keepRho)
+}
 
-	q := make([]float64, m)      // q[g]: mass of group g above the scan point
-	active := make([]int, 0, 64) // groups with q > 0, for from-scratch rebuilds
-	F := make([]float64, k)
-	F[0] = 1
-	G := make([]float64, k)
-	scratch := make([]float64, k)
-	fullGroups := 0
-
-	for i, t := range sorted {
-		if fullGroups >= k {
+// scanFrom runs the PSR scan loop from rank position start with the given
+// (fresh or checkpoint-restored) state, appending to info's prefix. It
+// records a checkpoint every checkpointEvery positions — aligned to
+// absolute positions, so resumed passes checkpoint at the same spots a
+// fresh pass would — plus one final checkpoint when the scan exhausts the
+// array, which is what lets a later Resume extend the scan over tuples
+// appended below the old end.
+func scanFrom(db *uncertain.Database, info *RankInfo, st *scanState, start int, keepRho bool) (*RankInfo, error) {
+	k := info.K
+	deconvLim := info.deconvLim
+	sorted := db.Sorted()
+	n := len(sorted)
+	for i := start; i < n; i++ {
+		if st.fullGroups >= k {
 			// Lemma 2: at least k x-tuples certainly place an alternative
 			// above every remaining tuple, so p = 0 from here on.
 			info.Processed = i
 			return info, nil
 		}
+		if i > start && i%checkpointEvery == 0 {
+			info.ckpts = append(info.ckpts, st.snapshot(db, i, info.Rebuilds))
+		}
+		t := sorted[i]
 		l := t.Group
-		ql := q[l]
+		ql := st.q[l]
 		switch {
 		case ql == 0:
-			copy(G, F)
+			copy(st.G, st.F)
 		case ql <= deconvLim:
-			deconvolve(G, F, ql)
+			deconvolve(st.G, st.F, ql)
 		default:
-			rebuildExcluding(G, q, active, l)
+			rebuildExcluding(st.G, st.q, st.active, l)
 			info.Rebuilds++
 		}
 
 		var p float64
 		for j := 0; j < k; j++ {
-			p += G[j]
+			p += st.G[j]
 		}
 		p *= t.Prob
 		if p < 0 {
@@ -134,7 +235,7 @@ func compute(db *uncertain.Database, k int, keepRho bool, deconvLim float64) (*R
 		if keepRho {
 			row := make([]float64, k)
 			for j := 0; j < k; j++ {
-				r := t.Prob * G[j]
+				r := t.Prob * st.G[j]
 				if r < 0 {
 					r = 0
 				}
@@ -146,19 +247,22 @@ func compute(db *uncertain.Database, k int, keepRho bool, deconvLim float64) (*R
 		// Advance the scan point below t: the own group's event probability
 		// grows by e_i.
 		if ql == 0 {
-			active = append(active, l)
+			st.active = append(st.active, l)
 		}
 		qNew := ql + t.Prob
 		if qNew > 1 {
 			qNew = 1
 		}
-		q[l] = qNew
+		st.q[l] = qNew
 		if ql < fullMass && qNew >= fullMass {
-			fullGroups++
+			st.fullGroups++
 		}
-		convolve(F, G, qNew, scratch)
+		convolve(st.F, st.G, qNew, st.scratch)
 	}
 	info.Processed = n
+	if len(info.ckpts) == 0 || info.ckpts[len(info.ckpts)-1].pos != n {
+		info.ckpts = append(info.ckpts, st.snapshot(db, n, info.Rebuilds))
+	}
 	return info, nil
 }
 

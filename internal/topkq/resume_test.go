@@ -1,0 +1,370 @@
+package topkq
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/probdb/topkclean/internal/testdb"
+	"github.com/probdb/topkclean/internal/uncertain"
+)
+
+// assertBitIdentical fails unless got and want agree exactly — not within
+// a tolerance — on every field Resume promises to reproduce: the processed
+// prefix length, the rebuild count, and every probability bit.
+func assertBitIdentical(t *testing.T, stage string, got, want *RankInfo) {
+	t.Helper()
+	if got.K != want.K || got.N != want.N {
+		t.Fatalf("%s: (K, N) = (%d, %d), fresh (%d, %d)", stage, got.K, got.N, want.K, want.N)
+	}
+	if got.Processed != want.Processed {
+		t.Fatalf("%s: Processed = %d, fresh %d", stage, got.Processed, want.Processed)
+	}
+	if got.Rebuilds != want.Rebuilds {
+		t.Fatalf("%s: Rebuilds = %d, fresh %d", stage, got.Rebuilds, want.Rebuilds)
+	}
+	if len(got.TopK) != len(want.TopK) {
+		t.Fatalf("%s: len(TopK) = %d, fresh %d", stage, len(got.TopK), len(want.TopK))
+	}
+	for i := range got.TopK {
+		if got.TopK[i] != want.TopK[i] {
+			t.Fatalf("%s: TopK[%d] = %v, fresh %v", stage, i, got.TopK[i], want.TopK[i])
+		}
+	}
+	if got.HasRho() != want.HasRho() {
+		t.Fatalf("%s: HasRho = %v, fresh %v", stage, got.HasRho(), want.HasRho())
+	}
+	if got.HasRho() {
+		if len(got.rho) != len(want.rho) {
+			t.Fatalf("%s: len(rho) = %d, fresh %d", stage, len(got.rho), len(want.rho))
+		}
+		for i := range got.rho {
+			for h := 1; h <= got.K; h++ {
+				if got.Rho(i, h) != want.Rho(i, h) {
+					t.Fatalf("%s: rho[%d][%d] = %v, fresh %v", stage, i, h, got.Rho(i, h), want.Rho(i, h))
+				}
+			}
+		}
+	}
+}
+
+// resumeTestDB builds a database whose scan early-terminates well before
+// the end: about half the x-tuples have total mass 1 (no null), so the
+// top-ranked full-mass groups fill fullGroups quickly, while the rest
+// carry nulls. Scores are spread so random mutations land above, inside,
+// and below the processed prefix.
+func resumeTestDB(t *testing.T, rng *rand.Rand, groups int) *uncertain.Database {
+	t.Helper()
+	db := uncertain.New()
+	for g := 0; g < groups; g++ {
+		n := 1 + rng.Intn(4)
+		target := 1.0
+		if rng.Intn(2) == 0 {
+			target = 0.3 + 0.6*rng.Float64()
+		}
+		weights := make([]float64, n)
+		var sum float64
+		for i := range weights {
+			weights[i] = 0.05 + rng.Float64()
+			sum += weights[i]
+		}
+		ts := make([]uncertain.Tuple, n)
+		for i := range ts {
+			ts[i] = uncertain.Tuple{
+				ID:    fmt.Sprintf("g%d.%d", g, i),
+				Attrs: []float64{rng.Float64() * 100},
+				Prob:  weights[i] / sum * target,
+			}
+		}
+		if err := db.AddXTuple(fmt.Sprintf("G%d", g), ts...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Build(uncertain.ByFirstAttr); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// mutator is the mutation surface shared by *uncertain.Database (one
+// commit per call) and *uncertain.Batch (one merged commit); the property
+// test drives both so the two watermark paths are exercised.
+type mutator interface {
+	InsertXTuple(name string, tuples ...uncertain.Tuple) error
+	DeleteXTuple(l int) error
+	Reweight(l int, probs []float64) error
+	Collapse(l, choice int) error
+}
+
+// mutateRandomly applies one random mutation step — a single insert,
+// delete, reweight, or collapse, or a batch of several — and returns a
+// label for failure messages.
+func mutateRandomly(t *testing.T, rng *rand.Rand, db *uncertain.Database, step int, nextID *int) string {
+	t.Helper()
+	one := func(mu mutator) string {
+		m := db.NumGroups()
+		switch rng.Intn(4) {
+		case 0:
+			n := 1 + rng.Intn(3)
+			ts := make([]uncertain.Tuple, n)
+			for i := range ts {
+				ts[i] = uncertain.Tuple{
+					ID:    fmt.Sprintf("s%d.%d", *nextID, i),
+					Attrs: []float64{rng.Float64() * 100},
+					Prob:  0.05 + rng.Float64()*(0.9/float64(n)),
+				}
+			}
+			*nextID++
+			if err := mu.InsertXTuple(fmt.Sprintf("S%d", *nextID), ts...); err != nil {
+				t.Fatalf("step %d insert: %v", step, err)
+			}
+			return "insert"
+		case 1:
+			if m <= 12 {
+				return "skip"
+			}
+			if err := mu.DeleteXTuple(rng.Intn(m)); err != nil {
+				t.Fatalf("step %d delete: %v", step, err)
+			}
+			return "delete"
+		case 2:
+			l := rng.Intn(m)
+			real := db.Groups()[l].RealTuples()
+			if len(real) == 0 {
+				return "skip"
+			}
+			probs := make([]float64, len(real))
+			for i := range probs {
+				probs[i] = 0.05 + rng.Float64()*(0.9/float64(len(probs)))
+			}
+			if err := mu.Reweight(l, probs); err != nil {
+				t.Fatalf("step %d reweight: %v", step, err)
+			}
+			return "reweight"
+		default:
+			l := rng.Intn(m)
+			g := db.Groups()[l]
+			if err := mu.Collapse(l, rng.Intn(len(g.Tuples))); err != nil {
+				t.Fatalf("step %d collapse: %v", step, err)
+			}
+			return "collapse"
+		}
+	}
+	if rng.Intn(3) == 0 {
+		// Batched: several mutations, one version bump, one merged watermark.
+		label := "batch["
+		err := db.Batch(func(b *uncertain.Batch) error {
+			for j := 1 + rng.Intn(3); j > 0; j-- {
+				label += one(b) + " "
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("step %d batch: %v", step, err)
+		}
+		return label + "]"
+	}
+	return "single:" + one(db)
+}
+
+// TestResumeBitIdenticalUnderMutations is the acceptance property test:
+// across >= 100 mixed mutation steps (insert/delete/reweight/collapse,
+// single and batched), Resume from the previous version's info at the
+// DirtySince watermark must be bit-identical — Processed, Rebuilds, every
+// top-k probability, and every rho row — to a from-scratch pass, for both
+// the rho-retaining and the top-k-only flavors. The resumed infos are
+// chained (each step resumes from the previous resume), so drift would
+// compound and be caught.
+func TestResumeBitIdenticalUnderMutations(t *testing.T) {
+	const k = 7
+	rng := rand.New(rand.NewSource(20260730))
+	db := resumeTestDB(t, rng, 60)
+
+	priorFull, err := RankProbabilities(db, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	priorLight, err := TopKProbabilities(db, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	version := db.Version()
+	nextID := 1000
+	pureHits := 0
+	for step := 0; step < 120; step++ {
+		label := mutateRandomly(t, rng, db, step, &nextID)
+		wm, ok := db.DirtySince(version)
+		if !ok {
+			t.Fatalf("step %d (%s): DirtySince(%d) not answerable at version %d",
+				step, label, version, db.Version())
+		}
+		version = db.Version()
+		stage := fmt.Sprintf("step %d (%s, watermark %d)", step, label, wm)
+
+		freshFull, err := RankProbabilities(db, k)
+		if err != nil {
+			t.Fatalf("%s: fresh full: %v", stage, err)
+		}
+		resumedFull, err := Resume(db, priorFull, wm)
+		if err != nil {
+			t.Fatalf("%s: resume full: %v", stage, err)
+		}
+		assertBitIdentical(t, stage+" full", resumedFull, freshFull)
+
+		freshLight, err := TopKProbabilities(db, k)
+		if err != nil {
+			t.Fatalf("%s: fresh light: %v", stage, err)
+		}
+		resumedLight, err := Resume(db, priorLight, wm)
+		if err != nil {
+			t.Fatalf("%s: resume light: %v", stage, err)
+		}
+		assertBitIdentical(t, stage+" light", resumedLight, freshLight)
+
+		if wm >= resumedFull.Processed {
+			pureHits++
+		}
+		priorFull, priorLight = resumedFull, resumedLight
+	}
+	// The score distribution guarantees a healthy mix; if every step
+	// replayed the scan the pure-hit fast path was never exercised.
+	if pureHits == 0 {
+		t.Error("no mutation landed below the early-termination point; pure-hit path untested")
+	}
+	if pureHits == 120 {
+		t.Error("every mutation landed below the early-termination point; replay path untested")
+	}
+}
+
+// TestResumePureCacheHitSharesPrefix pins the zero-copy property: when the
+// watermark is at or beyond an early-terminated prior's Processed, Resume
+// must return prior's own arrays (re-badged for the new version), not a
+// recomputation.
+func TestResumePureCacheHitSharesPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	db := resumeTestDB(t, rng, 80)
+	const k = 5
+	prior, err := RankProbabilities(db, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prior.Processed >= db.NumTuples() {
+		t.Fatalf("fixture did not early-terminate (Processed = %d of %d)", prior.Processed, db.NumTuples())
+	}
+	version := db.Version()
+	// A hopeless x-tuple: scores below everything, lands at the bottom.
+	if err := db.InsertXTuple("bottom",
+		uncertain.Tuple{ID: "b.0", Attrs: []float64{-50}, Prob: 0.5},
+		uncertain.Tuple{ID: "b.1", Attrs: []float64{-60}, Prob: 0.3}); err != nil {
+		t.Fatal(err)
+	}
+	wm, ok := db.DirtySince(version)
+	if !ok {
+		t.Fatal("DirtySince must answer for a one-step-old version")
+	}
+	if wm < prior.Processed {
+		t.Fatalf("bottom insert got watermark %d < Processed %d", wm, prior.Processed)
+	}
+	resumed, err := Resume(db, prior, wm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &resumed.TopK[0] != &prior.TopK[0] {
+		t.Error("pure cache hit must share the prior TopK array, not copy or recompute")
+	}
+	if resumed.N != db.NumTuples() {
+		t.Errorf("resumed N = %d, want %d", resumed.N, db.NumTuples())
+	}
+	fresh, err := RankProbabilities(db, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, "pure hit", resumed, fresh)
+}
+
+// TestResumeAppendAfterExhaustedScan: a prior whose scan consumed the
+// whole array has no p = 0 guarantee recorded beyond the old end, so an
+// append below it cannot take the pure-hit path; Resume must instead pick
+// up the final checkpoint and agree with a fresh pass (which, with every
+// group at full mass by the old end, terminates right at the appended
+// tuples).
+func TestResumeAppendAfterExhaustedScan(t *testing.T) {
+	db := testdb.UDB1()
+	const k = 4 // k = m: the scan cannot early-terminate
+	prior, err := RankProbabilities(db, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prior.Processed != db.NumTuples() {
+		t.Fatalf("fixture unexpectedly early-terminated at %d", prior.Processed)
+	}
+	version := db.Version()
+	if err := db.InsertXTuple("S5", uncertain.Tuple{ID: "n0", Attrs: []float64{1}, Prob: 0.9}); err != nil {
+		t.Fatal(err)
+	}
+	wm, ok := db.DirtySince(version)
+	if !ok {
+		t.Fatal("DirtySince must answer")
+	}
+	if wm < prior.Processed {
+		t.Fatalf("bottom insert got watermark %d < old end %d", wm, prior.Processed)
+	}
+	resumed, err := Resume(db, prior, wm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := RankProbabilities(db, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, "append after exhausted scan", resumed, fresh)
+	for i := prior.Processed; i < db.NumTuples(); i++ {
+		if resumed.P(i) != 0 {
+			t.Fatalf("appended tuple at position %d has p = %v, want 0", i, resumed.P(i))
+		}
+	}
+}
+
+func TestResumeValidation(t *testing.T) {
+	db := testdb.UDB1()
+	info, err := TopKProbabilities(db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resume(db, nil, 0); !errors.Is(err, ErrCannotResume) {
+		t.Errorf("nil prior: err = %v, want ErrCannotResume", err)
+	}
+	naive, err := NaiveRankProbabilities(db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resume(db, naive, 0); !errors.Is(err, ErrCannotResume) {
+		t.Errorf("naive prior: err = %v, want ErrCannotResume", err)
+	}
+	unbuilt := uncertain.New()
+	if _, err := Resume(unbuilt, info, 0); !errors.Is(err, uncertain.ErrNotBuilt) {
+		t.Errorf("unbuilt db: err = %v, want ErrNotBuilt", err)
+	}
+	// Deleting below k groups makes k invalid for the new version.
+	big, err := RankProbabilities(db, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DeleteXTuple(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resume(db, big, 0); !errors.Is(err, ErrKTooLarge) {
+		t.Errorf("k > m after delete: err = %v, want ErrKTooLarge", err)
+	}
+	// A full replay from watermark 0 is still exact.
+	fresh, err := TopKProbabilities(db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Resume(db, info, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, "watermark 0", resumed, fresh)
+}

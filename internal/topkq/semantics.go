@@ -10,17 +10,40 @@ import (
 
 // RankedAnswer is one entry of a U-kRanks answer: the tuple most likely to
 // occupy rank H, together with that probability.
+//
+// ID, Score, and Rank are snapshots taken when the answer was built:
+// later database mutations renumber the live tuple's rank position (and
+// x-tuple index) in place, so an answer that only pointed at the tuple
+// would silently change under the caller. The snapshots — and Prob — stay
+// fixed; Tuple remains for callers that want the live alternative.
 type RankedAnswer struct {
 	H     int
-	Tuple *uncertain.Tuple
+	Tuple *uncertain.Tuple // live alternative; its indices track later mutations
+	ID    string           // tuple ID at answer time
+	Score float64          // ranking score at answer time
+	Rank  int              // rank position at answer time (0 = highest)
 	Prob  float64
 }
 
 // ScoredAnswer is one entry of a PT-k or Global-topk answer: a tuple with
-// its top-k probability.
+// its top-k probability. ID, Score, and Rank are answer-time snapshots,
+// for the same reason as RankedAnswer's.
 type ScoredAnswer struct {
-	Tuple *uncertain.Tuple
+	Tuple *uncertain.Tuple // live alternative; its indices track later mutations
+	ID    string           // tuple ID at answer time
+	Score float64          // ranking score at answer time
+	Rank  int              // rank position at answer time (0 = highest)
 	Prob  float64
+}
+
+// snapshotRanked builds a RankedAnswer snapshotting t's answer-time state.
+func snapshotRanked(h int, t *uncertain.Tuple, rank int, prob float64) RankedAnswer {
+	return RankedAnswer{H: h, Tuple: t, ID: t.ID, Score: t.Score, Rank: rank, Prob: prob}
+}
+
+// snapshotScored builds a ScoredAnswer snapshotting t's answer-time state.
+func snapshotScored(t *uncertain.Tuple, rank int, prob float64) ScoredAnswer {
+	return ScoredAnswer{Tuple: t, ID: t.ID, Score: t.Score, Rank: rank, Prob: prob}
 }
 
 // UKRanks evaluates the U-kRanks query [10]: for each rank h = 1..k, the
@@ -47,7 +70,7 @@ func UKRanks(db *uncertain.Database, info *RankInfo) ([]RankedAnswer, error) {
 			}
 		}
 		if best >= 0 {
-			out = append(out, RankedAnswer{H: h, Tuple: sorted[best], Prob: bestP})
+			out = append(out, snapshotRanked(h, sorted[best], best, bestP))
 		}
 	}
 	return out, nil
@@ -63,7 +86,7 @@ func PTK(db *uncertain.Database, info *RankInfo, threshold float64) []ScoredAnsw
 			continue
 		}
 		if p := info.P(i); p >= threshold {
-			out = append(out, ScoredAnswer{Tuple: sorted[i], Prob: p})
+			out = append(out, snapshotScored(sorted[i], i, p))
 		}
 	}
 	return out
@@ -80,14 +103,14 @@ func GlobalTopK(db *uncertain.Database, info *RankInfo) []ScoredAnswer {
 			continue
 		}
 		if p := info.P(i); p > 0 {
-			cand = append(cand, ScoredAnswer{Tuple: sorted[i], Prob: p})
+			cand = append(cand, snapshotScored(sorted[i], i, p))
 		}
 	}
 	sort.SliceStable(cand, func(a, b int) bool {
 		if cand[a].Prob != cand[b].Prob {
 			return cand[a].Prob > cand[b].Prob
 		}
-		return cand[a].Tuple.Index() < cand[b].Tuple.Index()
+		return cand[a].Rank < cand[b].Rank
 	})
 	if len(cand) > info.K {
 		cand = cand[:info.K]
@@ -96,19 +119,22 @@ func GlobalTopK(db *uncertain.Database, info *RankInfo) []ScoredAnswer {
 }
 
 // FormatScored renders a scored answer list compactly, e.g. "{t1, t2, t5}".
+// It reads the snapshot IDs, so the rendering of an answer is stable under
+// later database mutations.
 func FormatScored(answers []ScoredAnswer) string {
 	ids := make([]string, len(answers))
 	for i, a := range answers {
-		ids[i] = a.Tuple.ID
+		ids[i] = a.ID
 	}
 	return "{" + strings.Join(ids, ", ") + "}"
 }
 
-// FormatRanked renders a U-kRanks answer list, e.g. "1:t1 2:t2".
+// FormatRanked renders a U-kRanks answer list, e.g. "1:t1 2:t2", from the
+// snapshot IDs.
 func FormatRanked(answers []RankedAnswer) string {
 	parts := make([]string, len(answers))
 	for i, a := range answers {
-		parts[i] = fmt.Sprintf("%d:%s", a.H, a.Tuple.ID)
+		parts[i] = fmt.Sprintf("%d:%s", a.H, a.ID)
 	}
 	return strings.Join(parts, " ")
 }

@@ -17,9 +17,36 @@ type Database struct {
 	sorted  []*Tuple // all alternatives (incl. nulls) in descending rank order
 	built   bool
 	nReal   int
-	version uint64 // bumped by Build and every mutation; see Version
-	nextOrd int    // next insertion-order stamp for mutation-time inserts
+	version uint64            // bumped by Build and every mutation; see Version
+	nextOrd int               // next insertion-order stamp for mutation-time inserts
+	marks   []versionMark     // per-mutation dirty-rank watermarks; see DirtySince
+	byID    map[string]*Tuple // ID index over sorted; maintained by insertRanked/removeSorted
+
+	// pendingRenumber is set by a mutation core that shifted surviving
+	// group indices and folded into the next versionMark by finishMutation.
+	pendingRenumber bool
 }
+
+// versionMark records, for one committed mutation (or batch of mutations),
+// the version it produced and the lowest rank position whose scan-relevant
+// state — tuple identity, probability, or rank order — the mutation may
+// have changed. Positions strictly below the watermark are bit-identical
+// between the two versions. renumbered marks commits that shifted
+// surviving x-tuple indices (a delete of a non-trailing group), which
+// consumers that cache per-group state (the engine's GroupGain reuse)
+// must know about.
+type versionMark struct {
+	version    uint64
+	watermark  int
+	renumbered bool
+}
+
+// maxMarks bounds the watermark log. A consumer asking DirtySince about a
+// version that has fallen off the log gets ok=false and must recompute
+// from scratch, so the cap only trades incrementality for memory; 128
+// mutations of history is far more than any engine keeps a single
+// memoized entry across.
+const maxMarks = 128
 
 // New returns an empty database.
 func New() *Database {
@@ -37,10 +64,15 @@ func (db *Database) AddXTuple(name string, tuples ...Tuple) error {
 		return wrapGroup(ErrEmptyXTuple, name)
 	}
 	x := &XTuple{Name: name, Tuples: make([]*Tuple, len(tuples))}
+	// One backing array for the copies: a database holds tens of thousands
+	// of alternatives, and keeping them in per-x-tuple slabs rather than
+	// individual heap objects keeps the GC's mark phase (whose write
+	// barriers tax the mutation splice passes) cheap.
+	backing := make([]Tuple, len(tuples))
 	for i := range tuples {
-		t := tuples[i] // copy
-		t.Attrs = append([]float64(nil), tuples[i].Attrs...)
-		x.Tuples[i] = &t
+		backing[i] = tuples[i] // copy
+		backing[i].Attrs = append([]float64(nil), tuples[i].Attrs...)
+		x.Tuples[i] = &backing[i]
 	}
 	if err := x.validate(); err != nil {
 		return err
@@ -120,8 +152,12 @@ func (db *Database) Build(rank RankFunc) error {
 	}
 	db.rank = rank
 	db.sorted = make([]*Tuple, 0, total)
+	db.byID = make(map[string]*Tuple, total)
 	for _, x := range db.groups {
 		db.sorted = append(db.sorted, x.Tuples...)
+		for _, t := range x.Tuples {
+			db.byID[t.ID] = t
+		}
 	}
 	sort.SliceStable(db.sorted, func(i, j int) bool {
 		return ranksAbove(db.sorted[i], db.sorted[j])
@@ -145,6 +181,83 @@ func (db *Database) Build(rank RankFunc) error {
 // per-k rank/quality passes — key it by version, so stale entries are
 // detected lazily instead of requiring explicit invalidation.
 func (db *Database) Version() uint64 { return db.version }
+
+// DirtySince reports how much of the rank order may have changed since the
+// given version: it returns the lowest rank position at which the scan
+// state of version since and the current version can differ (the merged
+// dirty-rank watermark of every mutation applied after since). Positions
+// strictly below the watermark hold the same tuples with the same scores
+// and probabilities in the same order, so any left-to-right scan — PSR in
+// particular — is bit-identical over that prefix and can be resumed from
+// it rather than recomputed.
+//
+// When since is the current version the whole order is clean and the
+// watermark equals NumTuples(). ok is false when the question cannot be
+// answered: the database is unbuilt, since is newer than the current
+// version or predates Build, or the bounded watermark log no longer
+// reaches back to since; callers must then recompute from scratch.
+//
+// Note the watermark is a property of the mutation history, not of the
+// current array: it may exceed NumTuples() - 1 after deletions, meaning
+// every current position is clean.
+func (db *Database) DirtySince(since uint64) (watermark int, ok bool) {
+	marks, ok := db.marksSince(since)
+	if !ok {
+		return 0, false
+	}
+	wm := len(db.sorted)
+	for _, m := range marks {
+		if m.watermark < wm {
+			wm = m.watermark
+		}
+	}
+	return wm, true
+}
+
+// GroupIndicesStableSince reports whether every x-tuple that exists in
+// both the given version and the current one has kept its group index —
+// i.e. no intervening mutation deleted a non-trailing x-tuple. Inserts
+// (which append) and trailing deletes preserve surviving indices.
+// Consumers that cache per-group state keyed by index use this to decide
+// whether the cache can be carried across versions. Returns false when
+// the question cannot be answered (same conditions as DirtySince).
+func (db *Database) GroupIndicesStableSince(since uint64) bool {
+	marks, ok := db.marksSince(since)
+	if !ok {
+		return false
+	}
+	for _, m := range marks {
+		if m.renumbered {
+			return false
+		}
+	}
+	return true
+}
+
+// marksSince returns the watermark-log entries for every mutation applied
+// after the given version — the shared window validation behind DirtySince
+// and GroupIndicesStableSince. Every mutation appends exactly one mark, so
+// the log covers a contiguous trailing window of versions; answering
+// requires every version in (since, current] to still be present. ok is
+// false when the database is unbuilt, since is newer than the current
+// version or predates Build, or the bounded log has been trimmed past
+// since. since == current answers with an empty window.
+func (db *Database) marksSince(since uint64) ([]versionMark, bool) {
+	if !db.built || since > db.version {
+		return nil, false
+	}
+	if since == db.version {
+		return nil, true
+	}
+	if len(db.marks) == 0 || db.marks[0].version > since+1 {
+		return nil, false
+	}
+	lo := len(db.marks)
+	for lo > 0 && db.marks[lo-1].version > since {
+		lo--
+	}
+	return db.marks[lo:], true
+}
 
 // Built reports whether Build has completed successfully.
 func (db *Database) Built() bool { return db.built }
@@ -189,8 +302,13 @@ func (db *Database) Sorted() []*Tuple { return db.sorted }
 // Rank returns the ranking function the database was built with.
 func (db *Database) Rank() RankFunc { return db.rank }
 
-// TupleByID returns the alternative with the given ID, or nil.
+// TupleByID returns the alternative with the given ID, or nil. On a built
+// database this is an O(1) index lookup — the mutation validation path
+// (and any serving lookup) depends on it not scanning the rank array.
 func (db *Database) TupleByID(id string) *Tuple {
+	if db.byID != nil {
+		return db.byID[id]
+	}
 	for _, t := range db.sorted {
 		if t.ID == id {
 			return t
@@ -201,7 +319,8 @@ func (db *Database) TupleByID(id string) *Tuple {
 
 // Clone returns a deep copy of a built database, preserving the rank order.
 func (db *Database) Clone() *Database {
-	out := &Database{rank: db.rank, built: db.built, nReal: db.nReal, version: db.version, nextOrd: db.nextOrd}
+	out := &Database{rank: db.rank, built: db.built, nReal: db.nReal, version: db.version, nextOrd: db.nextOrd,
+		marks: append([]versionMark(nil), db.marks...)}
 	out.groups = make([]*XTuple, len(db.groups))
 	clones := make(map[*Tuple]*Tuple, len(db.sorted))
 	for gi, x := range db.groups {
@@ -216,8 +335,11 @@ func (db *Database) Clone() *Database {
 	}
 	if db.built {
 		out.sorted = make([]*Tuple, len(db.sorted))
+		out.byID = make(map[string]*Tuple, len(db.sorted))
 		for i, t := range db.sorted {
-			out.sorted[i] = clones[t]
+			c := clones[t]
+			out.sorted[i] = c
+			out.byID[c.ID] = c
 		}
 	}
 	return out

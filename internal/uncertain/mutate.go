@@ -14,9 +14,16 @@ import (
 // sensor readings arrive (InsertXTuple), entities disappear (DeleteXTuple),
 // distributions are revised (Reweight), and cleaning operations resolve an
 // x-tuple to one alternative (Collapse). Each mutation maintains the sorted
-// rank array incrementally (ordered insertion / splicing plus an index
-// fixup, O(n) worst case, no re-sort) and bumps the version counter that
-// version-aware consumers key their memoized state by.
+// rank array incrementally (ordered insertion / splicing that repairs rank
+// positions in the same pass, no re-sort), bumps the version counter that
+// version-aware consumers key their memoized state by, and records a
+// dirty-rank watermark — the lowest rank position the mutation may have
+// changed — in the log DirtySince answers from, so those consumers can
+// resume a left-to-right scan instead of recomputing it (see DESIGN.md,
+// "Watermarks").
+//
+// Every mutation is a thin wrapper over an unexported core that returns
+// the watermark; Batch runs several cores under a single commit.
 //
 // Mutations are not synchronized internally: callers must not mutate a
 // database concurrently with queries or other mutations (the same
@@ -36,26 +43,37 @@ var ErrLastGroup = errors.New("uncertain: cannot delete the last x-tuple")
 // ordered insertion — no rebuild. The new x-tuple gets index NumGroups()-1.
 // On any validation error the database is unchanged.
 func (db *Database) InsertXTuple(name string, tuples ...Tuple) error {
+	wm, err := db.insertXTuple(name, tuples)
+	if err != nil {
+		return err
+	}
+	db.finishMutation(wm)
+	return nil
+}
+
+func (db *Database) insertXTuple(name string, tuples []Tuple) (int, error) {
 	if !db.built {
-		return ErrNotBuilt
+		return 0, ErrNotBuilt
 	}
 	if len(tuples) == 0 {
-		return wrapGroup(ErrEmptyXTuple, name)
+		return 0, wrapGroup(ErrEmptyXTuple, name)
 	}
 	gi := len(db.groups)
 	x := &XTuple{Name: name, Tuples: make([]*Tuple, len(tuples))}
+	backing := make([]Tuple, len(tuples)) // one slab, as in AddXTuple
 	for i := range tuples {
-		t := tuples[i] // copy
+		t := &backing[i]
+		*t = tuples[i] // copy
 		t.Attrs = append([]float64(nil), tuples[i].Attrs...)
 		t.Group = gi
 		t.Score = db.rank(t.Attrs)
 		if math.IsNaN(t.Score) {
-			return fmt.Errorf("tuple %q: %w", t.ID, ErrBadScore)
+			return 0, fmt.Errorf("tuple %q: %w", t.ID, ErrBadScore)
 		}
-		x.Tuples[i] = &t
+		x.Tuples[i] = t
 	}
 	if err := x.validate(); err != nil {
-		return err
+		return 0, err
 	}
 	if deficit := 1 - x.RealMass(); deficit > nullThreshold {
 		x.Tuples = append(x.Tuples, &Tuple{
@@ -70,7 +88,7 @@ func (db *Database) InsertXTuple(name string, tuples ...Tuple) error {
 		// Check within the call too (including against the materialized
 		// null), not just against the existing database.
 		if seen[t.ID] || db.TupleByID(t.ID) != nil {
-			return fmt.Errorf("tuple %q: %w", t.ID, ErrDuplicateID)
+			return 0, fmt.Errorf("tuple %q: %w", t.ID, ErrDuplicateID)
 		}
 		seen[t.ID] = true
 	}
@@ -80,32 +98,37 @@ func (db *Database) InsertXTuple(name string, tuples ...Tuple) error {
 		if !t.Null {
 			t.ord = db.nextOrd
 			db.nextOrd++
+			db.nReal++
 		}
-		db.insertRanked(t)
 	}
+	watermark := db.insertRankedAll(x.Tuples)
 	db.groups = append(db.groups, x)
-	db.reindex()
-	db.version++
-	return nil
+	return watermark, nil
 }
 
 // InsertAbsentXTuple adds an x-tuple known to contribute no real tuple
 // (AddAbsentXTuple's mutation-time counterpart): a single null alternative
 // with probability 1 is placed at the bottom of the rank order.
 func (db *Database) InsertAbsentXTuple(name string) error {
+	wm, err := db.insertAbsentXTuple(name)
+	if err != nil {
+		return err
+	}
+	db.finishMutation(wm)
+	return nil
+}
+
+func (db *Database) insertAbsentXTuple(name string) (int, error) {
 	if !db.built {
-		return ErrNotBuilt
+		return 0, ErrNotBuilt
 	}
 	gi := len(db.groups)
 	null := &Tuple{ID: fmt.Sprintf("null:%s", name), Prob: 1, Group: gi, Null: true}
 	if db.TupleByID(null.ID) != nil {
-		return fmt.Errorf("tuple %q: %w", null.ID, ErrDuplicateID)
+		return 0, fmt.Errorf("tuple %q: %w", null.ID, ErrDuplicateID)
 	}
 	db.groups = append(db.groups, &XTuple{Name: name, Tuples: []*Tuple{null}})
-	db.insertRanked(null)
-	db.reindex()
-	db.version++
-	return nil
+	return db.insertRanked(null), nil
 }
 
 // DeleteXTuple removes x-tuple l from a built database. Subsequent x-tuples
@@ -114,29 +137,40 @@ func (db *Database) InsertAbsentXTuple(name string) error {
 // rank array only needs splicing, not re-sorting. Deleting the last
 // remaining x-tuple is an error.
 func (db *Database) DeleteXTuple(l int) error {
+	wm, err := db.deleteXTuple(l)
+	if err != nil {
+		return err
+	}
+	db.finishMutation(wm)
+	return nil
+}
+
+func (db *Database) deleteXTuple(l int) (int, error) {
 	if !db.built {
-		return ErrNotBuilt
+		return 0, ErrNotBuilt
 	}
 	if l < 0 || l >= len(db.groups) {
-		return fmt.Errorf("index %d of %d: %w", l, len(db.groups), ErrBadGroupIndex)
+		return 0, fmt.Errorf("index %d of %d: %w", l, len(db.groups), ErrBadGroupIndex)
 	}
 	if len(db.groups) == 1 {
-		return ErrLastGroup
+		return 0, ErrLastGroup
 	}
-	drop := make(map[*Tuple]bool, len(db.groups[l].Tuples))
-	for _, t := range db.groups[l].Tuples {
-		drop[t] = true
-	}
-	db.groups = append(db.groups[:l], db.groups[l+1:]...)
-	for gi := l; gi < len(db.groups); gi++ {
-		for _, t := range db.groups[gi].Tuples {
-			t.Group = gi
+	drop := db.groups[l].Tuples
+	for _, t := range drop {
+		if !t.Null {
+			db.nReal--
 		}
 	}
-	db.removeSorted(drop)
-	db.reindex()
-	db.version++
-	return nil
+	db.groups = append(db.groups[:l], db.groups[l+1:]...)
+	if l < len(db.groups) {
+		db.pendingRenumber = true // surviving groups shift down one index
+		for gi := l; gi < len(db.groups); gi++ {
+			for _, t := range db.groups[gi].Tuples {
+				t.Group = gi
+			}
+		}
+	}
+	return db.removeSorted(drop), nil
 }
 
 // Reweight replaces the existential probabilities of x-tuple l's real
@@ -145,48 +179,82 @@ func (db *Database) DeleteXTuple(l int) error {
 // alternative is created, updated, or removed to absorb the new mass
 // deficit. On any validation error the database is unchanged.
 func (db *Database) Reweight(l int, probs []float64) error {
+	wm, err := db.reweight(l, probs)
+	if err != nil {
+		return err
+	}
+	db.finishMutation(wm)
+	return nil
+}
+
+func (db *Database) reweight(l int, probs []float64) (int, error) {
 	if !db.built {
-		return ErrNotBuilt
+		return 0, ErrNotBuilt
 	}
 	if l < 0 || l >= len(db.groups) {
-		return fmt.Errorf("index %d of %d: %w", l, len(db.groups), ErrBadGroupIndex)
+		return 0, fmt.Errorf("index %d of %d: %w", l, len(db.groups), ErrBadGroupIndex)
 	}
 	x := db.groups[l]
 	real := x.RealTuples()
 	if len(probs) != len(real) {
-		return fmt.Errorf("x-tuple %q: %d probabilities for %d real alternatives: %w",
+		return 0, fmt.Errorf("x-tuple %q: %d probabilities for %d real alternatives: %w",
 			x.Name, len(probs), len(real), ErrBadReweight)
 	}
 	var mass numeric.Kahan
 	for _, p := range probs {
 		if !(p > 0) || p > 1 {
-			return wrapGroup(ErrProbOutOfRange, x.Name)
+			return 0, wrapGroup(ErrProbOutOfRange, x.Name)
 		}
 		mass.Add(p)
 	}
 	if mass.Sum() > 1+massTolerance {
-		return wrapGroup(ErrMassExceedsOne, x.Name)
+		return 0, wrapGroup(ErrMassExceedsOne, x.Name)
 	}
+	// The watermark is the highest-ranked alternative whose probability or
+	// presence actually changes; alternatives keeping their probability
+	// leave the scan state at their position untouched.
+	watermark := math.MaxInt
 	for i, t := range real {
-		t.Prob = probs[i]
+		if probs[i] != t.Prob {
+			if at := db.rankIndexOf(t); at < watermark {
+				watermark = at
+			}
+			t.Prob = probs[i]
+		}
 	}
 	deficit := 1 - mass.Sum()
 	null := x.NullTuple()
 	switch {
 	case deficit > nullThreshold && null != nil:
-		null.Prob = deficit
+		if null.Prob != deficit {
+			if at := db.rankIndexOf(null); at < watermark {
+				watermark = at
+			}
+			null.Prob = deficit
+		}
 	case deficit > nullThreshold:
 		null = &Tuple{ID: fmt.Sprintf("null:%s", x.Name), Prob: deficit, Group: l, Null: true}
 		x.Tuples = append(x.Tuples, null)
-		db.insertRanked(null)
-		db.reindex()
+		if at := db.insertRanked(null); at < watermark {
+			watermark = at
+		}
 	case null != nil:
-		x.Tuples = x.Tuples[:len(x.Tuples)-1]
-		db.removeSorted(map[*Tuple]bool{null: true})
-		db.reindex()
+		// Remove the null by identity, not by position: dropping
+		// x.Tuples[len-1] positionally could silently drop a real
+		// alternative if the "null is last" invariant ever broke, while
+		// removeSorted below removes the null itself — the two must never
+		// diverge (see TestNullAlternativeStaysLast).
+		for i, t := range x.Tuples {
+			if t == null {
+				x.Tuples = append(x.Tuples[:i], x.Tuples[i+1:]...)
+				break
+			}
+		}
+		if at := db.removeSorted([]*Tuple{null}); at < watermark {
+			watermark = at
+		}
 	}
-	db.version++
-	return nil
+	return watermark, nil
 }
 
 // Collapse resolves x-tuple l to its alternative choice (an index into the
@@ -197,67 +265,180 @@ func (db *Database) Reweight(l int, probs []float64) error {
 // alternative keeps its identity, score, and rank position; the discarded
 // alternatives are spliced out of the rank order.
 func (db *Database) Collapse(l, choice int) error {
+	wm, err := db.collapse(l, choice)
+	if err != nil {
+		return err
+	}
+	db.finishMutation(wm)
+	return nil
+}
+
+func (db *Database) collapse(l, choice int) (int, error) {
 	if !db.built {
-		return ErrNotBuilt
+		return 0, ErrNotBuilt
 	}
 	if l < 0 || l >= len(db.groups) {
-		return fmt.Errorf("index %d of %d: %w", l, len(db.groups), ErrBadGroupIndex)
+		return 0, fmt.Errorf("index %d of %d: %w", l, len(db.groups), ErrBadGroupIndex)
 	}
 	x := db.groups[l]
 	if choice < 0 || choice >= len(x.Tuples) {
-		return fmt.Errorf("choice %d of %d: %w", choice, len(x.Tuples), ErrBadChoice)
+		return 0, fmt.Errorf("choice %d of %d: %w", choice, len(x.Tuples), ErrBadChoice)
 	}
 	chosen := x.Tuples[choice]
-	drop := make(map[*Tuple]bool, len(x.Tuples)-1)
+	watermark := math.MaxInt
+	if chosen.Prob != 1 {
+		watermark = db.rankIndexOf(chosen)
+	}
+	drop := make([]*Tuple, 0, len(x.Tuples)-1)
 	for _, t := range x.Tuples {
 		if t != chosen {
-			drop[t] = true
+			drop = append(drop, t)
+			if !t.Null {
+				db.nReal--
+			}
 		}
 	}
 	chosen.Prob = 1
 	x.Tuples = []*Tuple{chosen}
 	if len(drop) > 0 {
-		db.removeSorted(drop)
+		if at := db.removeSorted(drop); at < watermark {
+			watermark = at
+		}
 	}
-	db.reindex()
-	db.version++
-	return nil
+	return watermark, nil
 }
 
-// insertRanked places t into the sorted rank array by binary search on the
-// total order ranksAbove defines.
-func (db *Database) insertRanked(t *Tuple) {
+// insertRanked places t into the sorted rank array (and the ID index) by
+// binary search on the total order ranksAbove defines, returning the
+// position it landed at. The suffix shift repairs rank positions as it
+// moves each tuple, so idx stays valid at all times — including between
+// the mutations of a Batch.
+func (db *Database) insertRanked(t *Tuple) int {
 	i := sort.Search(len(db.sorted), func(i int) bool {
 		return ranksAbove(t, db.sorted[i])
 	})
 	db.sorted = append(db.sorted, nil)
-	copy(db.sorted[i+1:], db.sorted[i:])
+	for j := len(db.sorted) - 1; j > i; j-- {
+		moved := db.sorted[j-1]
+		moved.idx = j
+		db.sorted[j] = moved
+	}
 	db.sorted[i] = t
+	t.idx = i
+	db.byID[t.ID] = t
+	return i
 }
 
-// removeSorted splices the given tuples out of the rank array, preserving
-// the order of the rest.
-func (db *Database) removeSorted(drop map[*Tuple]bool) {
-	kept := db.sorted[:0]
-	for _, t := range db.sorted {
-		if !drop[t] {
-			kept = append(kept, t)
+// insertRankedAll places several tuples into the rank array with a single
+// backward merge: one suffix shift (and one fused rank-position repair)
+// regardless of how many alternatives arrive, instead of one O(n) shift
+// per alternative. Returns the lowest landing position — the insert's
+// dirty-rank watermark.
+func (db *Database) insertRankedAll(ts []*Tuple) int {
+	if len(ts) == 1 {
+		return db.insertRanked(ts[0])
+	}
+	// Insertion-sort a copy into rank order: alternative counts are tiny,
+	// and avoiding sort.Slice keeps the hot path allocation-light.
+	ins := make([]*Tuple, len(ts))
+	copy(ins, ts)
+	for i := 1; i < len(ins); i++ {
+		for j := i; j > 0 && ranksAbove(ins[j], ins[j-1]); j-- {
+			ins[j], ins[j-1] = ins[j-1], ins[j]
 		}
 	}
-	for i := len(kept); i < len(db.sorted); i++ {
+	old := db.sorted
+	n := len(old)
+	pos := make([]int, len(ins))
+	for i, t := range ins {
+		pos[i] = sort.Search(n, func(j int) bool { return ranksAbove(t, old[j]) })
+	}
+	db.sorted = append(db.sorted, make([]*Tuple, len(ins))...)
+	// Shift the gaps open back to front with bulk copies, then drop each
+	// new tuple into its slot.
+	for j := len(ins) - 1; j >= 0; j-- {
+		end := n
+		if j+1 < len(ins) {
+			end = pos[j+1]
+		}
+		copy(db.sorted[pos[j]+j+1:end+j+1], old[pos[j]:end])
+		t := ins[j]
+		db.sorted[pos[j]+j] = t
+		db.byID[t.ID] = t
+	}
+	for i := pos[0]; i < len(db.sorted); i++ {
+		db.sorted[i].idx = i
+	}
+	return pos[0]
+}
+
+// removeSorted splices the given tuples out of the rank array (and the ID
+// index), preserving the order of the rest, and returns the position of
+// the first removed tuple (len(sorted) when drop matched nothing). The
+// dropped positions come straight from idx — always valid under the
+// fused-repair invariant — and the survivors are compacted with one
+// sequential pass that repairs their positions as it moves them:
+// O(d log d + n - first) rather than a per-position membership test over
+// the whole array plus a second fixup pass.
+func (db *Database) removeSorted(drop []*Tuple) int {
+	n := len(db.sorted)
+	pos := make([]int, 0, len(drop))
+	for _, t := range drop {
+		if t.idx < n && db.sorted[t.idx] == t {
+			pos = append(pos, t.idx)
+		}
+		delete(db.byID, t.ID)
+	}
+	if len(pos) == 0 {
+		return n
+	}
+	sort.Ints(pos)
+	out := pos[0]
+	for j, p := range pos {
+		end := n
+		if j+1 < len(pos) {
+			end = pos[j+1]
+		}
+		out += copy(db.sorted[out:], db.sorted[p+1:end])
+	}
+	for i := out; i < n; i++ {
 		db.sorted[i] = nil // release for GC
 	}
-	db.sorted = kept
+	db.sorted = db.sorted[:out]
+	for i := pos[0]; i < out; i++ {
+		db.sorted[i].idx = i
+	}
+	return pos[0]
 }
 
-// reindex recomputes every tuple's rank position and the real-tuple count
-// after a mutation changed the rank array.
-func (db *Database) reindex() {
-	db.nReal = 0
-	for i, t := range db.sorted {
-		t.idx = i
-		if !t.Null {
-			db.nReal++
-		}
+// rankIndexOf returns t's current position in the rank array. Every
+// mutation primitive repairs positions as part of its own splice pass, so
+// idx is valid at all times — including between the mutations of a Batch.
+func (db *Database) rankIndexOf(t *Tuple) int {
+	return t.idx
+}
+
+// finishMutation commits one mutation (or one batch): it bumps the version
+// and records the dirty-rank watermark in the log DirtySince answers from.
+// Rank positions and nReal are maintained incrementally by the mutation
+// primitives themselves (the splice passes repair idx as they move
+// tuples), so no array-wide fixup happens here.
+func (db *Database) finishMutation(watermark int) {
+	if watermark < 0 {
+		watermark = 0
 	}
+	if watermark > len(db.sorted) {
+		watermark = len(db.sorted)
+	}
+	db.version++
+	if len(db.marks) >= maxMarks {
+		n := copy(db.marks, db.marks[len(db.marks)-maxMarks+1:])
+		db.marks = db.marks[:n]
+	}
+	db.marks = append(db.marks, versionMark{
+		version:    db.version,
+		watermark:  watermark,
+		renumbered: db.pendingRenumber,
+	})
+	db.pendingRenumber = false
 }

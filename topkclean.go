@@ -15,6 +15,9 @@ type (
 	Tuple = uncertain.Tuple
 	// XTuple is one uncertain entity (a set of mutually exclusive tuples).
 	XTuple = uncertain.XTuple
+	// Batch groups several mutations under one commit (one version bump,
+	// one index fixup, one merged dirty-rank watermark); see Database.Batch.
+	Batch = uncertain.Batch
 	// RankFunc scores a tuple's attributes; higher scores rank higher.
 	RankFunc = uncertain.RankFunc
 	// DatabaseStats summarizes a database.
