@@ -13,6 +13,7 @@ import (
 type Result struct {
 	K         int
 	Threshold float64 // PT-k threshold used
+	Version   uint64  // database version (snapshot epoch) the answers describe
 
 	UKRanks    []RankedAnswer // most likely tuple per rank
 	PTK        []ScoredAnswer // tuples with top-k probability >= Threshold

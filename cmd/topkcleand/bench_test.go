@@ -1,0 +1,134 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	topkclean "github.com/probdb/topkclean"
+	"github.com/probdb/topkclean/internal/gen"
+)
+
+// startWriter streams batched mutations at the live database — one batch
+// commit roughly every 2ms (~500 epochs/s, far above any realistic update
+// stream) until the returned stop function is called: each batch reweights
+// a few x-tuples (random ranks, so watermarks land high as well as low)
+// and periodically inserts a fresh x-tuple — the serving workload the
+// snapshot layer exists for.
+func startWriter(db *topkclean.Database) (stop func() (commits int)) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	commits := 0
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(99))
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+			}
+			err := db.Batch(func(b *topkclean.Batch) error {
+				for j := 0; j < 4; j++ {
+					g := rng.Intn(db.NumGroups())
+					real := db.Groups()[g].RealTuples()
+					if len(real) == 0 {
+						continue
+					}
+					probs := make([]float64, len(real))
+					for p := range probs {
+						probs[p] = (0.2 + 0.6*rng.Float64()) / float64(len(probs))
+					}
+					if err := b.Reweight(g, probs); err != nil {
+						return err
+					}
+				}
+				if i%16 == 0 {
+					return b.InsertXTuple(fmt.Sprintf("w%d", i),
+						topkclean.Tuple{ID: fmt.Sprintf("w%d.a", i), Attrs: []float64{rng.Float64() * 100}, Prob: 0.5})
+				}
+				return nil
+			})
+			if err != nil {
+				panic(err)
+			}
+			commits++
+		}
+	}()
+	return func() int {
+		close(done)
+		wg.Wait()
+		return commits
+	}
+}
+
+// benchServe measures /topk throughput with parallel HTTP clients,
+// optionally while a background writer streams batched mutations.
+func benchServe(b *testing.B, mutating bool) {
+	db, err := gen.SyntheticSized(1500, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := topkclean.New(db, topkclean.WithK(15), topkclean.WithPTKThreshold(0.1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := newServer(eng, 42)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	url := ts.URL + "/topk"
+
+	// Warm the engine and the HTTP path.
+	if resp, err := http.Get(url); err != nil {
+		b.Fatal(err)
+	} else {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	var commits int
+	if mutating {
+		stop := startWriter(db)
+		defer func() {
+			commits = stop()
+			b.ReportMetric(float64(commits)/b.Elapsed().Seconds(), "commits/s")
+		}()
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		client := &http.Client{}
+		for pb.Next() {
+			resp, err := client.Get(url)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Errorf("status %d", resp.StatusCode)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+	b.ReportMetric(float64(srv.coal.coalesced.Load()), "coalesced")
+}
+
+// BenchmarkServeUnderMutation records serving throughput for the acceptance
+// comparison: reader qps with a background writer streaming batched
+// mutations (mutating) must stay within 2x of the mutation-free baseline
+// (idle). CI records both series in BENCH_PR4.json.
+func BenchmarkServeUnderMutation(b *testing.B) {
+	b.Run("idle", func(b *testing.B) { benchServe(b, false) })
+	b.Run("mutating", func(b *testing.B) { benchServe(b, true) })
+}

@@ -1,0 +1,531 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	topkclean "github.com/probdb/topkclean"
+	"github.com/probdb/topkclean/internal/uncertain"
+)
+
+// server is the HTTP serving layer over one Engine. Queries read through
+// the engine's pinned snapshot epochs and therefore run lock-free and
+// fully concurrently with the mutation endpoints, which serialize on the
+// database's writer lock and publish one epoch per request. See SERVING.md
+// for the API reference and the consistency guarantees.
+type server struct {
+	eng     *topkclean.Engine
+	mux     *http.ServeMux
+	coal    coalescer
+	applies atomic.Int64 // per-apply rng decorrelation counter
+	seed    int64
+	started time.Time
+}
+
+func newServer(eng *topkclean.Engine, seed int64) *server {
+	s := &server{eng: eng, seed: seed, started: time.Now()}
+	s.coal.inflight = make(map[coalKey]*coalCall)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /topk", s.handleTopK)
+	s.mux.HandleFunc("GET /quality", s.handleQuality)
+	s.mux.HandleFunc("POST /plan", s.handlePlan)
+	s.mux.HandleFunc("POST /apply", s.handleApply)
+	s.mux.HandleFunc("POST /mutate", s.handleMutate)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// ---- request coalescing ----------------------------------------------------
+
+// coalKey identifies a /topk computation: answers are fully determined by
+// the (version, k, threshold) triple, so concurrent identical requests
+// share one computation and one JSON encoding. k is fixed per engine, so
+// it does not appear in the key.
+type coalKey struct {
+	version   uint64
+	threshold float64
+}
+
+type coalCall struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+// coalescer deduplicates in-flight identical queries: the first request
+// for a key becomes the leader and computes; followers arriving before the
+// leader finishes wait on the same call and reuse its bytes. Entries are
+// removed on completion, so results are shared only between overlapping
+// requests — the engine's memoization handles repeat requests over time.
+type coalescer struct {
+	mu        sync.Mutex
+	inflight  map[coalKey]*coalCall
+	coalesced atomic.Int64 // follower count, exported via /stats
+}
+
+func (c *coalescer) do(key coalKey, fn func() ([]byte, error)) ([]byte, error) {
+	c.mu.Lock()
+	if call, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		c.coalesced.Add(1)
+		<-call.done
+		return call.body, call.err
+	}
+	call := &coalCall{done: make(chan struct{})}
+	c.inflight[key] = call
+	c.mu.Unlock()
+
+	call.body, call.err = fn()
+	c.mu.Lock()
+	delete(c.inflight, key)
+	c.mu.Unlock()
+	close(call.done)
+	return call.body, call.err
+}
+
+// ---- wire types ------------------------------------------------------------
+
+type answerJSON struct {
+	H     int     `json:"h,omitempty"` // U-kRanks only: the rank this entry answers
+	ID    string  `json:"id"`
+	Score float64 `json:"score"`
+	Rank  int     `json:"rank"` // rank-order position at answer time (0 = best)
+	Prob  float64 `json:"prob"`
+}
+
+type topkResponse struct {
+	Version    uint64       `json:"version"`
+	K          int          `json:"k"`
+	Threshold  float64      `json:"threshold"`
+	Quality    float64      `json:"quality"`
+	UKRanks    []answerJSON `json:"ukranks"`
+	PTK        []answerJSON `json:"ptk"`
+	GlobalTopK []answerJSON `json:"globaltopk"`
+}
+
+type qualityResponse struct {
+	Version uint64  `json:"version"`
+	K       int     `json:"k"`
+	Quality float64 `json:"quality"`
+}
+
+type specJSON struct {
+	Cost    int       `json:"cost,omitempty"`    // uniform cost (default 1)
+	SCProb  float64   `json:"scprob,omitempty"`  // uniform sc-probability (default 1)
+	Costs   []int     `json:"costs,omitempty"`   // per-x-tuple costs (override Cost)
+	SCProbs []float64 `json:"scprobs,omitempty"` // per-x-tuple sc-probabilities (override SCProb)
+}
+
+type planRequest struct {
+	Planner string   `json:"planner"` // dp | greedy | randp | randu | any registered
+	Budget  int      `json:"budget"`
+	Spec    specJSON `json:"spec"`
+}
+
+type planResponse struct {
+	Version             uint64         `json:"version"`
+	Planner             string         `json:"planner"`
+	Budget              int            `json:"budget"`
+	Plan                map[string]int `json:"plan"` // x-tuple index -> operations
+	Ops                 int            `json:"ops"`
+	Cost                int            `json:"cost"`
+	ExpectedImprovement float64        `json:"expected_improvement"`
+}
+
+type applyRequest struct {
+	Planner string         `json:"planner"`
+	Budget  int            `json:"budget"`
+	Spec    specJSON       `json:"spec"`
+	Plan    map[string]int `json:"plan,omitempty"`    // explicit plan; omits the planner
+	Version uint64         `json:"version,omitempty"` // optimistic concurrency: must match if nonzero
+	Seed    int64          `json:"seed,omitempty"`    // agent rng; default: per-request stream
+}
+
+type applyResponse struct {
+	Version     uint64         `json:"version"` // version after the apply
+	OpsUsed     int            `json:"ops_used"`
+	CostUsed    int            `json:"cost_used"`
+	Resolved    map[string]int `json:"resolved"` // x-tuple index -> chosen alternative
+	OldQuality  float64        `json:"old_quality"`
+	NewQuality  float64        `json:"new_quality"`
+	Improvement float64        `json:"improvement"`
+}
+
+type tupleJSON struct {
+	ID    string    `json:"id"`
+	Attrs []float64 `json:"attrs"`
+	Prob  float64   `json:"prob"`
+}
+
+type mutateOp struct {
+	Op     string      `json:"op"` // insert | insert_absent | delete | reweight | collapse
+	Name   string      `json:"name,omitempty"`
+	Tuples []tupleJSON `json:"tuples,omitempty"`
+	Group  int         `json:"group,omitempty"`
+	Probs  []float64   `json:"probs,omitempty"`
+	Choice int         `json:"choice,omitempty"`
+}
+
+type mutateRequest struct {
+	Ops []mutateOp `json:"ops"`
+}
+
+type mutateResponse struct {
+	Version uint64 `json:"version"`
+	XTuples int    `json:"xtuples"`
+	Tuples  int    `json:"tuples"`
+}
+
+type statsResponse struct {
+	Version       uint64  `json:"version"`
+	XTuples       int     `json:"xtuples"`
+	Tuples        int     `json:"tuples"`
+	RealTuples    int     `json:"real_tuples"`
+	K             int     `json:"k"`
+	Threshold     float64 `json:"threshold"`
+	Coalesced     int64   `json:"coalesced_queries"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// ---- handlers --------------------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snap := s.eng.DB().Snapshot()
+	writeJSON(w, http.StatusOK, statsResponse{
+		Version:       snap.Version(),
+		XTuples:       snap.NumGroups(),
+		Tuples:        snap.NumTuples(),
+		RealTuples:    snap.NumRealTuples(),
+		K:             s.eng.K(),
+		Threshold:     s.eng.Threshold(),
+		Coalesced:     s.coal.coalesced.Load(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+	})
+}
+
+func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	threshold := s.eng.Threshold()
+	if t := r.URL.Query().Get("threshold"); t != "" {
+		v, err := strconv.ParseFloat(t, 64)
+		// Reject non-finite values outright: beyond being meaningless as
+		// probability thresholds, a NaN map key would make the coalescer
+		// entry unmatchable (NaN != NaN) and leak it forever.
+		if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("threshold must be a finite number"))
+			return
+		}
+		threshold = v
+	}
+	// Coalesce on the version visible at arrival: overlapping identical
+	// requests share one engine call and one JSON encoding. If a commit
+	// lands between keying and answering, the shared answer is simply the
+	// newer version's (reported in its body) — still one consistent epoch.
+	key := coalKey{version: s.eng.DB().Snapshot().Version(), threshold: threshold}
+	body, err := s.coal.do(key, func() ([]byte, error) {
+		// Compute detached from the leader's request context: followers
+		// with live connections share this result, and the leader's client
+		// hanging up must not fail them all with its cancellation.
+		res, err := s.eng.AnswersThreshold(context.WithoutCancel(r.Context()), threshold)
+		if err != nil {
+			return nil, err
+		}
+		resp := topkResponse{
+			Version:    res.Version,
+			K:          res.K,
+			Threshold:  res.Threshold,
+			Quality:    res.Quality,
+			UKRanks:    make([]answerJSON, 0, len(res.UKRanks)),
+			PTK:        make([]answerJSON, 0, len(res.PTK)),
+			GlobalTopK: make([]answerJSON, 0, len(res.GlobalTopK)),
+		}
+		for _, a := range res.UKRanks {
+			resp.UKRanks = append(resp.UKRanks, answerJSON{H: a.H, ID: a.ID, Score: a.Score, Rank: a.Rank, Prob: a.Prob})
+		}
+		for _, a := range res.PTK {
+			resp.PTK = append(resp.PTK, answerJSON{ID: a.ID, Score: a.Score, Rank: a.Rank, Prob: a.Prob})
+		}
+		for _, a := range res.GlobalTopK {
+			resp.GlobalTopK = append(resp.GlobalTopK, answerJSON{ID: a.ID, Score: a.Score, Rank: a.Rank, Prob: a.Prob})
+		}
+		return json.Marshal(resp)
+	})
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(body)
+}
+
+func (s *server) handleQuality(w http.ResponseWriter, r *http.Request) {
+	k := s.eng.K()
+	if q := r.URL.Query().Get("k"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("k must be a positive integer"))
+			return
+		}
+		k = v
+	}
+	quality, version, err := s.eng.QualityAtVersion(r.Context(), k)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, qualityResponse{Version: version, K: k, Quality: quality})
+}
+
+// buildSpec materializes a wire spec for m x-tuples: per-x-tuple arrays
+// win over the uniform fields; the defaults (cost 1, sc-probability 1)
+// model free-choice certain probes.
+func buildSpec(m int, sj specJSON) (topkclean.CleaningSpec, error) {
+	cost, scp := sj.Cost, sj.SCProb
+	if cost == 0 {
+		cost = 1
+	}
+	if scp == 0 {
+		scp = 1
+	}
+	spec := topkclean.UniformCleaningSpec(m, cost, scp)
+	if sj.Costs != nil {
+		if len(sj.Costs) != m {
+			return spec, fmt.Errorf("costs: got %d entries for %d x-tuples", len(sj.Costs), m)
+		}
+		spec.Costs = sj.Costs
+	}
+	if sj.SCProbs != nil {
+		if len(sj.SCProbs) != m {
+			return spec, fmt.Errorf("scprobs: got %d entries for %d x-tuples", len(sj.SCProbs), m)
+		}
+		spec.SCProbs = sj.SCProbs
+	}
+	return spec, nil
+}
+
+func planToWire(p topkclean.CleaningPlan) map[string]int {
+	out := make(map[string]int, len(p))
+	for l, ops := range p {
+		if ops > 0 {
+			out[strconv.Itoa(l)] = ops
+		}
+	}
+	return out
+}
+
+func wireToPlan(m map[string]int) (topkclean.CleaningPlan, error) {
+	p := topkclean.CleaningPlan{}
+	for l, ops := range m {
+		idx, err := strconv.Atoi(l)
+		if err != nil || idx < 0 {
+			return nil, fmt.Errorf("plan key %q is not an x-tuple index", l)
+		}
+		if ops > 0 {
+			p[idx] = ops
+		}
+	}
+	return p, nil
+}
+
+func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	var req planRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Planner == "" {
+		req.Planner = "greedy"
+	}
+	spec, err := buildSpec(s.eng.DB().Snapshot().NumGroups(), req.Spec)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	plan, cctx, err := s.eng.PlanCleaning(r.Context(), req.Planner, spec, req.Budget)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, planResponse{
+		Version:             cctx.Version,
+		Planner:             req.Planner,
+		Budget:              req.Budget,
+		Plan:                planToWire(plan),
+		Ops:                 plan.Ops(),
+		Cost:                plan.TotalCost(spec),
+		ExpectedImprovement: topkclean.ExpectedImprovement(cctx, plan),
+	})
+}
+
+func (s *server) handleApply(w http.ResponseWriter, r *http.Request) {
+	var req applyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Planner == "" {
+		req.Planner = "greedy"
+	}
+	spec, err := buildSpec(s.eng.DB().Snapshot().NumGroups(), req.Spec)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var plan topkclean.CleaningPlan
+	var cctx *topkclean.CleaningContext
+	if len(req.Plan) > 0 {
+		if plan, err = wireToPlan(req.Plan); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		cctx, err = s.eng.CleaningContext(r.Context(), spec, req.Budget)
+	} else {
+		plan, cctx, err = s.eng.PlanCleaning(r.Context(), req.Planner, spec, req.Budget)
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Version != 0 && cctx.Version != req.Version {
+		writeErr(w, http.StatusConflict, fmt.Errorf("version %d requested, database at %d", req.Version, cctx.Version))
+		return
+	}
+	// Each apply draws from its own stream: replaying one fixed stream
+	// would correlate every request's simulated agent. An explicit seed
+	// makes a request reproducible.
+	seed := req.Seed
+	if seed == 0 {
+		seed = s.seed + 7919*s.applies.Add(1)
+	}
+	oldQuality := cctx.Eval.S
+	out, err := s.eng.ApplyCleaning(r.Context(), cctx, plan, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, topkclean.ErrStaleCleaningContext) {
+			status = http.StatusConflict // a concurrent mutation won the race
+		}
+		writeErr(w, status, err)
+		return
+	}
+	resolved := make(map[string]int, len(out.Choices))
+	for l, choice := range out.Choices {
+		resolved[strconv.Itoa(l)] = choice
+	}
+	// The version this apply produced is determined, not re-read: the
+	// context pinned cctx.Version, the stale check inside the batch
+	// guarantees no commit interleaved, and the collapses (if any)
+	// committed exactly one version on top. Re-reading the live version
+	// here could mislabel a mutation that raced in after us.
+	version := cctx.Version
+	if len(out.Choices) > 0 {
+		version++
+	}
+	writeJSON(w, http.StatusOK, applyResponse{
+		Version:     version,
+		OpsUsed:     out.OpsUsed,
+		CostUsed:    out.CostUsed,
+		Resolved:    resolved,
+		OldQuality:  oldQuality,
+		NewQuality:  out.NewQuality,
+		Improvement: out.Improvement,
+	})
+}
+
+func (s *server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	var req mutateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Ops) == 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("mutate: no ops"))
+		return
+	}
+	db := s.eng.DB()
+	// One batch per request: the whole op list commits as a single epoch,
+	// so queries see none or all of it. There is no rollback across ops —
+	// on error, ops before the failing one stay applied (and committed);
+	// the response reports the error together with ops_applied and the
+	// resulting version, so clients can tell a partial commit from
+	// nothing-applied. All response fields are captured inside the batch
+	// (under the writer lock), so a racing writer's commit can never be
+	// mislabeled as this request's result.
+	var applied, xtuples, tuples int
+	var base uint64
+	err := db.Batch(func(b *topkclean.Batch) error {
+		base = db.Version()
+		defer func() { xtuples, tuples = db.NumGroups(), db.NumTuples() }()
+		for i, op := range req.Ops {
+			var err error
+			switch op.Op {
+			case "insert":
+				ts := make([]topkclean.Tuple, len(op.Tuples))
+				for j, tj := range op.Tuples {
+					ts[j] = topkclean.Tuple{ID: tj.ID, Attrs: tj.Attrs, Prob: tj.Prob}
+				}
+				err = b.InsertXTuple(op.Name, ts...)
+			case "insert_absent":
+				err = b.InsertAbsentXTuple(op.Name)
+			case "delete":
+				err = b.DeleteXTuple(op.Group)
+			case "reweight":
+				err = b.Reweight(op.Group, op.Probs)
+			case "collapse":
+				err = b.Collapse(op.Group, op.Choice)
+			default:
+				err = fmt.Errorf("unknown op %q", op.Op)
+			}
+			if err != nil {
+				return fmt.Errorf("op %d (%s): %w", i, op.Op, err)
+			}
+			applied++
+		}
+		return nil
+	})
+	version := base
+	if applied > 0 {
+		version++ // the batch committed exactly one epoch
+	}
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, uncertain.ErrFrozenSnapshot) {
+			status = http.StatusInternalServerError
+		}
+		writeJSON(w, status, map[string]any{
+			"error":       err.Error(),
+			"ops_applied": applied,
+			"version":     version,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, mutateResponse{
+		Version: version,
+		XTuples: xtuples,
+		Tuples:  tuples,
+	})
+}

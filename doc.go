@@ -82,9 +82,30 @@
 // applying one that predates a later mutation fails with
 // ErrStaleCleaningContext.
 //
-// Mutations follow the same single-writer discipline as Build: they must
-// not run concurrently with queries or other mutations. Concurrent
-// queries remain safe.
+// # Snapshots: queries run concurrently with mutations
+//
+// Each commit — Build, a single mutation, a whole Batch, an
+// ApplyCleaning — publishes an immutable snapshot epoch, and every Engine
+// query pins the current epoch with one atomic load and reads only
+// through it. Queries therefore run fully concurrently with mutations:
+// they never block on a writer, never observe a partial batch or an index
+// renumbering, and always describe exactly one committed version
+// (Result.Version says which). Mutations serialize against each other on
+// the database's writer lock; no external synchronization is needed in
+// either direction. The epochs are copy-on-write — a commit copies the
+// container slices once and clones only the x-tuples it touched — so a
+// snapshot costs readers nothing and writers O(n) pointer copies per
+// commit (see DESIGN.md, "Snapshot serving").
+//
+// Database.Snapshot exposes the same mechanism directly: it returns a
+// frozen *Database view for callers that want to pin a version across
+// several reads (mutating a snapshot fails with ErrFrozenSnapshot;
+// Clone branches a mutable copy off one).
+//
+// The cmd/topkcleand daemon serves this loop over HTTP — /topk, /quality,
+// /plan, /apply, and /mutate, with request coalescing and graceful
+// shutdown; see SERVING.md for the API reference, the consistency
+// guarantees, and operational notes.
 //
 // # Planners as values
 //

@@ -39,10 +39,14 @@ func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 // and one strictly below the scan's early-termination point costs nothing
 // at all. The resumed state is bit-identical to a recomputation.
 //
-// An Engine is safe for concurrent use, with the same single-writer
-// discipline the Database requires: queries may run concurrently with each
-// other, but database mutations must not run concurrently with queries or
-// with other mutations.
+// An Engine is safe for concurrent use, and queries run fully concurrently
+// with database mutations: every query pins an immutable snapshot epoch
+// (Database.Snapshot) and reads only through it, while mutations serialize
+// on the database's writer lock and publish a new epoch atomically at
+// commit. A query therefore always answers against exactly one committed
+// version — it never blocks on a writer, and never observes a mutation's
+// intermediate state or renumbering. Result.Version reports which version
+// a result describes.
 type Engine struct {
 	db  *Database
 	cfg config
@@ -129,16 +133,25 @@ func (e *Engine) Invalidate() {
 	e.mu.Unlock()
 }
 
-// state returns the memoized evaluation for (current db version, k),
-// computing it on first use. The per-entry mutex is a single-flight guard:
-// concurrent first calls for the same k compute the pass exactly once,
-// while passes for distinct k proceed in parallel. needFull requests the
-// full rank-h probabilities (U-kRanks); quality and cleaning get by with
-// the cheaper top-k-only retention, and a light state is upgraded in place
-// the first time a full one is needed — reusing the already-memoized
-// quality evaluation, whose top-k probabilities are identical in both
-// passes, so Quality/PlanCleaning keep the identical pointer across the
-// upgrade.
+// state returns the memoized evaluation for (current db version, k) —
+// together with the snapshot epoch it was computed against — computing it
+// on first use. The per-entry mutex is a single-flight guard: concurrent
+// first calls for the same k compute the pass exactly once, while passes
+// for distinct k proceed in parallel. needFull requests the full rank-h
+// probabilities (U-kRanks); quality and cleaning get by with the cheaper
+// top-k-only retention, and a light state is upgraded in place the first
+// time a full one is needed — reusing the already-memoized quality
+// evaluation, whose top-k probabilities are identical in both passes, so
+// Quality/PlanCleaning keep the identical pointer across the upgrade.
+//
+// The snapshot is pinned under the entry lock, so every computation — and
+// every answer derived from the returned state — reads one committed
+// epoch, however many mutations commit meanwhile; entry versions advance
+// monotonically because epochs publish monotonically and pins are ordered
+// by the lock. Mutation-owned state never leaks in: the memo belongs to
+// the snapshot it was computed on (evalState holds only epoch-frozen
+// data), which is what makes queries safe to run concurrently with
+// writers.
 //
 // When the database version moved past the entry, the entry is not
 // dropped: migrate resumes the memoized PSR pass from the mutations'
@@ -147,7 +160,7 @@ func (e *Engine) Invalidate() {
 // evaluation from the resumed info. Only when the watermark log cannot
 // answer — or the resume fails (e.g. k now exceeds the x-tuple count) —
 // does the entry fall back to a from-scratch recomputation.
-func (e *Engine) state(ctx context.Context, k int, needFull bool) (*evalState, error) {
+func (e *Engine) state(ctx context.Context, k int, needFull bool) (*evalState, *Database, error) {
 	e.mu.Lock()
 	ent, ok := e.states[k]
 	if !ok {
@@ -158,25 +171,29 @@ func (e *Engine) state(ctx context.Context, k int, needFull bool) (*evalState, e
 
 	ent.mu.Lock()
 	defer ent.mu.Unlock()
-	version := e.db.Version()
+	snap := e.db.Snapshot()
+	if snap == nil {
+		return nil, nil, uncertain.ErrNotBuilt
+	}
+	version := snap.Version()
 	if ent.st != nil && ent.version != version {
-		ent.migrate(e.db, version)
+		ent.migrate(snap, version)
 	}
 	if ent.st != nil && (ent.st.full || !needFull) {
-		return ent.st, nil
+		return ent.st, snap, nil
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var info *topkq.RankInfo
 	var err error
 	if needFull {
-		info, err = topkq.RankProbabilities(e.db, k)
+		info, err = topkq.RankProbabilities(snap, k)
 	} else {
-		info, err = topkq.TopKProbabilities(e.db, k)
+		info, err = topkq.TopKProbabilities(snap, k)
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if ent.st != nil {
 		// Light → full upgrade: the top-k probabilities (and hence the TP
@@ -188,18 +205,19 @@ func (e *Engine) state(ctx context.Context, k int, needFull bool) (*evalState, e
 		// top-k probability).
 		ent.st.info = info
 		ent.st.full = true
-		return ent.st, nil
+		return ent.st, snap, nil
 	}
-	ev, err := quality.TPFromInfo(e.db, info)
+	ev, err := quality.TPFromInfo(snap, info)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	ent.st = &evalState{info: info, eval: ev, full: needFull}
 	ent.version = version
-	return ent.st, nil
+	return ent.st, snap, nil
 }
 
-// migrate carries a memoized entry across database versions: it asks
+// migrate carries a memoized entry across database versions, reading only
+// the pinned snapshot epoch for the new version: it asks the snapshot's
 // DirtySince for the merged dirty-rank watermark of the intervening
 // mutations, resumes the PSR pass from it, and re-derives the TP
 // evaluation from the resumed info. The result is a new evalState (old
@@ -253,7 +271,7 @@ func (ent *kEntry) migrateEval(db *Database, prior, info *topkq.RankInfo, wm int
 // pointer. (Quality/cleaning-only sessions that never ask for rank-h
 // probabilities get a lighter top-k-only pass until one is needed.)
 func (e *Engine) RankInfo(ctx context.Context) (*RankInfo, error) {
-	st, err := e.state(ctx, e.cfg.k, true)
+	st, _, err := e.state(ctx, e.cfg.k, true)
 	if err != nil {
 		return nil, err
 	}
@@ -263,7 +281,7 @@ func (e *Engine) RankInfo(ctx context.Context) (*RankInfo, error) {
 // Quality returns the PWS-quality of the top-k query (TP algorithm,
 // Theorem 1). The score is <= 0; 0 means the answer is certain.
 func (e *Engine) Quality(ctx context.Context) (float64, error) {
-	st, err := e.state(ctx, e.cfg.k, false)
+	st, _, err := e.state(ctx, e.cfg.k, false)
 	if err != nil {
 		return 0, err
 	}
@@ -274,17 +292,26 @@ func (e *Engine) Quality(ctx context.Context) (float64, error) {
 // memoized independently of the engine's configured k. Useful for
 // quality-vs-k sweeps over one session.
 func (e *Engine) QualityAt(ctx context.Context, k int) (float64, error) {
-	st, err := e.state(ctx, k, false)
+	q, _, err := e.QualityAtVersion(ctx, k)
+	return q, err
+}
+
+// QualityAtVersion is QualityAt reporting also the database version
+// (snapshot epoch) the score was computed against, so serving layers can
+// label the answer with the exact version it describes instead of
+// re-reading a possibly newer version afterwards.
+func (e *Engine) QualityAtVersion(ctx context.Context, k int) (quality float64, version uint64, err error) {
+	st, snap, err := e.state(ctx, k, false)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	return st.eval.S, nil
+	return st.eval.S, snap.Version(), nil
 }
 
 // QualityEvaluation returns the full TP evaluation (score, per-tuple
 // weights, per-x-tuple gains) that drives the cleaning planners.
 func (e *Engine) QualityEvaluation(ctx context.Context) (*QualityEvaluation, error) {
-	st, err := e.state(ctx, e.cfg.k, false)
+	st, _, err := e.state(ctx, e.cfg.k, false)
 	if err != nil {
 		return nil, err
 	}
@@ -293,26 +320,39 @@ func (e *Engine) QualityEvaluation(ctx context.Context) (*QualityEvaluation, err
 
 // Answers evaluates all three probabilistic top-k semantics (U-kRanks,
 // PT-k at the configured threshold, Global-topk) plus the PWS-quality,
-// all from the engine's one memoized PSR pass. The threshold-independent
-// answers are memoized too, so repeated calls only re-run the PT-k
-// threshold scan. The returned Result shares the session's cached slices;
-// treat its contents as read-only.
+// all from the engine's one memoized PSR pass against one pinned snapshot
+// epoch (Result.Version says which). The threshold-independent answers
+// are memoized too, so repeated calls only re-run the PT-k threshold
+// scan. The returned Result shares the session's cached slices; treat its
+// contents as read-only.
 func (e *Engine) Answers(ctx context.Context) (*Result, error) {
 	return e.answersAt(ctx, e.cfg.threshold)
+}
+
+// AnswersThreshold is Answers with an explicit PT-k threshold for this
+// call only, sharing the same memoized pass: only the cheap PT-k
+// threshold scan differs between calls. Serving layers use it to honour a
+// per-request threshold without building one engine per threshold. Unlike
+// WithPTKThreshold, the threshold is not range-validated; out-of-range
+// values simply give an empty or complete PT-k answer.
+func (e *Engine) AnswersThreshold(ctx context.Context, threshold float64) (*Result, error) {
+	return e.answersAt(ctx, threshold)
 }
 
 // answersAt is Answers with an explicit PT-k threshold; the deprecated
 // Evaluate wrapper uses it to honour thresholds the option validation
 // would reject.
 func (e *Engine) answersAt(ctx context.Context, threshold float64) (*Result, error) {
-	st, err := e.state(ctx, e.cfg.k, true)
+	st, snap, err := e.state(ctx, e.cfg.k, true)
 	if err != nil {
 		return nil, err
 	}
+	// snap is the epoch st was computed on (state pins them together), so
+	// every answer below reads the exact database state of one version.
 	st.ansOnce.Do(func() {
-		st.uk, st.ansErr = topkq.UKRanks(e.db, st.info)
+		st.uk, st.ansErr = topkq.UKRanks(snap, st.info)
 		if st.ansErr == nil {
-			st.gtk = topkq.GlobalTopK(e.db, st.info)
+			st.gtk = topkq.GlobalTopK(snap, st.info)
 		}
 	})
 	if st.ansErr != nil {
@@ -321,8 +361,9 @@ func (e *Engine) answersAt(ctx context.Context, threshold float64) (*Result, err
 	return &Result{
 		K:          e.cfg.k,
 		Threshold:  threshold,
+		Version:    snap.Version(),
 		UKRanks:    st.uk,
-		PTK:        topkq.PTK(e.db, st.info, threshold),
+		PTK:        topkq.PTK(snap, st.info, threshold),
 		GlobalTopK: st.gtk,
 		Quality:    st.eval.S,
 		Eval:       st.eval,
@@ -332,16 +373,16 @@ func (e *Engine) answersAt(ctx context.Context, threshold float64) (*Result, err
 
 // CleaningContext assembles a planning context from the engine's memoized
 // quality evaluation — no PSR or TP recomputation — with the given
-// cleaning spec and budget. The context is stamped with the database
-// version it was evaluated against; ApplyCleaning refuses contexts whose
-// version a later mutation has left behind.
+// cleaning spec and budget. The context reads from the pinned snapshot
+// epoch the evaluation was computed on, so planning runs safely while
+// mutations continue, and it is stamped with that version; ApplyCleaning
+// refuses contexts whose version a later mutation has left behind.
 func (e *Engine) CleaningContext(ctx context.Context, spec CleaningSpec, budget int) (*CleaningContext, error) {
-	version := e.db.Version()
-	st, err := e.state(ctx, e.cfg.k, false)
+	st, snap, err := e.state(ctx, e.cfg.k, false)
 	if err != nil {
 		return nil, err
 	}
-	c := &cleaning.Context{DB: e.db, K: e.cfg.k, Eval: st.eval, Spec: spec, Budget: budget, Version: version}
+	c := &cleaning.Context{DB: snap, K: e.cfg.k, Eval: st.eval, Spec: spec, Budget: budget, Version: snap.Version()}
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
@@ -357,18 +398,22 @@ func (e *Engine) CleaningContext(ctx context.Context, spec CleaningSpec, budget 
 // outcome's DB is the engine's own (now mutated) database, and NewQuality
 // and Improvement reflect the re-evaluation.
 //
-// The context must come from this engine's CleaningContext at the current
-// database version; a context planned before a later mutation fails with
-// ErrStaleCleaningContext before anything is mutated. A nil rng derives
-// one from the engine seed. Like every database mutation, ApplyCleaning
-// must not run concurrently with queries on the same engine.
+// The context must come from this engine's CleaningContext (it may read
+// from a pinned snapshot; the mutations land on the live database the
+// snapshot came from) at the current database version; a context planned
+// before a later — possibly concurrent — mutation fails with
+// ErrStaleCleaningContext before anything is mutated, with the
+// authoritative check made under the writer lock. ApplyCleaning may run
+// concurrently with queries: like every mutation it commits a new epoch
+// atomically, and in-flight queries keep reading their pinned snapshots.
+// A nil rng derives one from the engine seed.
 //
 // If the re-evaluation itself fails (e.g. the context is cancelled after
 // the mutations were applied), the outcome is returned alongside the error
 // with NewQuality and Improvement left zero: the cleaning has happened and
 // the caller can still see what was executed.
 func (e *Engine) ApplyCleaning(ctx context.Context, c *CleaningContext, plan CleaningPlan, rng *rand.Rand) (*CleaningOutcome, error) {
-	if c == nil || c.DB != e.db {
+	if c == nil || c.DB == nil || c.DB.Origin() != e.db {
 		return nil, ErrForeignContext
 	}
 	if err := ctx.Err(); err != nil {
@@ -381,7 +426,7 @@ func (e *Engine) ApplyCleaning(ctx context.Context, c *CleaningContext, plan Cle
 		// that selected the plan would bias the realized improvement.
 		rng = newRand(e.cfg.seed + 2)
 	}
-	out, err := cleaning.ExecuteApply(c, plan, rng)
+	out, err := cleaning.ExecuteApplyOn(e.db, c, plan, rng)
 	if err != nil {
 		return nil, err
 	}

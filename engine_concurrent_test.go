@@ -1,0 +1,231 @@
+package topkclean
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// answerKey is the bit-exact fingerprint of one version's query answers.
+type answerKey struct {
+	uk, ptk, gtk string
+	quality      uint64 // math.Float64bits: resumed passes are bit-identical
+	quality5     uint64 // QualityAt(5), exercising a second memo entry
+}
+
+func keyOf(t testing.TB, eng *Engine) answerKey {
+	t.Helper()
+	ctx := context.Background()
+	res, err := eng.Answers(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q5, err := eng.QualityAt(ctx, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return answerKey{
+		uk:       FormatRanked(res.UKRanks),
+		ptk:      FormatScored(res.PTK),
+		gtk:      FormatScored(res.GlobalTopK),
+		quality:  math.Float64bits(res.Quality),
+		quality5: math.Float64bits(q5),
+	}
+}
+
+// concurrencyScript is a deterministic mutation sequence: each step commits
+// exactly one version (single mutation or one batch). Steps derive their
+// parameters from the database they are applied to, so replaying the
+// script on an identical copy yields identical versions and states.
+func concurrencyScript() []func(db *Database) error {
+	var steps []func(db *Database) error
+	for i := 0; i < 36; i++ {
+		i := i
+		switch i % 6 {
+		case 0: // reweight a group near the top of the rank order
+			steps = append(steps, func(db *Database) error {
+				g := db.Sorted()[0].Group
+				real := db.Groups()[g].RealTuples()
+				probs := make([]float64, len(real))
+				for j := range probs {
+					probs[j] = (0.4 + 0.01*float64(i%10)) / float64(len(probs))
+				}
+				return db.Reweight(g, probs)
+			})
+		case 1: // insert an x-tuple landing mid-ranking
+			steps = append(steps, func(db *Database) error {
+				mid := db.Sorted()[db.NumTuples()/3].Score
+				return db.InsertXTuple(fmt.Sprintf("cc-%d", i),
+					Tuple{ID: fmt.Sprintf("cc%d.a", i), Attrs: []float64{mid + 0.25}, Prob: 0.5},
+					Tuple{ID: fmt.Sprintf("cc%d.b", i), Attrs: []float64{mid - 0.25}, Prob: 0.4})
+			})
+		case 2: // batch: bottom reweight + an insert, one commit
+			steps = append(steps, func(db *Database) error {
+				return db.Batch(func(b *Batch) error {
+					g := db.Sorted()[db.NumTuples()-1].Group
+					real := db.Groups()[g].RealTuples()
+					probs := make([]float64, len(real))
+					for j := range probs {
+						probs[j] = 0.5 / float64(len(probs))
+					}
+					if err := b.Reweight(g, probs); err != nil {
+						return err
+					}
+					return b.InsertAbsentXTuple(fmt.Sprintf("cc-absent-%d", i))
+				})
+			})
+		case 3: // collapse a mid x-tuple to its first alternative
+			steps = append(steps, func(db *Database) error {
+				return db.Collapse(db.NumGroups()/2, 0)
+			})
+		case 4: // non-trailing delete: renumbers all later groups
+			steps = append(steps, func(db *Database) error {
+				return db.DeleteXTuple(db.NumGroups() / 4)
+			})
+		default: // trailing delete
+			steps = append(steps, func(db *Database) error {
+				return db.DeleteXTuple(db.NumGroups() - 1)
+			})
+		}
+	}
+	return steps
+}
+
+// TestEngineConcurrentReadersVsWriter is the snapshot-isolation property
+// test (run under -race in CI): N reader goroutines query one engine while
+// a writer applies a deterministic mutation script to the live database.
+// Every answer a reader observes must be bit-identical to the answers a
+// fresh engine computes over a frozen replica of the version the answer
+// claims to describe — i.e. readers only ever see whole committed epochs,
+// with per-reader monotone versions, and the resumed passes match
+// from-scratch passes bit for bit even while racing the writer.
+func TestEngineConcurrentReadersVsWriter(t *testing.T) {
+	db := engineSyntheticDB(t, 150)
+	steps := concurrencyScript()
+
+	// Phase 1: replay the script on a replica, recording the expected
+	// bit-exact answers for every version the writer will publish.
+	replica := db.Clone()
+	expected := make(map[uint64]answerKey, len(steps)+1)
+	record := func() {
+		fresh, err := New(replica.Clone(), WithK(7), WithPTKThreshold(0.1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		expected[replica.Version()] = keyOf(t, fresh)
+	}
+	record()
+	for si, step := range steps {
+		v := replica.Version()
+		if err := step(replica); err != nil {
+			t.Fatalf("replica step %d: %v", si, err)
+		}
+		if replica.Version() != v+1 {
+			t.Fatalf("step %d committed %d versions, want 1", si, replica.Version()-v)
+		}
+		record()
+	}
+
+	// Phase 2: race the same script against concurrent readers.
+	eng, err := New(db, WithK(7), WithPTKThreshold(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const readers = 4
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	errs := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastVersion uint64
+			check := func() bool {
+				res, err := eng.Answers(ctx)
+				if err != nil {
+					errs <- err
+					return false
+				}
+				q5, err := eng.QualityAt(ctx, 5)
+				if err != nil {
+					errs <- err
+					return false
+				}
+				if res.Version < lastVersion {
+					errs <- fmt.Errorf("version went backwards: %d after %d", res.Version, lastVersion)
+					return false
+				}
+				lastVersion = res.Version
+				want, ok := expected[res.Version]
+				if !ok {
+					errs <- fmt.Errorf("answer claims unknown version %d", res.Version)
+					return false
+				}
+				got := answerKey{
+					uk: FormatRanked(res.UKRanks), ptk: FormatScored(res.PTK),
+					gtk: FormatScored(res.GlobalTopK), quality: math.Float64bits(res.Quality),
+					quality5: want.quality5, // checked separately below: q5 may pin a newer epoch
+				}
+				if got != want {
+					errs <- fmt.Errorf("v%d: answers diverge from frozen replica\ngot  %+v\nwant %+v", res.Version, got, want)
+					return false
+				}
+				// q5 came from its own pinned epoch (possibly newer than
+				// res.Version); it must match some version's expectation.
+				q5bits := math.Float64bits(q5)
+				okAny := false
+				for _, w := range expected {
+					if w.quality5 == q5bits {
+						okAny = true
+						break
+					}
+				}
+				if !okAny {
+					errs <- fmt.Errorf("QualityAt(5) = %v matches no committed version", q5)
+					return false
+				}
+				return true
+			}
+			for {
+				select {
+				case <-done:
+					check() // one final read at the terminal version
+					return
+				default:
+					if !check() {
+						return
+					}
+				}
+			}
+		}()
+	}
+	for si, step := range steps {
+		if err := step(db); err != nil {
+			t.Fatalf("live step %d: %v", si, err)
+		}
+		time.Sleep(200 * time.Microsecond) // let readers interleave between epochs
+	}
+	close(done)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	if db.Version() != replica.Version() {
+		t.Fatalf("live version %d, replica %d", db.Version(), replica.Version())
+	}
+	// The terminal states agree bit for bit.
+	final, err := eng.Answers(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := expected[replica.Version()]; FormatScored(final.PTK) != want.ptk ||
+		math.Float64bits(final.Quality) != want.quality {
+		t.Fatalf("terminal answers diverge: %s / %v", FormatScored(final.PTK), final.Quality)
+	}
+}

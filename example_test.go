@@ -198,3 +198,87 @@ func ExampleDatabase_ComputeStats() {
 	// Output:
 	// x-tuples=4 tuples=7 (avg 1.75/x-tuple, 0 nulls, 1 certain) e in [0.3, 1]
 }
+
+func ExampleDatabase_Batch() {
+	db := buildPaperExample()
+	before := db.Version()
+	// A burst of updates commits as one version bump and one epoch: a new
+	// sensor comes online and S3's distribution is revised, atomically.
+	err := db.Batch(func(b *topkclean.Batch) error {
+		if err := b.InsertXTuple("S5",
+			topkclean.Tuple{ID: "t7", Attrs: []float64{29}, Prob: 0.5}); err != nil {
+			return err
+		}
+		return b.Reweight(2, []float64{0.2, 0.7})
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("versions committed:", db.Version()-before)
+	fmt.Println("x-tuples:", db.NumGroups())
+	// Output:
+	// versions committed: 1
+	// x-tuples: 5
+}
+
+func ExampleDatabase_Snapshot() {
+	db := buildPaperExample()
+	eng, err := topkclean.New(db, topkclean.WithK(2), topkclean.WithPTKThreshold(0.4))
+	if err != nil {
+		panic(err)
+	}
+	ctx := context.Background()
+
+	// Pin the current epoch. The snapshot is an immutable view: queries
+	// against it never block on writers and never observe later mutations.
+	snap := db.Snapshot()
+
+	// Mutate the live database: S3 resolves to its better reading.
+	if err := db.Collapse(2, 1); err != nil {
+		panic(err)
+	}
+
+	// The engine serves the new version; the pinned epoch still holds the
+	// old state, byte for byte.
+	res, err := eng.Answers(ctx)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("live:     v%d, PT-2 %s\n", res.Version, topkclean.FormatScored(res.PTK))
+	fmt.Printf("snapshot: v%d, %d x-tuples, frozen=%v\n", snap.Version(), snap.NumGroups(), snap.Frozen())
+	// Output:
+	// live:     v2, PT-2 {t1, t2, t5}
+	// snapshot: v1, 4 x-tuples, frozen=true
+}
+
+func ExampleEngine_ApplyCleaning() {
+	db := buildPaperExample()
+	eng, err := topkclean.New(db, topkclean.WithK(2), topkclean.WithPTKThreshold(0.4))
+	if err != nil {
+		panic(err)
+	}
+	ctx := context.Background()
+
+	// The mutate-while-serving loop: plan a cleaning against the memoized
+	// evaluation, execute it onto the live database (one atomic epoch),
+	// and read the re-evaluated quality — all in one session. Probes cost
+	// 1 unit and always succeed; budget of 2 probes.
+	spec := topkclean.UniformCleaningSpec(db.NumGroups(), 1, 1.0)
+	plan, cctx, err := eng.PlanCleaning(ctx, "dp", spec, 2)
+	if err != nil {
+		panic(err)
+	}
+	out, err := eng.ApplyCleaning(ctx, cctx, plan, rand.New(rand.NewSource(7)))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("cleaned %d x-tuples for cost %d\n", len(out.Choices), out.CostUsed)
+	fmt.Printf("quality %.4f -> %.4f (improved %.4f)\n",
+		out.NewQuality-out.Improvement, out.NewQuality, out.Improvement)
+	res, _ := eng.Answers(ctx)
+	fmt.Println("new answers at version", res.Version, "PT-2:", topkclean.FormatScored(res.PTK))
+	// Output:
+	// cleaned 2 x-tuples for cost 2
+	// quality -2.5513 -> -0.9710 (improved 1.5804)
+	// new answers at version 2 PT-2: {t5, t6, t4}
+}

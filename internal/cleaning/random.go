@@ -54,8 +54,11 @@ func RandPContext(ctx context.Context, c *Context, rng *rand.Rand) (Plan, error)
 	if info == nil {
 		return nil, fmt.Errorf("cleaning: RandP needs rank info in the evaluation")
 	}
-	for _, t := range c.DB.Sorted() {
-		weights[t.Group] += info.P(t.Index())
+	// Positions come from the iteration index, not Tuple.Index: the context
+	// may hold a pinned snapshot whose tuples' live rank caches a concurrent
+	// writer is repairing, while the snapshot's own order is frozen.
+	for i, t := range c.DB.Sorted() {
+		weights[t.Group] += info.P(i)
 	}
 	return randomPlan(ctx, c, rng, weights)
 }

@@ -1,6 +1,7 @@
 package cleaning
 
 import (
+	"fmt"
 	"math/rand"
 
 	"github.com/probdb/topkclean/internal/quality"
@@ -47,28 +48,53 @@ func Execute(ctx *Context, plan Plan, rng *rand.Rand) (*Outcome, error) {
 
 // ExecuteApply simulates the cleaning agent exactly like Execute (the same
 // rng stream yields the same draws) but applies the successful outcomes to
-// the live database via Collapse instead of building a cleaned copy: this
-// is what actually executing a cleaning plan does to a serving database.
-// All collapses commit as one Batch — one version bump and one merged
-// dirty-rank watermark for the whole plan — so version-aware consumers
-// re-evaluate the entire cleaning as a single incremental step (and a
-// large plan cannot flood the bounded watermark log with one entry per
-// resolved x-tuple). The returned Outcome's DB is the (mutated) input
-// database; NewQuality and Improvement are left zero — the caller
-// re-evaluates against the new version (the Engine does this with its
-// memoized state, sharing the pass with subsequent queries).
-//
-// When ctx.Version is nonzero it must match the database's current version;
-// ErrStaleContext is returned (by the context validation, before any draw
-// or mutation) otherwise, catching plans made against gains that a later
-// mutation has invalidated.
+// the context's database via Collapse instead of building a cleaned copy.
+// It is ExecuteApplyOn with the context's own database as the target; use
+// ExecuteApplyOn directly when the context reads from a pinned snapshot
+// and the mutations must land on the live database the snapshot came from.
 func ExecuteApply(ctx *Context, plan Plan, rng *rand.Rand) (*Outcome, error) {
+	return ExecuteApplyOn(ctx.DB, ctx, plan, rng)
+}
+
+// ExecuteApplyOn simulates the cleaning agent against the context (whose
+// DB may be an immutable snapshot) and applies the successful outcomes to
+// db — the live database — via Collapse: this is what actually executing a
+// cleaning plan does to a serving database. All collapses commit as one
+// Batch — one version bump, one new epoch, and one merged dirty-rank
+// watermark for the whole plan — so version-aware consumers re-evaluate
+// the entire cleaning as a single incremental step (and a large plan
+// cannot flood the bounded watermark log with one entry per resolved
+// x-tuple). The returned Outcome's DB is the (mutated) live database;
+// NewQuality and Improvement are left zero — the caller re-evaluates
+// against the new version (the Engine does this with its memoized state,
+// sharing the pass with subsequent queries).
+//
+// When ctx.Version is nonzero it must match db's current version, both up
+// front and — authoritatively — inside the batch, under the writer lock:
+// ErrStaleContext is returned before any mutation otherwise, catching
+// plans made against gains that a later (possibly concurrent) mutation
+// has invalidated. The version match also guarantees the plan's x-tuple
+// indices and alternative choices, resolved against the snapshot, mean
+// the same thing on the live database.
+func ExecuteApplyOn(db *uncertain.Database, ctx *Context, plan Plan, rng *rand.Rand) (*Outcome, error) {
+	if db == nil || !db.Built() {
+		return nil, uncertain.ErrNotBuilt
+	}
+	if err := staleAgainst(db, ctx); err != nil {
+		return nil, err
+	}
 	out, err := simulateAgent(ctx, plan, rng)
 	if err != nil {
 		return nil, err
 	}
 	if len(out.Choices) > 0 {
-		err := ctx.DB.Batch(func(b *uncertain.Batch) error {
+		err := db.Batch(func(b *uncertain.Batch) error {
+			// Re-check under the writer lock: a mutation that committed
+			// between the up-front check and here must abort the apply
+			// before anything is collapsed.
+			if err := staleAgainst(db, ctx); err != nil {
+				return err
+			}
 			for _, l := range sortedChoiceGroups(out.Choices) {
 				if err := b.Collapse(l, out.Choices[l]); err != nil {
 					return err
@@ -80,8 +106,20 @@ func ExecuteApply(ctx *Context, plan Plan, rng *rand.Rand) (*Outcome, error) {
 			return nil, err
 		}
 	}
-	out.DB = ctx.DB
+	out.DB = db
 	return out, nil
+}
+
+// staleAgainst checks a version-stamped context against the live database
+// it is about to mutate.
+func staleAgainst(db *uncertain.Database, ctx *Context) error {
+	if ctx == nil || ctx.Version == 0 {
+		return nil
+	}
+	if v := db.Version(); v != ctx.Version {
+		return fmt.Errorf("%w: context version %d, database version %d", ErrStaleContext, ctx.Version, v)
+	}
+	return nil
 }
 
 // simulateAgent draws the agent's operation outcomes for a plan: which

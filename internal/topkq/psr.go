@@ -63,10 +63,12 @@ func AblationRebuildOnly(db *uncertain.Database, k int) (*RankInfo, error) {
 const checkpointEvery = 64
 
 // qSnapshot is one entry of a checkpoint's sparse q vector. The group is
-// keyed by *XTuple identity rather than index: mutations renumber group
-// indices in place (DeleteXTuple shifts later groups down), but the XTuple
-// object itself is stable, so a snapshot survives renumbering and is
-// re-resolved to current indices at restore time.
+// keyed by x-tuple identity rather than index: mutations renumber group
+// indices (DeleteXTuple shifts later groups down) and clone x-tuples
+// copy-on-write (so pointer identity breaks across epochs too), but the
+// stable identity XTuple.Is matches on survives both, so a snapshot
+// outlives renumbering and cloning and is re-resolved to current indices
+// at restore time.
 type qSnapshot struct {
 	x *uncertain.XTuple
 	q float64
@@ -136,9 +138,26 @@ func (c *checkpoint) restore(db *uncertain.Database, k int) (*scanState, bool) {
 		if len(e.x.Tuples) == 0 {
 			return nil, false
 		}
+		// Fast path: the checkpointed x-tuple's group index (frozen at
+		// checkpoint time) still names the same logical x-tuple — true
+		// whenever no intervening delete renumbered the survivors, even if
+		// copy-on-write replaced the object itself.
 		g := e.x.Tuples[0].Group
-		if g < 0 || g >= m || groups[g] != e.x {
-			return nil, false
+		if g < 0 || g >= m || !groups[g].Is(e.x) {
+			// Renumbered since the checkpoint: re-resolve by stable
+			// identity. Deletes are rare next to the scans this feeds, so
+			// the linear fallback is fine; a miss means the x-tuple was
+			// deleted and the checkpoint cannot seed this database.
+			g = -1
+			for gi := range groups {
+				if groups[gi].Is(e.x) {
+					g = gi
+					break
+				}
+			}
+			if g < 0 {
+				return nil, false
+			}
 		}
 		st.q[g] = e.q
 		st.active = append(st.active, g)

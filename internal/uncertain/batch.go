@@ -40,10 +40,19 @@ type Batch struct {
 // is returned. A batch in which no mutation succeeded does not bump the
 // version.
 //
-// Like every mutation, Batch must not run concurrently with queries or
-// other mutations. Tuple rank positions (Tuple.Index) stay valid between
-// the batch's mutations: each splice pass repairs them as it moves tuples.
+// Batch serializes against other mutations on the database's writer lock
+// and publishes exactly one new epoch at commit, so snapshot readers
+// (Database.Snapshot, and the Engine's queries) observe either none or all
+// of the batch's mutations — never an intermediate state. Queries through
+// snapshots may therefore run fully concurrently with a Batch. Tuple rank
+// positions (Tuple.Index) stay valid between the batch's mutations: each
+// splice pass repairs them as it moves tuples.
 func (db *Database) Batch(fn func(*Batch) error) error {
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
+	if db.frozen {
+		return ErrFrozenSnapshot
+	}
 	if !db.built {
 		return ErrNotBuilt
 	}

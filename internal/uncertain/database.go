@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Database is an x-tuple probabilistic database D. Construct one with New,
@@ -19,12 +21,29 @@ type Database struct {
 	nReal   int
 	version uint64            // bumped by Build and every mutation; see Version
 	nextOrd int               // next insertion-order stamp for mutation-time inserts
+	nextUID uint64            // next stable x-tuple identity; see newUID
 	marks   []versionMark     // per-mutation dirty-rank watermarks; see DirtySince
 	byID    map[string]*Tuple // ID index over sorted; maintained by insertRanked/removeSorted
 
 	// pendingRenumber is set by a mutation core that shifted surviving
 	// group indices and folded into the next versionMark by finishMutation.
 	pendingRenumber bool
+
+	// Snapshot isolation (see snapshot.go). snap is the current published
+	// epoch: an immutable frozen view readers pin with Snapshot. wmu
+	// serializes writers (each exported mutation entry point takes it);
+	// readers never do. shared marks the containers as referenced by the
+	// latest epoch, so the next mutation copies them first (unshare), and
+	// cowed tracks the x-tuples already cloned in the current unpublished
+	// epoch. frozen marks a snapshot view itself: reads work, mutations
+	// fail with ErrFrozenSnapshot, and origin points back at the live
+	// database the snapshot was taken from.
+	snap   atomic.Pointer[Database]
+	wmu    sync.Mutex
+	shared bool
+	cowed  map[*XTuple]bool
+	frozen bool
+	origin *Database
 }
 
 // versionMark records, for one committed mutation (or batch of mutations),
@@ -169,18 +188,36 @@ func (db *Database) Build(rank RankFunc) error {
 			db.nReal++
 		}
 	}
+	for _, x := range db.groups {
+		x.uid = db.newUID()
+	}
 	db.nextOrd = ord
 	db.built = true
 	db.version++
+	db.publish()
 	return nil
 }
 
 // Version returns the database's monotonic version counter: 0 before Build,
 // and bumped by Build and by every mutation (InsertXTuple, DeleteXTuple,
-// Reweight, Collapse). Consumers that memoize derived state — the Engine's
-// per-k rank/quality passes — key it by version, so stale entries are
-// detected lazily instead of requiring explicit invalidation.
-func (db *Database) Version() uint64 { return db.version }
+// Reweight, Collapse; one bump per Batch). Consumers that memoize derived
+// state — the Engine's per-k rank/quality passes — key it by version, so
+// stale entries are detected lazily instead of requiring explicit
+// invalidation.
+//
+// On a live database the answer is read from the latest published epoch,
+// so Version is safe to call concurrently with mutations (a mutation's
+// bump becomes visible exactly when its epoch publishes). On a snapshot it
+// is the snapshot's own fixed version.
+func (db *Database) Version() uint64 {
+	if db.frozen {
+		return db.version
+	}
+	if s := db.snap.Load(); s != nil {
+		return s.version
+	}
+	return db.version
+}
 
 // DirtySince reports how much of the rank order may have changed since the
 // given version: it returns the lowest rank position at which the scan
@@ -302,9 +339,13 @@ func (db *Database) Sorted() []*Tuple { return db.sorted }
 // Rank returns the ranking function the database was built with.
 func (db *Database) Rank() RankFunc { return db.rank }
 
-// TupleByID returns the alternative with the given ID, or nil. On a built
-// database this is an O(1) index lookup — the mutation validation path
-// (and any serving lookup) depends on it not scanning the rank array.
+// TupleByID returns the alternative with the given ID, or nil. On a live
+// built database this is an O(1) index lookup — the mutation validation
+// path (and any serving lookup) depends on it not scanning the rank
+// array. On a snapshot it degrades to an O(n) scan of the frozen rank
+// array: the ID index stays writer-private so that commits do not pay an
+// O(n) map copy per epoch; route hot by-ID lookups through the live
+// database (whose index is always current).
 func (db *Database) TupleByID(id string) *Tuple {
 	if db.byID != nil {
 		return db.byID[id]
@@ -317,17 +358,33 @@ func (db *Database) TupleByID(id string) *Tuple {
 	return nil
 }
 
-// Clone returns a deep copy of a built database, preserving the rank order.
+// Clone returns a deep copy of a built database, preserving the rank order
+// and the stable x-tuple identities. The copy is live (mutable) even when
+// db is a snapshot, so cloning a snapshot is the way to branch a mutable
+// database off a pinned epoch. Cloning a live database must not run
+// concurrently with mutations on it (it briefly takes the writer lock);
+// cloning a snapshot is always safe.
 func (db *Database) Clone() *Database {
-	out := &Database{rank: db.rank, built: db.built, nReal: db.nReal, version: db.version, nextOrd: db.nextOrd,
+	if !db.frozen {
+		db.wmu.Lock()
+		defer db.wmu.Unlock()
+	}
+	out := &Database{rank: db.rank, built: db.built, nReal: db.nReal, version: db.version,
+		nextOrd: db.nextOrd, nextUID: db.nextUID,
 		marks: append([]versionMark(nil), db.marks...)}
 	out.groups = make([]*XTuple, len(db.groups))
 	clones := make(map[*Tuple]*Tuple, len(db.sorted))
 	for gi, x := range db.groups {
-		nx := &XTuple{Name: x.Name, Tuples: make([]*Tuple, len(x.Tuples))}
+		nx := &XTuple{Name: x.Name, uid: x.uid, Tuples: make([]*Tuple, len(x.Tuples))}
 		for ti, t := range x.Tuples {
-			c := *t
-			c.Attrs = append([]float64(nil), t.Attrs...)
+			// Copy the frozen fields individually rather than the whole
+			// struct: idx is a writer-epoch field that a concurrent writer
+			// may be repairing in place on tuples shared with a snapshot,
+			// so it must not be read here; the positions are rederived
+			// from the rank order below.
+			c := Tuple{ID: t.ID, Prob: t.Prob, Score: t.Score,
+				Group: t.Group, Null: t.Null, ord: t.ord,
+				Attrs: append([]float64(nil), t.Attrs...)}
 			nx.Tuples[ti] = &c
 			clones[t] = &c
 		}
@@ -338,9 +395,11 @@ func (db *Database) Clone() *Database {
 		out.byID = make(map[string]*Tuple, len(db.sorted))
 		for i, t := range db.sorted {
 			c := clones[t]
+			c.idx = i
 			out.sorted[i] = c
 			out.byID[c.ID] = c
 		}
+		out.publish()
 	}
 	return out
 }

@@ -18,6 +18,7 @@ var (
 	ErrBadScore       = errors.New("uncertain: ranking function produced NaN")
 	ErrBadGroupIndex  = errors.New("uncertain: x-tuple index out of range")
 	ErrBadChoice      = errors.New("uncertain: cleaning outcome index out of range")
+	ErrFrozenSnapshot = errors.New("uncertain: database is an immutable snapshot; mutate the live database it came from")
 )
 
 func wrapGroup(err error, group string) error {

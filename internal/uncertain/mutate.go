@@ -25,9 +25,15 @@ import (
 // Every mutation is a thin wrapper over an unexported core that returns
 // the watermark; Batch runs several cores under a single commit.
 //
-// Mutations are not synchronized internally: callers must not mutate a
-// database concurrently with queries or other mutations (the same
-// single-writer discipline required around Build).
+// Concurrency: mutations serialize against each other on the database's
+// writer lock, and each commit publishes a new immutable epoch (see
+// snapshot.go), so mutations may run concurrently with queries as long as
+// the queries read through pinned snapshots (Database.Snapshot — which is
+// how the Engine reads). Reading the live database directly while a
+// mutation runs remains undefined; mutation cores honour snapshot
+// isolation by cloning any x-tuple whose reader-visible fields they would
+// write (cowGroup) and by unsharing the containers from the last published
+// epoch before splicing them (unshare).
 
 // ErrBadReweight is returned when Reweight is given the wrong number of
 // probabilities for the x-tuple's real alternatives.
@@ -43,6 +49,11 @@ var ErrLastGroup = errors.New("uncertain: cannot delete the last x-tuple")
 // ordered insertion — no rebuild. The new x-tuple gets index NumGroups()-1.
 // On any validation error the database is unchanged.
 func (db *Database) InsertXTuple(name string, tuples ...Tuple) error {
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
+	if db.frozen {
+		return ErrFrozenSnapshot
+	}
 	wm, err := db.insertXTuple(name, tuples)
 	if err != nil {
 		return err
@@ -94,6 +105,9 @@ func (db *Database) insertXTuple(name string, tuples []Tuple) (int, error) {
 	}
 	// All checks passed; commit. Ord stamps continue past the build-time
 	// ones so score ties keep breaking by arrival order.
+	db.unshare()
+	x.uid = db.newUID()
+	db.markPrivate(x)
 	for _, t := range x.Tuples {
 		if !t.Null {
 			t.ord = db.nextOrd
@@ -110,6 +124,11 @@ func (db *Database) insertXTuple(name string, tuples []Tuple) (int, error) {
 // (AddAbsentXTuple's mutation-time counterpart): a single null alternative
 // with probability 1 is placed at the bottom of the rank order.
 func (db *Database) InsertAbsentXTuple(name string) error {
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
+	if db.frozen {
+		return ErrFrozenSnapshot
+	}
 	wm, err := db.insertAbsentXTuple(name)
 	if err != nil {
 		return err
@@ -127,7 +146,10 @@ func (db *Database) insertAbsentXTuple(name string) (int, error) {
 	if db.TupleByID(null.ID) != nil {
 		return 0, fmt.Errorf("tuple %q: %w", null.ID, ErrDuplicateID)
 	}
-	db.groups = append(db.groups, &XTuple{Name: name, Tuples: []*Tuple{null}})
+	db.unshare()
+	x := &XTuple{Name: name, uid: db.newUID(), Tuples: []*Tuple{null}}
+	db.markPrivate(x)
+	db.groups = append(db.groups, x)
 	return db.insertRanked(null), nil
 }
 
@@ -137,6 +159,11 @@ func (db *Database) insertAbsentXTuple(name string) (int, error) {
 // rank array only needs splicing, not re-sorting. Deleting the last
 // remaining x-tuple is an error.
 func (db *Database) DeleteXTuple(l int) error {
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
+	if db.frozen {
+		return ErrFrozenSnapshot
+	}
 	wm, err := db.deleteXTuple(l)
 	if err != nil {
 		return err
@@ -155,6 +182,7 @@ func (db *Database) deleteXTuple(l int) (int, error) {
 	if len(db.groups) == 1 {
 		return 0, ErrLastGroup
 	}
+	db.unshare()
 	drop := db.groups[l].Tuples
 	for _, t := range drop {
 		if !t.Null {
@@ -165,7 +193,10 @@ func (db *Database) deleteXTuple(l int) (int, error) {
 	if l < len(db.groups) {
 		db.pendingRenumber = true // surviving groups shift down one index
 		for gi := l; gi < len(db.groups); gi++ {
-			for _, t := range db.groups[gi].Tuples {
+			// Renumbering writes Group, a reader-visible field, so every
+			// shifted x-tuple is cloned into the new epoch; published
+			// snapshots keep the old objects with the old numbering.
+			for _, t := range db.cowGroup(gi).Tuples {
 				t.Group = gi
 			}
 		}
@@ -179,6 +210,11 @@ func (db *Database) deleteXTuple(l int) (int, error) {
 // alternative is created, updated, or removed to absorb the new mass
 // deficit. On any validation error the database is unchanged.
 func (db *Database) Reweight(l int, probs []float64) error {
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
+	if db.frozen {
+		return ErrFrozenSnapshot
+	}
 	wm, err := db.reweight(l, probs)
 	if err != nil {
 		return err
@@ -210,6 +246,11 @@ func (db *Database) reweight(l int, probs []float64) (int, error) {
 	if mass.Sum() > 1+massTolerance {
 		return 0, wrapGroup(ErrMassExceedsOne, x.Name)
 	}
+	// All checks passed; commit onto a private clone of the x-tuple, so
+	// published epochs keep the old probabilities.
+	db.unshare()
+	x = db.cowGroup(l)
+	real = x.RealTuples()
 	// The watermark is the highest-ranked alternative whose probability or
 	// presence actually changes; alternatives keeping their probability
 	// leave the scan state at their position untouched.
@@ -265,6 +306,11 @@ func (db *Database) reweight(l int, probs []float64) (int, error) {
 // alternative keeps its identity, score, and rank position; the discarded
 // alternatives are spliced out of the rank order.
 func (db *Database) Collapse(l, choice int) error {
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
+	if db.frozen {
+		return ErrFrozenSnapshot
+	}
 	wm, err := db.collapse(l, choice)
 	if err != nil {
 		return err
@@ -284,6 +330,11 @@ func (db *Database) collapse(l, choice int) (int, error) {
 	if choice < 0 || choice >= len(x.Tuples) {
 		return 0, fmt.Errorf("choice %d of %d: %w", choice, len(x.Tuples), ErrBadChoice)
 	}
+	// Commit onto a private clone: the chosen alternative's probability
+	// write and the group's alternative-list rewrite must not be visible
+	// to published epochs.
+	db.unshare()
+	x = db.cowGroup(l)
 	chosen := x.Tuples[choice]
 	watermark := math.MaxInt
 	if chosen.Prob != 1 {
@@ -418,11 +469,13 @@ func (db *Database) rankIndexOf(t *Tuple) int {
 	return t.idx
 }
 
-// finishMutation commits one mutation (or one batch): it bumps the version
-// and records the dirty-rank watermark in the log DirtySince answers from.
-// Rank positions and nReal are maintained incrementally by the mutation
-// primitives themselves (the splice passes repair idx as they move
-// tuples), so no array-wide fixup happens here.
+// finishMutation commits one mutation (or one batch): it bumps the
+// version, records the dirty-rank watermark in the log DirtySince answers
+// from, and publishes the new state as an epoch for snapshot readers (the
+// single atomic store that makes the whole mutation — or the whole batch —
+// visible at once). Rank positions and nReal are maintained incrementally
+// by the mutation primitives themselves (the splice passes repair idx as
+// they move tuples), so no array-wide fixup happens here.
 func (db *Database) finishMutation(watermark int) {
 	if watermark < 0 {
 		watermark = 0
@@ -441,4 +494,5 @@ func (db *Database) finishMutation(watermark int) {
 		renumbered: db.pendingRenumber,
 	})
 	db.pendingRenumber = false
+	db.publish()
 }

@@ -1,0 +1,170 @@
+package uncertain
+
+// This file is the epoch / copy-on-write machinery behind Database.Snapshot:
+// lock-free snapshot isolation between one writer and any number of readers.
+//
+// The database's commit path (Build, finishMutation — which Batch funnels a
+// whole burst of mutations through) publishes an *epoch*: an immutable,
+// frozen *Database view sharing the writer's rank array, x-tuple slabs,
+// and watermark log by reference (the ID index stays writer-private; see
+// publish). Readers pin the current epoch with Snapshot() — a single
+// atomic pointer load, no lock, no copy — and then read it exactly like
+// any built database; the view never changes under them, no matter how
+// many mutations commit afterwards.
+//
+// The writer keeps snapshots valid by never writing to memory a published
+// epoch can reach:
+//
+//   - Containers (the rank array, the groups slice, the watermark log) are
+//     unshared lazily: the first mutation after a publish copies them once
+//     (unshare), and every later mutation in the same unpublished epoch
+//     splices the private copies in place exactly as the pre-snapshot code
+//     did. The ID index is never shared in the first place, so it is
+//     mutated in place without copies.
+//   - Tuples and x-tuples are copied at x-tuple granularity: a mutation
+//     that would write a tuple field readers consume (Prob on Reweight and
+//     Collapse, Group on delete renumbering, the alternatives slice on null
+//     maintenance) first clones the owning x-tuple and its tuple slab
+//     (cowGroup) and redirects the working containers to the clones. The
+//     original x-tuple stays frozen in every older epoch.
+//   - The one exception is Tuple.idx, the rank-position cache the splice
+//     passes repair as they shift tuples. It is written in place on shared
+//     tuples, so it is a *writer-epoch* field: it is always correct for the
+//     newest epoch, and no snapshot reader consumes it (the query and
+//     quality scans derive positions from their own iteration index; see
+//     Tuple.Index for the caller-facing contract). It lives in its own
+//     word, so the in-place write does not race with readers of the frozen
+//     fields around it.
+//
+// Readers therefore never block and never observe renumbering, and the
+// writer's per-commit overhead is O(n) pointer/map-entry copies on the
+// first mutation of an epoch (amortized across a Batch) plus O(|group|)
+// per x-tuple actually touched — compared against the O(k·n) query pass
+// this protects, see DESIGN.md ("Snapshot serving") for why this beats a
+// reader-writer lock here.
+
+// Snapshot returns the current epoch: an immutable, fully built *Database
+// view that is safe to read concurrently with any number of mutations on
+// the live database. It is a single atomic load — no lock, no copying —
+// and the returned view is stable: queries against it see the exact
+// database state of one committed version, forever.
+//
+// The snapshot supports every read accessor (Sorted, Groups, TupleByID,
+// DirtySince, Validate, Cleaned, Clone, ...); mutating methods fail with
+// ErrFrozenSnapshot. Snapshot on a snapshot returns the snapshot itself.
+// Two Snapshot calls with no intervening commit return the same pointer,
+// which makes the pointer (or Version) usable as a cache key.
+//
+// Snapshot returns nil before Build.
+func (db *Database) Snapshot() *Database {
+	if db.frozen {
+		return db
+	}
+	return db.snap.Load()
+}
+
+// Frozen reports whether db is an immutable snapshot view returned by
+// Snapshot (true) or a live, mutable database (false).
+func (db *Database) Frozen() bool { return db.frozen }
+
+// Origin returns the live database a snapshot was taken from; for a live
+// database it returns the database itself. Consumers that pin snapshots
+// for reading but must apply writes to the live database (the Engine's
+// ApplyCleaning) use it to check lineage.
+func (db *Database) Origin() *Database {
+	if db.frozen && db.origin != nil {
+		return db.origin
+	}
+	return db
+}
+
+// publish commits the writer's current state as the new epoch. Called with
+// the writer lock held (or before any concurrency exists: Build, Clone).
+// After publish the containers are shared with the epoch, so the next
+// mutation must unshare before writing them.
+func (db *Database) publish() {
+	// byID stays writer-private: cloning a 10k-entry map per commit would
+	// dominate the mutation cost (and its garbage the collector), while
+	// snapshot readers almost never look tuples up by ID — TupleByID on a
+	// frozen view falls back to a rank-array scan instead.
+	s := &Database{
+		groups:  db.groups,
+		rank:    db.rank,
+		sorted:  db.sorted,
+		built:   true,
+		nReal:   db.nReal,
+		version: db.version,
+		nextOrd: db.nextOrd,
+		nextUID: db.nextUID,
+		marks:   db.marks,
+		frozen:  true,
+		origin:  db,
+	}
+	db.snap.Store(s)
+	db.shared = true
+	db.cowed = nil
+}
+
+// unshare gives the writer private copies of the containers shared with
+// the last published epoch: the rank array, the groups slice, and the
+// watermark log. Mutation cores call it before their first in-place
+// container write; within one unpublished epoch it runs at most once, so
+// a Batch pays the O(n) copy a single time however many mutations it
+// groups.
+func (db *Database) unshare() {
+	if !db.shared {
+		return
+	}
+	db.sorted = append([]*Tuple(nil), db.sorted...)
+	db.groups = append([]*XTuple(nil), db.groups...)
+	db.marks = append([]versionMark(nil), db.marks...)
+	db.shared = false
+}
+
+// cowGroup returns a writable x-tuple for group gi, cloning the x-tuple
+// and its tuple slab on first touch in the current unpublished epoch and
+// redirecting the working rank array and ID index to the clones. The
+// original x-tuple (and its tuples) stay frozen in every published epoch.
+// Requires unshare to have run. The clone preserves the stable identity
+// (uid) that checkpoint restoration keys on, and the tuples' rank
+// positions, which the splice passes keep repairing on the clones.
+func (db *Database) cowGroup(gi int) *XTuple {
+	x := db.groups[gi]
+	if db.cowed[x] {
+		return x
+	}
+	nx := &XTuple{Name: x.Name, uid: x.uid, Tuples: make([]*Tuple, len(x.Tuples))}
+	// One slab for the clones, as in AddXTuple: keeps the GC mark phase
+	// cheap. Attrs backing arrays are shared with the originals — they are
+	// never mutated after creation.
+	backing := make([]Tuple, len(x.Tuples))
+	for i, t := range x.Tuples {
+		backing[i] = *t
+		c := &backing[i]
+		nx.Tuples[i] = c
+		db.sorted[c.idx] = c
+		db.byID[c.ID] = c
+	}
+	db.groups[gi] = nx
+	db.markPrivate(nx)
+	return nx
+}
+
+// markPrivate records that x was created (or cloned) in the current
+// unpublished epoch, so further mutations before the next publish may
+// write it in place without another clone.
+func (db *Database) markPrivate(x *XTuple) {
+	if db.cowed == nil {
+		db.cowed = make(map[*XTuple]bool, 8)
+	}
+	db.cowed[x] = true
+}
+
+// newUID returns the next stable x-tuple identity. uids survive
+// copy-on-write cloning (and Clone), so consumers that checkpoint
+// per-x-tuple state across epochs (the PSR scan checkpoints) can re-match
+// x-tuples after mutations replaced the Go objects.
+func (db *Database) newUID() uint64 {
+	db.nextUID++
+	return db.nextUID
+}

@@ -1,0 +1,251 @@
+package uncertain
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+// snapDB builds a small mutable database for the snapshot tests.
+func snapDB(t *testing.T) *Database {
+	t.Helper()
+	db := New()
+	for g := 0; g < 6; g++ {
+		a := Tuple{ID: fmt.Sprintf("t%d.0", g), Attrs: []float64{float64(100 - g)}, Prob: 0.5}
+		b := Tuple{ID: fmt.Sprintf("t%d.1", g), Attrs: []float64{float64(50 - g)}, Prob: 0.3}
+		if err := db.AddXTuple(fmt.Sprintf("g%d", g), a, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Build(ByFirstAttr); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// describe renders a database's full reader-visible state: rank order with
+// IDs, scores, probabilities, group indices, and group membership.
+func describe(db *Database) string {
+	s := fmt.Sprintf("v%d n%d m%d nr%d|", db.Version(), db.NumTuples(), db.NumGroups(), db.NumRealTuples())
+	for i, t := range db.Sorted() {
+		s += fmt.Sprintf("%d:%s@%g,%g,g%d,%v;", i, t.ID, t.Score, t.Prob, t.Group, t.Null)
+	}
+	s += "|"
+	for gi, x := range db.Groups() {
+		s += fmt.Sprintf("g%d=%s(", gi, x.Name)
+		for _, t := range x.Tuples {
+			s += t.ID + ","
+		}
+		s += ")"
+	}
+	return s
+}
+
+// TestSnapshotImmutable pins an epoch, mutates the live database through
+// every mutation kind, and verifies the snapshot's reader-visible state is
+// bit-for-bit what it was at pin time while the live database moved on.
+func TestSnapshotImmutable(t *testing.T) {
+	db := snapDB(t)
+	snap := db.Snapshot()
+	if snap == nil || !snap.Frozen() || snap.Origin() != db {
+		t.Fatalf("snapshot: %v frozen=%v", snap, snap.Frozen())
+	}
+	want := describe(snap)
+	v0 := snap.Version()
+
+	if err := db.Reweight(0, []float64{0.9, 0.05}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.InsertXTuple("new", Tuple{ID: "nx", Attrs: []float64{75}, Prob: 0.8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DeleteXTuple(1); err != nil { // non-trailing: renumbers survivors
+		t.Fatal(err)
+	}
+	if err := db.Collapse(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	err := db.Batch(func(b *Batch) error {
+		if err := b.InsertAbsentXTuple("gone"); err != nil {
+			return err
+		}
+		return b.Reweight(0, []float64{0.2, 0.2})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := describe(snap); got != want {
+		t.Fatalf("snapshot changed under mutations:\nbefore: %s\nafter:  %s", want, got)
+	}
+	if snap.Version() != v0 {
+		t.Fatalf("snapshot version moved: %d -> %d", v0, snap.Version())
+	}
+	if err := snap.Validate(); err != nil {
+		t.Fatalf("snapshot no longer validates: %v", err)
+	}
+	if db.Version() != v0+5 {
+		t.Fatalf("live version: got %d, want %d", db.Version(), v0+5)
+	}
+	// The new epoch answers DirtySince across the whole span.
+	cur := db.Snapshot()
+	if cur == snap {
+		t.Fatal("Snapshot did not advance after mutations")
+	}
+	if _, ok := cur.DirtySince(v0); !ok {
+		t.Fatal("current snapshot cannot answer DirtySince(snapshot version)")
+	}
+	if wm, ok := cur.DirtySince(cur.Version()); !ok || wm != cur.NumTuples() {
+		t.Fatalf("self DirtySince: wm=%d ok=%v, want %d true", wm, ok, cur.NumTuples())
+	}
+}
+
+// TestSnapshotStablePointer: no intervening commit means the same epoch.
+func TestSnapshotStablePointer(t *testing.T) {
+	db := snapDB(t)
+	s1, s2 := db.Snapshot(), db.Snapshot()
+	if s1 != s2 {
+		t.Fatal("Snapshot returned different epochs with no intervening commit")
+	}
+	if s1.Snapshot() != s1 {
+		t.Fatal("Snapshot of a snapshot must be itself")
+	}
+	if err := db.Reweight(0, []float64{0.6, 0.2}); err != nil {
+		t.Fatal(err)
+	}
+	if db.Snapshot() == s1 {
+		t.Fatal("Snapshot did not advance after a commit")
+	}
+}
+
+// TestSnapshotRejectsMutation: every mutating entry point fails with
+// ErrFrozenSnapshot and leaves the snapshot intact.
+func TestSnapshotRejectsMutation(t *testing.T) {
+	db := snapDB(t)
+	snap := db.Snapshot()
+	want := describe(snap)
+	checks := map[string]error{
+		"InsertXTuple":       snap.InsertXTuple("x", Tuple{ID: "zz", Attrs: []float64{1}, Prob: 1}),
+		"InsertAbsentXTuple": snap.InsertAbsentXTuple("x"),
+		"DeleteXTuple":       snap.DeleteXTuple(0),
+		"Reweight":           snap.Reweight(0, []float64{0.5, 0.3}),
+		"Collapse":           snap.Collapse(0, 0),
+		"Batch":              snap.Batch(func(b *Batch) error { return nil }),
+	}
+	for name, err := range checks {
+		if !errors.Is(err, ErrFrozenSnapshot) {
+			t.Errorf("%s on snapshot: got %v, want ErrFrozenSnapshot", name, err)
+		}
+	}
+	if got := describe(snap); got != want {
+		t.Fatalf("rejected mutations changed the snapshot:\n%s\n%s", want, got)
+	}
+}
+
+// TestSnapshotCloneBranches: cloning a snapshot yields a live database that
+// can be mutated independently of both the snapshot and the origin.
+func TestSnapshotCloneBranches(t *testing.T) {
+	db := snapDB(t)
+	snap := db.Snapshot()
+	branch := snap.Clone()
+	if branch.Frozen() {
+		t.Fatal("clone of a snapshot must be live")
+	}
+	if err := branch.Collapse(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := branch.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if snap.NumRealTuples() == branch.NumRealTuples() {
+		t.Fatal("branch mutation did not change the branch")
+	}
+	if db.Version() != snap.Version() {
+		t.Fatal("branch mutation leaked into the origin")
+	}
+}
+
+// TestSnapshotConcurrentReaders runs reader goroutines that pin snapshots
+// and exhaustively check model invariants on them while a writer streams
+// batched mutations — under -race this is the uncertain-layer half of the
+// readers-vs-writer property (the engine test checks query bit-identity).
+func TestSnapshotConcurrentReaders(t *testing.T) {
+	db := snapDB(t)
+	const (
+		readers = 4
+		rounds  = 60
+	)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	fail := make(chan string, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := db.Snapshot()
+				if err := s.Validate(); err != nil {
+					fail <- fmt.Sprintf("snapshot v%d invalid: %v", s.Version(), err)
+					return
+				}
+				// Group numbering is consistent and every group's
+				// alternatives (incl. the materialized null) sum to 1.
+				for gi, x := range s.Groups() {
+					var mass float64
+					for _, tp := range x.Tuples {
+						if tp.Group != gi {
+							fail <- fmt.Sprintf("v%d: tuple %s group %d at index %d", s.Version(), tp.ID, tp.Group, gi)
+							return
+						}
+						mass += tp.Prob
+					}
+					if math.Abs(mass-1) > 1e-6 {
+						fail <- fmt.Sprintf("v%d: group %d mass %v", s.Version(), gi, mass)
+						return
+					}
+				}
+				if s != db.Snapshot() {
+					continue // a commit landed; loop and pin the next epoch
+				}
+			}
+		}()
+	}
+	for i := 0; i < rounds; i++ {
+		err := db.Batch(func(b *Batch) error {
+			// Groups 0..4 are never deleted or collapsed, so they always
+			// have exactly two real alternatives to reweight.
+			if err := b.Reweight(i%5, []float64{0.1 + 0.01*float64(i%50), 0.2}); err != nil {
+				return err
+			}
+			if i%7 == 3 {
+				return b.InsertXTuple(fmt.Sprintf("w%d", i), Tuple{ID: fmt.Sprintf("w%d", i), Attrs: []float64{float64(i % 90)}, Prob: 0.5})
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%11 == 10 && db.NumGroups() > 6 {
+			if err := db.DeleteXTuple(db.NumGroups() - 2); err != nil { // non-trailing
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case msg := <-fail:
+		t.Fatal(msg)
+	default:
+	}
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -34,6 +34,13 @@ type Tuple struct {
 
 // Index returns the tuple's position in the database's rank order, where 0
 // is the highest-ranked tuple. It is only meaningful after Database.Build.
+//
+// Index reflects the *newest* epoch: mutation splice passes repair it in
+// place, including on tuples shared with older snapshots, so it must not
+// be read concurrently with mutations and is not part of a snapshot's
+// frozen state. Code reading through a pinned snapshot derives positions
+// from the snapshot's Sorted order instead (answers additionally carry
+// answer-time Rank fields for exactly this reason).
 func (t *Tuple) Index() int { return t.idx }
 
 // String renders the tuple for logs and examples.

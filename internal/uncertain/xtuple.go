@@ -9,6 +9,25 @@ import "github.com/probdb/topkclean/internal/numeric"
 type XTuple struct {
 	Name   string
 	Tuples []*Tuple // alternatives in insertion order; null (if any) last
+
+	// uid is the x-tuple's stable identity: assigned once when the x-tuple
+	// enters a database (Build or a mutation-time insert) and preserved by
+	// copy-on-write cloning and Clone. Two XTuple objects with the same uid
+	// are the same logical x-tuple observed in different epochs; see Is.
+	uid uint64
+}
+
+// Is reports whether x and y are the same logical x-tuple, possibly
+// observed through different snapshots: mutations clone x-tuples
+// copy-on-write, so pointer identity breaks across epochs while the
+// stable identity survives. Consumers that carry per-x-tuple state across
+// database versions (the PSR scan checkpoints) match on Is rather than
+// pointer equality.
+func (x *XTuple) Is(y *XTuple) bool {
+	if x == y {
+		return true
+	}
+	return x != nil && y != nil && x.uid != 0 && x.uid == y.uid
 }
 
 // massTolerance absorbs floating-point drift in user-supplied probabilities.

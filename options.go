@@ -29,6 +29,10 @@ var (
 	// ErrForeignContext is returned by Engine.ApplyCleaning for a cleaning
 	// context built against a different database than the engine's.
 	ErrForeignContext = errors.New("topkclean: cleaning context belongs to a different database")
+	// ErrFrozenSnapshot is returned by mutation methods called on an
+	// immutable snapshot view (Database.Snapshot); mutate the live
+	// database the snapshot came from, or Clone a mutable branch.
+	ErrFrozenSnapshot = uncertain.ErrFrozenSnapshot
 )
 
 // config carries an Engine's settings; options mutate it before New
