@@ -2,14 +2,17 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"strings"
 
 	topkclean "github.com/probdb/topkclean"
+	"github.com/probdb/topkclean/internal/store"
 )
 
 // runCtx is the context every command threads into the engine; main swaps
@@ -24,19 +27,65 @@ func loadDB(path, rankName string) (*topkclean.Database, error) {
 		return nil, err
 	}
 	defer f.Close()
-	var rank topkclean.RankFunc
-	switch rankName {
-	case "", "first":
-		rank = topkclean.ByFirstAttr
-	case "sum":
-		rank = topkclean.SumOfAttrs
-	default:
-		return nil, fmt.Errorf("unknown rank function %q (want first|sum)", rankName)
+	rank, err := rankByName(rankName)
+	if err != nil {
+		return nil, err
 	}
 	if strings.HasSuffix(path, ".json") {
 		return topkclean.ReadJSON(f, rank)
 	}
 	return topkclean.ReadCSV(f, rank)
+}
+
+// rankByName resolves the -rank flag through the library's shared
+// registry (the same names the daemon's tenant.json persists).
+func rankByName(rankName string) (topkclean.RankFunc, error) {
+	return topkclean.RankByName(rankName)
+}
+
+// saveStore persists a built database as a fresh durable store directory
+// (WAL + checkpoint; see PERSISTENCE.md) that topkcleand -store or
+// `topkclean query -store` can open later. rankName records the ranking
+// function in the daemon's tenant.json, so a daemon recovering the
+// directory supplies the right one (e.g. "sum" for mov datasets).
+func saveStore(dir string, db *topkclean.Database, rankName string) error {
+	backend, err := store.OpenDir(dir)
+	if err != nil {
+		return err
+	}
+	sdb, err := store.Create(backend, db)
+	if err != nil {
+		backend.Close()
+		return err
+	}
+	if err := sdb.Close(); err != nil { // writes the checkpoint and syncs
+		return err
+	}
+	meta, err := json.Marshal(map[string]string{"rank": rankName})
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "tenant.json"), meta, 0o644)
+}
+
+// openStore recovers a database from a durable store directory. The rank
+// function must be the one the database was built with; the recovered
+// rank order is verified against it.
+func openStore(dir, rankName string) (*store.DB, error) {
+	rank, err := rankByName(rankName)
+	if err != nil {
+		return nil, err
+	}
+	backend, err := store.OpenDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	sdb, err := store.Open(backend, rank)
+	if err != nil {
+		backend.Close()
+		return nil, err
+	}
+	return sdb, nil
 }
 
 // loadOrGenSpec loads a cleaning spec from specPath, or generates the
@@ -62,6 +111,7 @@ func cmdGen(args []string, w io.Writer) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	out := fs.String("o", "", "output file (.csv or .json); default stdout CSV")
 	specOut := fs.String("spec-o", "", "also write a default cleaning spec (JSON) here")
+	storeOut := fs.String("store", "", "also save the dataset as a durable store directory (query it with 'query -store', or serve it by placing it under a topkcleand -store root; mov datasets need -rank sum on 'query -store')")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -120,6 +170,16 @@ func cmdGen(args []string, w io.Writer) error {
 		if err := topkclean.WriteSpecJSON(f, spec); err != nil {
 			return err
 		}
+	}
+	if *storeOut != "" {
+		rankName := "first"
+		if *kind == "mov" {
+			rankName = "sum" // GenerateMOV builds with SumOfAttrs
+		}
+		if err := saveStore(*storeOut, db, rankName); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "saved durable store at %s (version %d)\n", *storeOut, db.Version())
 	}
 	fmt.Fprintf(w, "generated %s\n", db.ComputeStats())
 	return nil
@@ -184,18 +244,32 @@ func cmdQuality(args []string, w io.Writer) error {
 func cmdQuery(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	data := fs.String("data", "", "dataset file (.csv or .json)")
+	storeDir := fs.String("store", "", "load the database from a durable store directory instead of -data")
 	k := fs.Int("k", 15, "query size k")
 	threshold := fs.Float64("threshold", 0.1, "PT-k probability threshold, in [0, 1]")
 	rank := fs.String("rank", "first", "ranking function: first | sum")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *data == "" {
-		return fmt.Errorf("-data is required")
-	}
-	db, err := loadDB(*data, *rank)
-	if err != nil {
-		return err
+	var db *topkclean.Database
+	switch {
+	case *data != "" && *storeDir != "":
+		return fmt.Errorf("-data and -store are mutually exclusive")
+	case *storeDir != "":
+		sdb, err := openStore(*storeDir, *rank)
+		if err != nil {
+			return err
+		}
+		defer sdb.Close()
+		db = sdb.DB()
+		fmt.Fprintf(w, "store: %s recovered at version %d\n", *storeDir, db.Version())
+	case *data != "":
+		var err error
+		if db, err = loadDB(*data, *rank); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("-data or -store is required")
 	}
 	eng, err := topkclean.New(db, topkclean.WithK(*k), topkclean.WithPTKThreshold(*threshold))
 	if err != nil {

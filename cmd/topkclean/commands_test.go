@@ -258,3 +258,42 @@ func TestLoadOrGenSpecFromFile(t *testing.T) {
 		t.Error("missing spec file should fail")
 	}
 }
+
+// TestCmdGenStoreAndQueryStore: `gen -store` saves a durable store and
+// `query -store` recovers it with the same answers the CSV path gives.
+func TestCmdGenStoreAndQueryStore(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "data.csv")
+	storeDir := filepath.Join(dir, "store")
+	var gen strings.Builder
+	err := cmdGen([]string{"-kind", "synthetic", "-xtuples", "80", "-seed", "4",
+		"-o", data, "-store", storeDir}, &gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(gen.String(), "saved durable store") {
+		t.Fatalf("gen output: %s", gen.String())
+	}
+	var fromStore, fromCSV strings.Builder
+	if err := cmdQuery([]string{"-store", storeDir, "-k", "5"}, &fromStore); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdQuery([]string{"-data", data, "-k", "5"}, &fromCSV); err != nil {
+		t.Fatal(err)
+	}
+	got := fromStore.String()
+	if !strings.Contains(got, "recovered at version 1") {
+		t.Fatalf("store query did not report recovery:\n%s", got)
+	}
+	// Identical answers modulo the recovery banner.
+	if trimmed := got[strings.Index(got, "dataset:"):]; trimmed != fromCSV.String() {
+		t.Fatalf("store answers diverge from CSV answers:\ngot  %s\nwant %s", trimmed, fromCSV.String())
+	}
+	// -data and -store together, or neither, are usage errors.
+	if err := cmdQuery([]string{"-data", data, "-store", storeDir}, &fromCSV); err == nil {
+		t.Fatal("mutually exclusive flags accepted")
+	}
+	if err := cmdQuery([]string{}, &fromCSV); err == nil {
+		t.Fatal("missing data source accepted")
+	}
+}

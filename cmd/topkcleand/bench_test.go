@@ -77,11 +77,11 @@ func benchServe(b *testing.B, mutating bool) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	eng, err := topkclean.New(db, topkclean.WithK(15), topkclean.WithPTKThreshold(0.1))
+	srv := newServer(serverConfig{k: 15, threshold: 0.1, seed: 42, synthetic: 100})
+	def, err := srv.addTenant(defaultDB, db, tenantConfig{})
 	if err != nil {
 		b.Fatal(err)
 	}
-	srv := newServer(eng, 42)
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 	url := ts.URL + "/topk"
@@ -121,7 +121,7 @@ func benchServe(b *testing.B, mutating bool) {
 	})
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
-	b.ReportMetric(float64(srv.coal.coalesced.Load()), "coalesced")
+	b.ReportMetric(float64(def.coal.coalesced.Load()), "coalesced")
 }
 
 // BenchmarkServeUnderMutation records serving throughput for the acceptance

@@ -1,25 +1,38 @@
 // Command topkcleand is the HTTP query daemon: it serves probabilistic
 // top-k queries, quality scores, and budgeted-cleaning planning/execution
-// over one uncertain database, answering queries from lock-free snapshot
-// epochs while mutations stream in concurrently.
+// over a registry of named uncertain databases, answering queries from
+// lock-free snapshot epochs while mutations stream in concurrently. With
+// -store, every database is durable: commits are journaled to a
+// write-ahead log, checkpointed periodically, and recovered bit-identically
+// on restart (see PERSISTENCE.md).
 //
 // Usage:
 //
 //	topkcleand -data data.csv -k 15 -threshold 0.1 -addr :8337
 //	topkcleand -synthetic 1000 -k 15              # no dataset needed
+//	topkcleand -synthetic 1000 -store ./dbs       # durable, multi-tenant
 //
 // Endpoints (see SERVING.md for the full API reference):
 //
-//	GET  /topk      query answers (U-kRanks, PT-k, Global-topk) + quality
-//	GET  /quality   PWS-quality, optionally at an explicit k
-//	POST /plan      plan budgeted cleaning (dp | greedy | randp | randu)
-//	POST /apply     plan (or take a plan) and execute it on the live database
-//	POST /mutate    apply a batch of mutations as one commit
-//	GET  /stats     version, sizes, coalescing counters
-//	GET  /healthz   liveness
+//	GET    /dbs                    list databases
+//	POST   /dbs                    create a database (inline data or synthetic)
+//	DELETE /dbs/{name}             delete a database (and its journal)
+//	GET    /dbs/{name}/topk        query answers (U-kRanks, PT-k, Global-topk) + quality
+//	GET    /dbs/{name}/quality     PWS-quality, optionally at an explicit k
+//	POST   /dbs/{name}/plan        plan budgeted cleaning (dp | greedy | randp | randu)
+//	POST   /dbs/{name}/apply       plan (or take a plan) and execute it on the live database
+//	POST   /dbs/{name}/mutate      apply a batch of mutations as one commit
+//	GET    /dbs/{name}/stats       version, sizes, durability, coalescing counters
+//	GET    /healthz                liveness
+//
+// The legacy single-database routes (/topk, /quality, /plan, /apply,
+// /mutate, /stats) alias to the database named "default", which the
+// daemon creates from -data/-synthetic on first start (or recovers from
+// the store on later ones).
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
-// get up to -drain to finish while new connections are refused.
+// get up to -drain to finish while new connections are refused, then
+// every durable database is flushed (final checkpoint + fsync).
 package main
 
 import (
@@ -40,6 +53,7 @@ import (
 	topkclean "github.com/probdb/topkclean"
 	"github.com/probdb/topkclean/internal/dataio"
 	"github.com/probdb/topkclean/internal/gen"
+	"github.com/probdb/topkclean/internal/store"
 )
 
 func main() {
@@ -51,50 +65,82 @@ func main() {
 	}
 }
 
-// run wires flags, data, engine, and the HTTP server; it returns when ctx
-// is cancelled (after a graceful drain) or the listener fails.
+// run wires flags, data, the tenant registry, and the HTTP server; it
+// returns when ctx is cancelled (after a graceful drain and a store
+// flush) or the listener fails.
 func run(ctx context.Context, args []string, logw io.Writer) error {
 	fs := flag.NewFlagSet("topkcleand", flag.ContinueOnError)
 	fs.SetOutput(logw)
 	var (
 		addr      = fs.String("addr", ":8337", "listen address")
-		data      = fs.String("data", "", "dataset file (.csv or .json); empty generates a synthetic workload")
-		synthetic = fs.Int("synthetic", 1000, "x-tuples in the generated synthetic workload (when -data is empty)")
-		k         = fs.Int("k", 15, "query size k")
-		threshold = fs.Float64("threshold", 0.1, "PT-k probability threshold")
+		data      = fs.String("data", "", "dataset file for the default database (.csv or .json); empty generates a synthetic workload")
+		synthetic = fs.Int("synthetic", 1000, "x-tuples in generated synthetic workloads (default database and /dbs creations)")
+		k         = fs.Int("k", 15, "default query size k")
+		threshold = fs.Float64("threshold", 0.1, "default PT-k probability threshold")
 		seed      = fs.Int64("seed", 42, "random seed (planners, simulated cleaning agent)")
 		drain     = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		storeDir  = fs.String("store", "", "persistence root: one journaled directory per database; empty serves from memory only")
+		fsync     = fs.Bool("fsync", true, "fsync the journal after every commit (with -store)")
+		ckptEvery = fs.Int("checkpoint-every", 256, "journal records between automatic checkpoints (with -store)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	logger := log.New(logw, "topkcleand: ", log.LstdFlags)
 
-	db, source, err := loadDatabase(*data, *synthetic, *seed)
+	srv := newServer(serverConfig{
+		k:               *k,
+		threshold:       *threshold,
+		seed:            *seed,
+		synthetic:       *synthetic,
+		storeRoot:       *storeDir,
+		fsync:           *fsync,
+		checkpointEvery: *ckptEvery,
+	})
+	if *storeDir != "" {
+		if err := srv.recoverTenants(logger.Printf); err != nil {
+			return err
+		}
+	}
+	if _, err := srv.tenant(defaultDB); err != nil {
+		db, source, err := loadDatabase(*data, *synthetic, *seed)
+		if err != nil {
+			return err
+		}
+		if _, err := srv.addTenant(defaultDB, db, tenantConfig{}); err != nil {
+			if errors.Is(err, store.ErrExists) {
+				// recoverTenants skipped it (and said why above): refuse to
+				// overwrite persisted data with a fresh database.
+				return fmt.Errorf("a %q database exists under -store but failed to recover (see log above): %w", defaultDB, err)
+			}
+			return err
+		}
+		logger.Printf("created %s database from %s (%d x-tuples, %d tuples)",
+			defaultDB, source, db.NumGroups(), db.NumTuples())
+	}
+	// Warm the default database's memoized pass so the first request is
+	// not the slow one; other tenants warm on first query.
+	def, err := srv.tenant(defaultDB)
 	if err != nil {
 		return err
 	}
-	eng, err := topkclean.New(db,
-		topkclean.WithK(*k),
-		topkclean.WithPTKThreshold(*threshold),
-		topkclean.WithSeed(*seed))
-	if err != nil {
+	if _, err := def.eng.Answers(ctx); err != nil {
 		return err
 	}
-	// Warm the memoized pass so the first request is not the slow one.
-	if _, err := eng.Answers(ctx); err != nil {
-		return err
+	durability := "ephemeral (no -store)"
+	if *storeDir != "" {
+		durability = fmt.Sprintf("durable under %s (fsync=%v, checkpoint-every=%d)", *storeDir, *fsync, *ckptEvery)
 	}
-	logger.Printf("serving %s (%d x-tuples, %d tuples) at %s, k=%d threshold=%g",
-		source, db.NumGroups(), db.NumTuples(), *addr, *k, *threshold)
+	logger.Printf("serving %d database(s) at %s, default k=%d threshold=%g, %s",
+		len(srv.tenantList()), *addr, *k, *threshold, durability)
 
-	srv := &http.Server{
+	hsrv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(eng, *seed),
+		Handler:           srv,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
+	go func() { errc <- hsrv.ListenAndServe() }()
 	select {
 	case err := <-errc:
 		return err
@@ -103,18 +149,25 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	logger.Printf("shutting down (drain %s)", *drain)
 	sctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
-	if err := srv.Shutdown(sctx); err != nil {
+	if err := hsrv.Shutdown(sctx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
+	srv.closeStores(logger.Printf)
 	logger.Printf("bye")
 	return nil
+}
+
+// newSynthetic generates the paper's synthetic workload (ByFirstAttr
+// ranking, like every database this daemon serves).
+func newSynthetic(xtuples int, seed int64) (*topkclean.Database, error) {
+	return gen.SyntheticSized(xtuples, seed)
 }
 
 // loadDatabase reads -data (CSV or JSON by extension) or generates the
 // synthetic workload of the paper's evaluation section.
 func loadDatabase(path string, synthetic int, seed int64) (*topkclean.Database, string, error) {
 	if path == "" {
-		db, err := gen.SyntheticSized(synthetic, seed)
+		db, err := newSynthetic(synthetic, seed)
 		if err != nil {
 			return nil, "", err
 		}

@@ -1,0 +1,259 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestMultiTenant drives the registry surface: create, list, isolate,
+// legacy aliasing, and delete.
+func TestMultiTenant(t *testing.T) {
+	ts, _ := testServer(t, 40, 5)
+
+	var list struct {
+		DBs []dbInfoJSON `json:"dbs"`
+	}
+	getJSON(t, ts.URL+"/dbs", &list)
+	if len(list.DBs) != 1 || list.DBs[0].Name != defaultDB {
+		t.Fatalf("initial listing: %+v", list)
+	}
+
+	// Create a second database with its own k.
+	var created dbInfoJSON
+	status := postJSON(t, ts.URL+"/dbs", createRequest{Name: "alpha", Synthetic: 30, K: 4}, &created)
+	if status != http.StatusCreated || created.K != 4 || created.XTuples != 30 || created.Durable {
+		t.Fatalf("create: status %d %+v", status, created)
+	}
+
+	// Duplicate names conflict; path-unsafe names are rejected.
+	var errOut map[string]any
+	if status := postJSON(t, ts.URL+"/dbs", createRequest{Name: "alpha"}, &errOut); status != http.StatusConflict {
+		t.Fatalf("duplicate create: status %d", status)
+	}
+	if status := postJSON(t, ts.URL+"/dbs", createRequest{Name: "../evil"}, &errOut); status != http.StatusBadRequest {
+		t.Fatalf("bad name: status %d", status)
+	}
+
+	// Inline datasets build verbatim.
+	status = postJSON(t, ts.URL+"/dbs", createRequest{Name: "inline", K: 1, XTuples: []createXTuple{
+		{Name: "S1", Tuples: []tupleJSON{{ID: "u1", Attrs: []float64{10}, Prob: 0.5}}},
+		{Name: "S2", Tuples: []tupleJSON{{ID: "u2", Attrs: []float64{20}, Prob: 1}}},
+	}}, &created)
+	if status != http.StatusCreated || created.XTuples != 2 {
+		t.Fatalf("inline create: status %d %+v", status, created)
+	}
+	var inlineTopK topkResponse
+	getJSON(t, ts.URL+"/dbs/inline/topk", &inlineTopK)
+	if inlineTopK.K != 1 || inlineTopK.GlobalTopK[0].ID != "u2" {
+		t.Fatalf("inline answers: %+v", inlineTopK)
+	}
+
+	// Mutating one database does not touch another.
+	var defBefore, alphaBefore topkResponse
+	getJSON(t, ts.URL+"/dbs/default/topk", &defBefore)
+	getJSON(t, ts.URL+"/dbs/alpha/topk", &alphaBefore)
+	var mut mutateResponse
+	status = postJSON(t, ts.URL+"/dbs/alpha/mutate", mutateRequest{Ops: []mutateOp{
+		{Op: "insert_absent", Name: "only-alpha"},
+	}}, &mut)
+	if status != http.StatusOK || mut.Version != alphaBefore.Version+1 || mut.OpsApplied != 1 {
+		t.Fatalf("alpha mutate: status %d %+v", status, mut)
+	}
+	var defAfter topkResponse
+	getJSON(t, ts.URL+"/dbs/default/topk", &defAfter)
+	if defAfter.Version != defBefore.Version {
+		t.Fatalf("mutating alpha moved default from v%d to v%d", defBefore.Version, defAfter.Version)
+	}
+
+	// Legacy routes alias the default database.
+	var legacy, scoped topkResponse
+	getJSON(t, ts.URL+"/topk", &legacy)
+	getJSON(t, ts.URL+"/dbs/default/topk", &scoped)
+	if legacy.Version != scoped.Version || legacy.Quality != scoped.Quality {
+		t.Fatalf("legacy alias diverges: %+v vs %+v", legacy, scoped)
+	}
+
+	// Unknown databases 404; the default cannot be deleted; others can.
+	if resp, err := http.Get(ts.URL + "/dbs/nope/topk"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("unknown db: status %d", resp.StatusCode)
+		}
+	}
+	if status := deleteReq(t, ts.URL+"/dbs/default"); status != http.StatusBadRequest {
+		t.Fatalf("default delete: status %d", status)
+	}
+	if status := deleteReq(t, ts.URL+"/dbs/alpha"); status != http.StatusOK {
+		t.Fatalf("alpha delete: status %d", status)
+	}
+	if resp, err := http.Get(ts.URL + "/dbs/alpha/topk"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("deleted db still serves: status %d", resp.StatusCode)
+		}
+	}
+}
+
+func deleteReq(t testing.TB, url string) int {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode
+}
+
+// getBytes fetches a URL's raw response body — the restart test compares
+// answers byte for byte (the JSON encoding of identical float bits is
+// identical text).
+func getBytes(t testing.TB, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d %s", url, resp.StatusCode, body)
+	}
+	return body
+}
+
+// TestDaemonRestartRecovery is the in-process restart smoke test (the CI
+// workflow runs the same sequence against the real binary with SIGTERM):
+// run a durable daemon, create a second database, mutate both, apply a
+// cleaning, then tear the daemon down and start a fresh one on the same
+// store root. Every database must come back at its committed version and
+// serve byte-identical /topk responses — and a *hard-kill* copy of the
+// store (taken without the graceful flush) must recover identically too.
+func TestDaemonRestartRecovery(t *testing.T) {
+	root := t.TempDir()
+
+	// First daemon lifetime. Built manually (not via testServerStore) so
+	// the test controls exactly when stores flush.
+	s1 := newServer(serverConfig{k: 5, threshold: 0.1, seed: 42, synthetic: 60,
+		storeRoot: root, fsync: true, checkpointEvery: 256})
+	if err := s1.recoverTenants(t.Logf); err != nil {
+		t.Fatal(err)
+	}
+	db, err := newSynthetic(60, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.addTenant(defaultDB, db, tenantConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1)
+
+	var created dbInfoJSON
+	if status := postJSON(t, ts1.URL+"/dbs", createRequest{Name: "beta", Synthetic: 40, K: 4}, &created); status != http.StatusCreated || !created.Durable {
+		t.Fatalf("beta create: status %d %+v", status, created)
+	}
+	var mut mutateResponse
+	if status := postJSON(t, ts1.URL+"/mutate", mutateRequest{Ops: []mutateOp{
+		{Op: "insert", Name: "hot", Tuples: []tupleJSON{{ID: "hot.a", Attrs: []float64{1e6}, Prob: 0.9}}},
+		{Op: "collapse", Group: 2, Choice: 0},
+	}}, &mut); status != http.StatusOK {
+		t.Fatalf("default mutate: status %d", status)
+	}
+	if status := postJSON(t, ts1.URL+"/dbs/beta/mutate", mutateRequest{Ops: []mutateOp{
+		{Op: "insert_absent", Name: "ghost"},
+		{Op: "collapse", Group: 1, Choice: 0},
+	}}, &mut); status != http.StatusOK {
+		t.Fatalf("beta mutate: status %d", status)
+	}
+	var applied applyResponse
+	if status := postJSON(t, ts1.URL+"/apply", applyRequest{Planner: "greedy", Budget: 4}, &applied); status != http.StatusOK {
+		t.Fatalf("apply: status %d %+v", status, applied)
+	}
+
+	wantDefault := getBytes(t, ts1.URL+"/topk")
+	wantBeta := getBytes(t, ts1.URL+"/dbs/beta/topk")
+
+	// Hard-kill image: the bytes on disk right now, before any graceful
+	// flush. Every commit was fsynced, so this is what SIGKILL leaves.
+	killRoot := t.TempDir()
+	copyTree(t, root, killRoot)
+
+	// Graceful shutdown.
+	ts1.Close()
+	s1.closeStores(t.Logf)
+
+	for _, tc := range []struct {
+		name string
+		root string
+	}{
+		{"graceful", root},
+		{"hard-kill", killRoot},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ts2, s2 := testServerStore(t, 60, 5, tc.root)
+			if got := len(s2.tenantList()); got != 2 {
+				t.Fatalf("recovered %d databases, want 2", got)
+			}
+			if got := getBytes(t, ts2.URL+"/topk"); string(got) != string(wantDefault) {
+				t.Fatalf("default answers not bit-identical after restart:\ngot  %s\nwant %s", got, wantDefault)
+			}
+			if got := getBytes(t, ts2.URL+"/dbs/beta/topk"); string(got) != string(wantBeta) {
+				t.Fatalf("beta answers not bit-identical after restart:\ngot  %s\nwant %s", got, wantBeta)
+			}
+			// beta's serving config (k=4) came back from tenant.json.
+			var info struct {
+				DBs []dbInfoJSON `json:"dbs"`
+			}
+			getJSON(t, ts2.URL+"/dbs", &info)
+			for _, d := range info.DBs {
+				if d.Name == "beta" && d.K != 4 {
+					t.Fatalf("beta recovered with k=%d, want 4", d.K)
+				}
+				if !d.Durable {
+					t.Fatalf("%s recovered as ephemeral", d.Name)
+				}
+			}
+		})
+	}
+}
+
+// copyTree copies a store root (directories of flat files).
+func copyTree(t testing.TB, src, dst string) {
+	t.Helper()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		sp, dp := filepath.Join(src, e.Name()), filepath.Join(dst, e.Name())
+		if e.IsDir() {
+			if err := os.MkdirAll(dp, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			copyTree(t, sp, dp)
+			continue
+		}
+		data, err := os.ReadFile(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(dp, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

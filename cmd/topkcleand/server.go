@@ -14,34 +14,78 @@ import (
 	"time"
 
 	topkclean "github.com/probdb/topkclean"
+	"github.com/probdb/topkclean/internal/store"
 	"github.com/probdb/topkclean/internal/uncertain"
 )
 
-// server is the HTTP serving layer over one Engine. Queries read through
-// the engine's pinned snapshot epochs and therefore run lock-free and
-// fully concurrently with the mutation endpoints, which serialize on the
-// database's writer lock and publish one epoch per request. See SERVING.md
-// for the API reference and the consistency guarantees.
+// server is the HTTP serving layer over a registry of named databases
+// (tenants), each with its own engine and — when the daemon runs with
+// -store — its own journal. Queries read through pinned snapshot epochs
+// and run lock-free and fully concurrently with the mutation endpoints,
+// which serialize per tenant (so the WAL order always equals the commit
+// order) and publish one epoch per request. The legacy single-database
+// routes (/topk, /mutate, ...) alias to the "default" database. See
+// SERVING.md for the API reference and the consistency guarantees, and
+// PERSISTENCE.md for the durability contract.
 type server struct {
-	eng     *topkclean.Engine
-	mux     *http.ServeMux
-	coal    coalescer
-	applies atomic.Int64 // per-apply rng decorrelation counter
-	seed    int64
-	started time.Time
+	cfg      serverConfig
+	mu       sync.RWMutex
+	tenants  map[string]*tenant
+	creating map[string]bool // names reserved by in-flight creations
+	mux      *http.ServeMux
+	started  time.Time
 }
 
-func newServer(eng *topkclean.Engine, seed int64) *server {
-	s := &server{eng: eng, seed: seed, started: time.Now()}
-	s.coal.inflight = make(map[coalKey]*coalCall)
+// serverConfig carries the daemon flags the serving layer needs: defaults
+// for new tenants and the persistence policy.
+type serverConfig struct {
+	k               int
+	threshold       float64
+	seed            int64
+	synthetic       int    // default size for /dbs creations without data
+	storeRoot       string // "" = everything is ephemeral
+	fsync           bool
+	checkpointEvery int
+}
+
+func newServer(cfg serverConfig) *server {
+	s := &server{cfg: cfg, tenants: make(map[string]*tenant), creating: make(map[string]bool), started: time.Now()}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("GET /topk", s.handleTopK)
-	s.mux.HandleFunc("GET /quality", s.handleQuality)
-	s.mux.HandleFunc("POST /plan", s.handlePlan)
-	s.mux.HandleFunc("POST /apply", s.handleApply)
-	s.mux.HandleFunc("POST /mutate", s.handleMutate)
+	s.mux.HandleFunc("GET /dbs", s.handleListDBs)
+	s.mux.HandleFunc("POST /dbs", s.handleCreateDB)
+	s.mux.HandleFunc("DELETE /dbs/{name}", s.handleDeleteDB)
+	// Per-database routes, plus the legacy single-database aliases that
+	// serve the default database.
+	for _, route := range []struct {
+		method, path string
+		h            func(http.ResponseWriter, *http.Request, *tenant)
+	}{
+		{"GET", "stats", s.handleStats},
+		{"GET", "topk", s.handleTopK},
+		{"GET", "quality", s.handleQuality},
+		{"POST", "plan", s.handlePlan},
+		{"POST", "apply", s.handleApply},
+		{"POST", "mutate", s.handleMutate},
+	} {
+		route := route
+		s.mux.HandleFunc(route.method+" /dbs/{name}/"+route.path, func(w http.ResponseWriter, r *http.Request) {
+			t, err := s.tenant(r.PathValue("name"))
+			if err != nil {
+				writeErr(w, http.StatusNotFound, err)
+				return
+			}
+			route.h(w, r, t)
+		})
+		s.mux.HandleFunc(route.method+" /"+route.path, func(w http.ResponseWriter, r *http.Request) {
+			t, err := s.tenant(defaultDB)
+			if err != nil {
+				writeErr(w, http.StatusNotFound, err)
+				return
+			}
+			route.h(w, r, t)
+		})
+	}
 	return s
 }
 
@@ -49,10 +93,10 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 
 // ---- request coalescing ----------------------------------------------------
 
-// coalKey identifies a /topk computation: answers are fully determined by
-// the (version, k, threshold) triple, so concurrent identical requests
-// share one computation and one JSON encoding. k is fixed per engine, so
-// it does not appear in the key.
+// coalKey identifies a /topk computation within one tenant: answers are
+// fully determined by the (version, k, threshold) triple, so concurrent
+// identical requests share one computation and one JSON encoding. k is
+// fixed per tenant's engine, so it does not appear in the key.
 type coalKey struct {
 	version   uint64
 	threshold float64
@@ -183,20 +227,52 @@ type mutateRequest struct {
 }
 
 type mutateResponse struct {
-	Version uint64 `json:"version"`
-	XTuples int    `json:"xtuples"`
-	Tuples  int    `json:"tuples"`
+	Version    uint64 `json:"version"`
+	OpsApplied int    `json:"ops_applied"` // == len(ops) on success; see the error shape for partial commits
+	XTuples    int    `json:"xtuples"`
+	Tuples     int    `json:"tuples"`
 }
 
 type statsResponse struct {
+	Name          string  `json:"name"`
 	Version       uint64  `json:"version"`
 	XTuples       int     `json:"xtuples"`
 	Tuples        int     `json:"tuples"`
 	RealTuples    int     `json:"real_tuples"`
 	K             int     `json:"k"`
 	Threshold     float64 `json:"threshold"`
+	Durable       bool    `json:"durable"`
+	WALRecords    int     `json:"wal_records_since_checkpoint"`
+	CheckpointVer uint64  `json:"checkpoint_version"`
 	Coalesced     int64   `json:"coalesced_queries"`
+	DBs           int     `json:"dbs"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+type dbInfoJSON struct {
+	Name      string  `json:"name"`
+	Version   uint64  `json:"version"`
+	XTuples   int     `json:"xtuples"`
+	Tuples    int     `json:"tuples"`
+	K         int     `json:"k"`
+	Threshold float64 `json:"threshold"`
+	Durable   bool    `json:"durable"`
+}
+
+type createRequest struct {
+	Name      string         `json:"name"`
+	K         int            `json:"k,omitempty"`         // default: daemon -k
+	Threshold float64        `json:"threshold,omitempty"` // default: daemon -threshold
+	Seed      int64          `json:"seed,omitempty"`      // engine seed; default: daemon -seed
+	Synthetic int            `json:"synthetic,omitempty"` // x-tuples to generate when no xtuples given
+	GenSeed   int64          `json:"gen_seed,omitempty"`  // generator seed (default: daemon -seed)
+	XTuples   []createXTuple `json:"xtuples,omitempty"`   // inline dataset (wins over synthetic)
+}
+
+type createXTuple struct {
+	Name   string      `json:"name"`
+	Absent bool        `json:"absent,omitempty"`
+	Tuples []tupleJSON `json:"tuples,omitempty"`
 }
 
 // ---- handlers --------------------------------------------------------------
@@ -215,24 +291,131 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	snap := s.eng.DB().Snapshot()
-	writeJSON(w, http.StatusOK, statsResponse{
+func (t *tenant) info() dbInfoJSON {
+	snap := t.eng.DB().Snapshot()
+	return dbInfoJSON{
+		Name:      t.name,
+		Version:   snap.Version(),
+		XTuples:   snap.NumGroups(),
+		Tuples:    snap.NumTuples(),
+		K:         t.eng.K(),
+		Threshold: t.eng.Threshold(),
+		Durable:   t.durable(),
+	}
+}
+
+func (s *server) handleListDBs(w http.ResponseWriter, r *http.Request) {
+	ts := s.tenantList()
+	infos := make([]dbInfoJSON, len(ts))
+	for i, t := range ts {
+		infos[i] = t.info()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"dbs": infos})
+}
+
+func (s *server) handleCreateDB(w http.ResponseWriter, r *http.Request) {
+	var req createRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if !tenantNameRE.MatchString(req.Name) {
+		writeErr(w, http.StatusBadRequest, errBadName)
+		return
+	}
+	db, err := s.buildDatabase(req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	t, err := s.addTenant(req.Name, db, tenantConfig{K: req.K, Threshold: req.Threshold, Seed: req.Seed})
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, errTenantExists) {
+			status = http.StatusConflict
+		}
+		writeErr(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, t.info())
+}
+
+// buildDatabase materializes a /dbs creation request: an inline dataset
+// when given, the synthetic workload otherwise.
+func (s *server) buildDatabase(req createRequest) (*topkclean.Database, error) {
+	if len(req.XTuples) == 0 {
+		size := req.Synthetic
+		if size <= 0 {
+			size = s.cfg.synthetic
+		}
+		seed := req.GenSeed
+		if seed == 0 {
+			seed = s.cfg.seed
+		}
+		return newSynthetic(size, seed)
+	}
+	db := topkclean.NewDatabase()
+	for _, jx := range req.XTuples {
+		if jx.Absent || len(jx.Tuples) == 0 {
+			if err := db.AddAbsentXTuple(jx.Name); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		ts := make([]topkclean.Tuple, len(jx.Tuples))
+		for i, jt := range jx.Tuples {
+			ts[i] = topkclean.Tuple{ID: jt.ID, Attrs: jt.Attrs, Prob: jt.Prob}
+		}
+		if err := db.AddXTuple(jx.Name, ts...); err != nil {
+			return nil, err
+		}
+	}
+	if err := db.Build(topkclean.ByFirstAttr); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+func (s *server) handleDeleteDB(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.deleteTenant(name); err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, errTenantMissing) {
+			status = http.StatusNotFound
+		}
+		writeErr(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request, t *tenant) {
+	snap := t.eng.DB().Snapshot()
+	resp := statsResponse{
+		Name:          t.name,
 		Version:       snap.Version(),
 		XTuples:       snap.NumGroups(),
 		Tuples:        snap.NumTuples(),
 		RealTuples:    snap.NumRealTuples(),
-		K:             s.eng.K(),
-		Threshold:     s.eng.Threshold(),
-		Coalesced:     s.coal.coalesced.Load(),
+		K:             t.eng.K(),
+		Threshold:     t.eng.Threshold(),
+		Durable:       t.durable(),
+		Coalesced:     t.coal.coalesced.Load(),
 		UptimeSeconds: time.Since(s.started).Seconds(),
-	})
+	}
+	if t.sdb != nil {
+		resp.WALRecords, resp.CheckpointVer = t.sdb.SinceCheckpoint()
+	}
+	s.mu.RLock()
+	resp.DBs = len(s.tenants)
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
-	threshold := s.eng.Threshold()
-	if t := r.URL.Query().Get("threshold"); t != "" {
-		v, err := strconv.ParseFloat(t, 64)
+func (s *server) handleTopK(w http.ResponseWriter, r *http.Request, t *tenant) {
+	threshold := t.eng.Threshold()
+	if q := r.URL.Query().Get("threshold"); q != "" {
+		v, err := strconv.ParseFloat(q, 64)
 		// Reject non-finite values outright: beyond being meaningless as
 		// probability thresholds, a NaN map key would make the coalescer
 		// entry unmatchable (NaN != NaN) and leak it forever.
@@ -246,12 +429,12 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	// requests share one engine call and one JSON encoding. If a commit
 	// lands between keying and answering, the shared answer is simply the
 	// newer version's (reported in its body) — still one consistent epoch.
-	key := coalKey{version: s.eng.DB().Snapshot().Version(), threshold: threshold}
-	body, err := s.coal.do(key, func() ([]byte, error) {
+	key := coalKey{version: t.eng.DB().Snapshot().Version(), threshold: threshold}
+	body, err := t.coal.do(key, func() ([]byte, error) {
 		// Compute detached from the leader's request context: followers
 		// with live connections share this result, and the leader's client
 		// hanging up must not fail them all with its cancellation.
-		res, err := s.eng.AnswersThreshold(context.WithoutCancel(r.Context()), threshold)
+		res, err := t.eng.AnswersThreshold(context.WithoutCancel(r.Context()), threshold)
 		if err != nil {
 			return nil, err
 		}
@@ -283,8 +466,8 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(body)
 }
 
-func (s *server) handleQuality(w http.ResponseWriter, r *http.Request) {
-	k := s.eng.K()
+func (s *server) handleQuality(w http.ResponseWriter, r *http.Request, t *tenant) {
+	k := t.eng.K()
 	if q := r.URL.Query().Get("k"); q != "" {
 		v, err := strconv.Atoi(q)
 		if err != nil || v < 1 {
@@ -293,7 +476,7 @@ func (s *server) handleQuality(w http.ResponseWriter, r *http.Request) {
 		}
 		k = v
 	}
-	quality, version, err := s.eng.QualityAtVersion(r.Context(), k)
+	quality, version, err := t.eng.QualityAtVersion(r.Context(), k)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -352,7 +535,7 @@ func wireToPlan(m map[string]int) (topkclean.CleaningPlan, error) {
 	return p, nil
 }
 
-func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
+func (s *server) handlePlan(w http.ResponseWriter, r *http.Request, t *tenant) {
 	var req planRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -361,12 +544,12 @@ func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	if req.Planner == "" {
 		req.Planner = "greedy"
 	}
-	spec, err := buildSpec(s.eng.DB().Snapshot().NumGroups(), req.Spec)
+	spec, err := buildSpec(t.eng.DB().Snapshot().NumGroups(), req.Spec)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	plan, cctx, err := s.eng.PlanCleaning(r.Context(), req.Planner, spec, req.Budget)
+	plan, cctx, err := t.eng.PlanCleaning(r.Context(), req.Planner, spec, req.Budget)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -382,7 +565,7 @@ func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *server) handleApply(w http.ResponseWriter, r *http.Request) {
+func (s *server) handleApply(w http.ResponseWriter, r *http.Request, t *tenant) {
 	var req applyRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -391,7 +574,7 @@ func (s *server) handleApply(w http.ResponseWriter, r *http.Request) {
 	if req.Planner == "" {
 		req.Planner = "greedy"
 	}
-	spec, err := buildSpec(s.eng.DB().Snapshot().NumGroups(), req.Spec)
+	spec, err := buildSpec(t.eng.DB().Snapshot().NumGroups(), req.Spec)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -403,9 +586,9 @@ func (s *server) handleApply(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		cctx, err = s.eng.CleaningContext(r.Context(), spec, req.Budget)
+		cctx, err = t.eng.CleaningContext(r.Context(), spec, req.Budget)
 	} else {
-		plan, cctx, err = s.eng.PlanCleaning(r.Context(), req.Planner, spec, req.Budget)
+		plan, cctx, err = t.eng.PlanCleaning(r.Context(), req.Planner, spec, req.Budget)
 	}
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -420,10 +603,28 @@ func (s *server) handleApply(w http.ResponseWriter, r *http.Request) {
 	// makes a request reproducible.
 	seed := req.Seed
 	if seed == 0 {
-		seed = s.seed + 7919*s.applies.Add(1)
+		seed = s.cfg.seed + 7919*t.applies.Add(1)
 	}
 	oldQuality := cctx.Eval.S
-	out, err := s.eng.ApplyCleaning(r.Context(), cctx, plan, rand.New(rand.NewSource(seed)))
+	// The write mutex covers only the commit + its journal record, so the
+	// WAL stays in commit order without serializing the (possibly slow)
+	// planning above against other mutations. A commit that raced in
+	// between planning and here fails the staleness re-check inside
+	// ApplyCleaning with the same 409 it would have before the lock.
+	t.writeMu.Lock()
+	defer t.writeMu.Unlock()
+	out, err := t.eng.ApplyCleaning(r.Context(), cctx, plan, rand.New(rand.NewSource(seed)))
+	if t.sdb != nil && out != nil {
+		// The collapses are committed (even when err != nil: ApplyCleaning
+		// returns the outcome alongside a failed re-evaluation); journal
+		// them before answering anything, or the live database would be
+		// ahead of the WAL and the store would poison itself on the next
+		// write while the cleaning silently vanished on recovery.
+		if jerr := t.sdb.JournalCleaning(out.Choices); jerr != nil {
+			writeErr(w, http.StatusInternalServerError, jerr)
+			return
+		}
+	}
 	if err != nil {
 		status := http.StatusBadRequest
 		if errors.Is(err, topkclean.ErrStaleCleaningContext) {
@@ -456,7 +657,49 @@ func (s *server) handleApply(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *server) handleMutate(w http.ResponseWriter, r *http.Request) {
+// opSink is the mutation surface shared by *topkclean.Batch (ephemeral
+// tenants) and *store.Batch (durable tenants, which journal each
+// successful op), so one request decoder drives both.
+type opSink interface {
+	InsertXTuple(name string, tuples ...topkclean.Tuple) error
+	InsertAbsentXTuple(name string) error
+	DeleteXTuple(l int) error
+	Reweight(l int, probs []float64) error
+	Collapse(l, choice int) error
+}
+
+// applyReqOps applies a /mutate op list to a batch, returning how many ops
+// succeeded (all of them unless an error stopped the list).
+func applyReqOps(b opSink, ops []mutateOp) (applied int, err error) {
+	for i, op := range ops {
+		var err error
+		switch op.Op {
+		case "insert":
+			ts := make([]topkclean.Tuple, len(op.Tuples))
+			for j, tj := range op.Tuples {
+				ts[j] = topkclean.Tuple{ID: tj.ID, Attrs: tj.Attrs, Prob: tj.Prob}
+			}
+			err = b.InsertXTuple(op.Name, ts...)
+		case "insert_absent":
+			err = b.InsertAbsentXTuple(op.Name)
+		case "delete":
+			err = b.DeleteXTuple(op.Group)
+		case "reweight":
+			err = b.Reweight(op.Group, op.Probs)
+		case "collapse":
+			err = b.Collapse(op.Group, op.Choice)
+		default:
+			err = fmt.Errorf("unknown op %q", op.Op)
+		}
+		if err != nil {
+			return applied, fmt.Errorf("op %d (%s): %w", i, op.Op, err)
+		}
+		applied++
+	}
+	return applied, nil
+}
+
+func (s *server) handleMutate(w http.ResponseWriter, r *http.Request, t *tenant) {
 	var req mutateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -466,54 +709,38 @@ func (s *server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("mutate: no ops"))
 		return
 	}
-	db := s.eng.DB()
 	// One batch per request: the whole op list commits as a single epoch,
 	// so queries see none or all of it. There is no rollback across ops —
-	// on error, ops before the failing one stay applied (and committed);
-	// the response reports the error together with ops_applied and the
-	// resulting version, so clients can tell a partial commit from
-	// nothing-applied. All response fields are captured inside the batch
-	// (under the writer lock), so a racing writer's commit can never be
-	// mislabeled as this request's result.
-	var applied, xtuples, tuples int
-	var base uint64
-	err := db.Batch(func(b *topkclean.Batch) error {
-		base = db.Version()
-		defer func() { xtuples, tuples = db.NumGroups(), db.NumTuples() }()
-		for i, op := range req.Ops {
-			var err error
-			switch op.Op {
-			case "insert":
-				ts := make([]topkclean.Tuple, len(op.Tuples))
-				for j, tj := range op.Tuples {
-					ts[j] = topkclean.Tuple{ID: tj.ID, Attrs: tj.Attrs, Prob: tj.Prob}
-				}
-				err = b.InsertXTuple(op.Name, ts...)
-			case "insert_absent":
-				err = b.InsertAbsentXTuple(op.Name)
-			case "delete":
-				err = b.DeleteXTuple(op.Group)
-			case "reweight":
-				err = b.Reweight(op.Group, op.Probs)
-			case "collapse":
-				err = b.Collapse(op.Group, op.Choice)
-			default:
-				err = fmt.Errorf("unknown op %q", op.Op)
-			}
-			if err != nil {
-				return fmt.Errorf("op %d (%s): %w", i, op.Op, err)
-			}
-			applied++
-		}
-		return nil
-	})
+	// on error, ops before the failing one stay applied (and committed,
+	// and journaled on durable tenants); the response reports the error
+	// together with ops_applied and the resulting version, so clients can
+	// tell a partial commit from nothing-applied. Mutating endpoints
+	// serialize on the tenant's write mutex (queries never do), so the
+	// sizes and versions read below cannot be another writer's.
+	t.writeMu.Lock()
+	defer t.writeMu.Unlock()
+	db := t.eng.DB()
+	base := db.Version()
+	var applied int
+	var err error
+	if t.sdb != nil {
+		err = t.sdb.Batch(func(b *store.Batch) error {
+			applied, err = applyReqOps(b, req.Ops)
+			return err
+		})
+	} else {
+		err = db.Batch(func(b *topkclean.Batch) error {
+			applied, err = applyReqOps(b, req.Ops)
+			return err
+		})
+	}
 	version := base
 	if applied > 0 {
 		version++ // the batch committed exactly one epoch
 	}
 	if err != nil {
 		status := http.StatusBadRequest
-		if errors.Is(err, uncertain.ErrFrozenSnapshot) {
+		if errors.Is(err, uncertain.ErrFrozenSnapshot) || errors.Is(err, store.ErrPoisoned) {
 			status = http.StatusInternalServerError
 		}
 		writeJSON(w, status, map[string]any{
@@ -524,8 +751,9 @@ func (s *server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, mutateResponse{
-		Version: version,
-		XTuples: xtuples,
-		Tuples:  tuples,
+		Version:    version,
+		OpsApplied: applied,
+		XTuples:    db.NumGroups(),
+		Tuples:     db.NumTuples(),
 	})
 }

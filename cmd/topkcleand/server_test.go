@@ -9,24 +9,43 @@ import (
 	"sync"
 	"testing"
 
-	topkclean "github.com/probdb/topkclean"
 	"github.com/probdb/topkclean/internal/gen"
 )
 
-// testServer builds a daemon over a small synthetic workload.
+// testServer builds an ephemeral daemon over a small synthetic workload,
+// registered as the default database.
 func testServer(t testing.TB, xtuples, k int) (*httptest.Server, *server) {
+	return testServerStore(t, xtuples, k, "")
+}
+
+// testServerStore is testServer with a persistence root ("" = ephemeral):
+// the default database is recovered from the store when present there,
+// created and persisted otherwise — the daemon's startup path in miniature.
+func testServerStore(t testing.TB, xtuples, k int, storeRoot string) (*httptest.Server, *server) {
 	t.Helper()
-	db, err := gen.SyntheticSized(xtuples, 7)
-	if err != nil {
-		t.Fatal(err)
+	s := newServer(serverConfig{
+		k: k, threshold: 0.1, seed: 42, synthetic: xtuples,
+		storeRoot: storeRoot, fsync: true, checkpointEvery: 256,
+	})
+	if storeRoot != "" {
+		if err := s.recoverTenants(t.Logf); err != nil {
+			t.Fatal(err)
+		}
 	}
-	eng, err := topkclean.New(db, topkclean.WithK(k), topkclean.WithPTKThreshold(0.1))
-	if err != nil {
-		t.Fatal(err)
+	if _, err := s.tenant(defaultDB); err != nil {
+		db, err := gen.SyntheticSized(xtuples, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.addTenant(defaultDB, db, tenantConfig{}); err != nil {
+			t.Fatal(err)
+		}
 	}
-	s := newServer(eng, 42)
 	ts := httptest.NewServer(s)
-	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ts.Close()
+		s.closeStores(t.Logf)
+	})
 	return ts, s
 }
 

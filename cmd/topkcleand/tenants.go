@@ -1,0 +1,309 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	topkclean "github.com/probdb/topkclean"
+	"github.com/probdb/topkclean/internal/store"
+)
+
+// A tenant is one named database with everything serving it: the engine
+// (queries, planning), the optional persistence handle (nil = ephemeral),
+// the per-tenant query coalescer, and the write mutex that keeps WAL
+// order equal to commit order across /mutate and /apply.
+type tenant struct {
+	name    string
+	eng     *topkclean.Engine
+	sdb     *store.DB // nil when the daemon runs without -store
+	coal    coalescer
+	applies atomic.Int64 // per-apply rng decorrelation counter
+	writeMu sync.Mutex   // serializes journaled writes; queries never take it
+	created time.Time
+}
+
+// durable reports whether the tenant survives restarts.
+func (t *tenant) durable() bool { return t.sdb != nil }
+
+// tenantConfig is the per-database serving configuration, persisted as
+// tenant.json next to the journal so a restart recovers not just the data
+// but the query shape (k, threshold) and the ranking function it was
+// being served with. Rank names a function ("first" | "sum"; empty means
+// "first") — it must match what the database was built with, and
+// recovery verifies the persisted rank order against it.
+type tenantConfig struct {
+	K         int     `json:"k"`
+	Threshold float64 `json:"threshold"`
+	Seed      int64   `json:"seed"`
+	Rank      string  `json:"rank,omitempty"`
+}
+
+// rankFunc resolves the persisted ranking-function name through the
+// library's shared registry (the same names the CLI's -rank flags use).
+func (c tenantConfig) rankFunc() (topkclean.RankFunc, error) {
+	rank, err := topkclean.RankByName(c.Rank)
+	if err != nil {
+		return nil, fmt.Errorf("tenant.json: %w", err)
+	}
+	return rank, nil
+}
+
+const tenantConfigName = "tenant.json"
+
+// defaultDB is the database the legacy single-database routes alias to.
+const defaultDB = "default"
+
+// tenantNameRE bounds database names to path-safe tokens: they become
+// directory names under -store, so no separators, no leading dot.
+var tenantNameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$`)
+
+var (
+	errTenantExists  = errors.New("database already exists")
+	errTenantMissing = errors.New("no such database")
+	errBadName       = errors.New("database names are 1-64 chars of [A-Za-z0-9_.-], not starting with a dot")
+)
+
+// tenant looks a tenant up by name.
+func (s *server) tenant(name string) (*tenant, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tenants[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", errTenantMissing, name)
+	}
+	return t, nil
+}
+
+// tenantList returns the tenants sorted by name.
+func (s *server) tenantList() []*tenant {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// addTenant registers a freshly built database under name, persisting it
+// first when the daemon has a store root. The database must be built; cfg
+// zero-values fall back to the daemon defaults. The registry lock is held
+// only to reserve the name and to install the finished tenant — the disk
+// work (full-database wire encode + fsyncs) runs outside it, so creating
+// a large database never stalls requests against existing tenants.
+func (s *server) addTenant(name string, db *topkclean.Database, cfg tenantConfig) (*tenant, error) {
+	if !tenantNameRE.MatchString(name) {
+		return nil, errBadName
+	}
+	if cfg.K <= 0 {
+		cfg.K = s.cfg.k
+	}
+	if cfg.Threshold == 0 {
+		cfg.Threshold = s.cfg.threshold
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = s.cfg.seed
+	}
+	s.mu.Lock()
+	if _, ok := s.tenants[name]; ok || s.creating[name] {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", errTenantExists, name)
+	}
+	s.creating[name] = true
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.creating, name)
+		s.mu.Unlock()
+	}()
+
+	var sdb *store.DB
+	if s.cfg.storeRoot != "" {
+		dir := filepath.Join(s.cfg.storeRoot, name)
+		backend, err := store.OpenDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		sdb, err = store.Create(backend, db, s.storeOptions()...)
+		if err != nil {
+			backend.Close()
+			return nil, err
+		}
+		if err := writeTenantConfig(dir, cfg); err != nil {
+			sdb.Close()
+			os.RemoveAll(dir) // leave no half-created store a retry would trip over
+			return nil, err
+		}
+	}
+	t, err := s.newTenant(name, db, sdb, cfg)
+	if err != nil {
+		if sdb != nil {
+			sdb.Close()
+			os.RemoveAll(filepath.Join(s.cfg.storeRoot, name))
+		}
+		return nil, err
+	}
+	s.mu.Lock()
+	s.tenants[name] = t
+	s.mu.Unlock()
+	return t, nil
+}
+
+// newTenant wires the engine and serving state for a database.
+func (s *server) newTenant(name string, db *topkclean.Database, sdb *store.DB, cfg tenantConfig) (*tenant, error) {
+	eng, err := topkclean.New(db,
+		topkclean.WithK(cfg.K),
+		topkclean.WithPTKThreshold(cfg.Threshold),
+		topkclean.WithSeed(cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	t := &tenant{name: name, eng: eng, sdb: sdb, created: time.Now()}
+	t.coal.inflight = make(map[coalKey]*coalCall)
+	return t, nil
+}
+
+// recoverTenants opens every database persisted under the store root —
+// the startup path after a restart or a crash. Directories that do not
+// hold a database (or fail to recover) are reported and skipped, so one
+// corrupt tenant cannot take the whole daemon down.
+func (s *server) recoverTenants(logf func(format string, args ...any)) error {
+	entries, err := os.ReadDir(s.cfg.storeRoot)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return os.MkdirAll(s.cfg.storeRoot, 0o755)
+		}
+		return err
+	}
+	for _, e := range entries {
+		if !e.IsDir() || !tenantNameRE.MatchString(e.Name()) {
+			continue
+		}
+		name := e.Name()
+		dir := filepath.Join(s.cfg.storeRoot, name)
+		cfg := readTenantConfig(dir, tenantConfig{K: s.cfg.k, Threshold: s.cfg.threshold, Seed: s.cfg.seed})
+		rank, err := cfg.rankFunc()
+		if err != nil {
+			logf("recover %s: %v (skipped)", name, err)
+			continue
+		}
+		backend, err := store.OpenDir(dir)
+		if err != nil {
+			logf("recover %s: %v (skipped)", name, err)
+			continue
+		}
+		sdb, err := store.Open(backend, rank, s.storeOptions()...)
+		if err != nil {
+			backend.Close()
+			logf("recover %s: %v (skipped)", name, err)
+			continue
+		}
+		t, err := s.newTenant(name, sdb.DB(), sdb, cfg)
+		if err != nil {
+			sdb.Close()
+			logf("recover %s: %v (skipped)", name, err)
+			continue
+		}
+		s.mu.Lock()
+		s.tenants[name] = t
+		s.mu.Unlock()
+		logf("recovered %s at version %d (%d x-tuples, k=%d threshold=%g)",
+			name, sdb.DB().Version(), sdb.DB().NumGroups(), cfg.K, cfg.Threshold)
+	}
+	return nil
+}
+
+// deleteTenant unregisters a database and, when durable, deletes its
+// persisted state. The default database is refused: the legacy
+// single-database routes alias to it. The name stays reserved (via
+// s.creating) until the directory removal finishes, so a concurrent
+// create of the same name cannot write a fresh journal into a directory
+// RemoveAll is still unlinking.
+func (s *server) deleteTenant(name string) error {
+	if name == defaultDB {
+		return fmt.Errorf("the %q database cannot be deleted (legacy routes alias to it)", defaultDB)
+	}
+	s.mu.Lock()
+	t, ok := s.tenants[name]
+	if ok {
+		delete(s.tenants, name)
+		s.creating[name] = true // reserve against concurrent re-creation
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", errTenantMissing, name)
+	}
+	defer func() {
+		s.mu.Lock()
+		delete(s.creating, name)
+		s.mu.Unlock()
+	}()
+	if t.sdb != nil {
+		t.writeMu.Lock()
+		defer t.writeMu.Unlock()
+		// The journal is about to be unlinked, so a failed final
+		// checkpoint inside Close is irrelevant — removal is the intent.
+		_ = t.sdb.Close()
+		if err := os.RemoveAll(filepath.Join(s.cfg.storeRoot, name)); err != nil {
+			// The tenant is gone from serving but its directory survived;
+			// it will resurrect on the next restart. Surface that.
+			return fmt.Errorf("unregistered, but deleting its storage failed (it will be recovered on restart): %w", err)
+		}
+	}
+	return nil
+}
+
+// closeStores flushes every durable tenant (final checkpoint + sync) —
+// the graceful-drain counterpart of recoverTenants.
+func (s *server) closeStores(logf func(format string, args ...any)) {
+	for _, t := range s.tenantList() {
+		if t.sdb == nil {
+			continue
+		}
+		t.writeMu.Lock()
+		if err := t.sdb.Close(); err != nil {
+			logf("flush %s: %v", t.name, err)
+		}
+		t.writeMu.Unlock()
+	}
+}
+
+func (s *server) storeOptions() []store.Option {
+	opts := []store.Option{store.WithCheckpointEvery(s.cfg.checkpointEvery)}
+	if !s.cfg.fsync {
+		opts = append(opts, store.WithNoFsync())
+	}
+	return opts
+}
+
+func writeTenantConfig(dir string, cfg tenantConfig) error {
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, tenantConfigName), data, 0o644)
+}
+
+func readTenantConfig(dir string, fallback tenantConfig) tenantConfig {
+	data, err := os.ReadFile(filepath.Join(dir, tenantConfigName))
+	if err != nil {
+		return fallback
+	}
+	cfg := fallback
+	if json.Unmarshal(data, &cfg) != nil {
+		return fallback
+	}
+	if cfg.K <= 0 {
+		cfg.K = fallback.K
+	}
+	return cfg
+}

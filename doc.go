@@ -102,10 +102,26 @@
 // several reads (mutating a snapshot fails with ErrFrozenSnapshot;
 // Clone branches a mutable copy off one).
 //
-// The cmd/topkcleand daemon serves this loop over HTTP — /topk, /quality,
-// /plan, /apply, and /mutate, with request coalescing and graceful
-// shutdown; see SERVING.md for the API reference, the consistency
-// guarantees, and operational notes.
+// # Durability: the store
+//
+// internal/store makes a database survive restarts: Create journals a
+// built database, every mutation through the store handle appends a
+// write-ahead-log record (fsynced before success by default), full
+// snapshots are checkpointed periodically from pinned epochs, and Open
+// recovers a bit-identical database — same rank order, same version
+// counter, same Float64bits of every answer — after any crash, with torn
+// journal tails discarded rather than half-applied. The byte-level
+// storage is a small pluggable Backend (file and in-memory backends
+// ship). See PERSISTENCE.md for the record format and the crash-recovery
+// contract, and DESIGN.md ("Storage") for the design rationale.
+//
+// The cmd/topkcleand daemon serves this loop over HTTP for a registry of
+// named databases — /dbs create/list/delete plus per-database
+// topk/quality/plan/apply/mutate/stats routes (the legacy single-database
+// routes alias the "default" database) — with request coalescing,
+// graceful shutdown, and, with -store, per-database durability and
+// recovery on startup; see SERVING.md for the route table, the API
+// reference, the consistency guarantees, and operational notes.
 //
 // # Planners as values
 //

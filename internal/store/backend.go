@@ -1,0 +1,80 @@
+// Package store is the persistence subsystem: it makes a versioned
+// uncertain database durable by journaling every commit — Build, single
+// mutations, batches, applied cleanings — as a write-ahead-log record
+// keyed by the version the commit produced, and by periodically
+// checkpointing a full snapshot of the database (encoded from a pinned
+// epoch, so checkpointing never blocks queries). Opening a store loads the
+// latest checkpoint and replays the WAL records after it, reconstructing a
+// database that is bit-identical to the one that was journaled: same rank
+// order, same version counter, same tie-break and identity counters, and
+// therefore identical answers — see PERSISTENCE.md for the format and the
+// crash-recovery contract.
+//
+// The byte-level storage is behind the small Backend interface; the
+// package ships a file backend (one directory per database) and an
+// in-memory backend (tests, ephemeral tenants that still want the
+// journaling semantics). A key-value backend can slot in by giving WAL
+// records sequence-numbered keys and the checkpoint a dedicated key.
+package store
+
+import "errors"
+
+// ErrNoDatabase is returned by Open when the backend holds no checkpoint
+// and no build record — nothing to recover.
+var ErrNoDatabase = errors.New("store: backend holds no database")
+
+// ErrExists is returned by Create when the backend already holds a
+// database.
+var ErrExists = errors.New("store: backend already holds a database")
+
+// ErrCorrupt wraps recovery failures: records out of version order, a
+// checkpoint that does not decode, a WAL that skips a version. A torn
+// final record is NOT corruption — it is the expected shape of a crash
+// mid-append, and recovery discards it silently.
+var ErrCorrupt = errors.New("store: corrupt journal")
+
+// ErrPoisoned wraps every journal write failure — the failing write
+// itself and every write after it: once a record could not be appended,
+// the in-memory database may be ahead of the journal, so continuing to
+// journal would persist a history with a gap. The store refuses further
+// writes; reads (DB) remain valid.
+var ErrPoisoned = errors.New("store: journal write failed; store is read-only")
+
+// Backend is the byte-level storage a store runs on: an append-only record
+// log (the WAL) plus one atomically replaceable checkpoint blob. Records
+// and checkpoints are opaque to the backend. Implementations must make
+// WriteCheckpoint atomic (a crash leaves either the old or the new
+// checkpoint, never a partial one) and AppendRecord ordered (records
+// replay in append order); they should tolerate a torn final record by
+// truncating it on open. A Backend is used by one store at a time; the
+// store serializes calls into it.
+type Backend interface {
+	// LoadCheckpoint returns the current checkpoint blob and the database
+	// version it was taken at, or ok=false when none has been written.
+	LoadCheckpoint() (data []byte, version uint64, ok bool, err error)
+
+	// WriteCheckpoint atomically replaces the checkpoint with data, taken
+	// at the given version, and discards WAL records made obsolete by it
+	// (those at or below version). After a crash anywhere inside
+	// WriteCheckpoint, recovery must still see a consistent (checkpoint,
+	// WAL-suffix) pair — implementations order the checkpoint replacement
+	// before the WAL trim, and the store skips already-checkpointed
+	// versions during replay, so a trim lost to a crash is harmless.
+	WriteCheckpoint(data []byte, version uint64) error
+
+	// AppendRecord appends one WAL record. Durability of the append is
+	// governed by Sync: a record is guaranteed crash-durable only after a
+	// successful Sync (implementations may sync eagerly and make Sync a
+	// no-op).
+	AppendRecord(rec []byte) error
+
+	// Sync makes every appended record durable.
+	Sync() error
+
+	// Records replays the WAL records that survive after the checkpoint
+	// trim, in append order. It is used during Open only.
+	Records(fn func(rec []byte) error) error
+
+	// Close releases the backend. The store syncs before closing.
+	Close() error
+}

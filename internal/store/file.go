@@ -1,0 +1,282 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// FileBackend stores one database in one directory:
+//
+//	<dir>/wal.log                the record log, length+CRC framed
+//	<dir>/checkpoint-<v>.ckpt    the checkpoint at version v (one frame)
+//	<dir>/checkpoint.tmp         scratch for atomic checkpoint replacement
+//
+// Records and checkpoints are framed as
+//
+//	[4-byte little-endian payload length][4-byte CRC-32 (IEEE) of payload][payload]
+//
+// so a crash mid-append leaves a tail that fails the length or CRC check;
+// OpenDir truncates such a tail before anything appends after it. The
+// checkpoint is replaced atomically: write to checkpoint.tmp, fsync,
+// rename over the versioned name, fsync the directory, then delete older
+// checkpoints and reset the WAL — a crash between the rename and the WAL
+// reset leaves already-checkpointed records in the log, which replay
+// skips by version. Unknown files in the directory are ignored (the
+// serving daemon keeps its tenant config alongside).
+type FileBackend struct {
+	dir string
+	wal *os.File
+}
+
+const (
+	walName    = "wal.log"
+	ckptPrefix = "checkpoint-"
+	ckptSuffix = ".ckpt"
+	ckptTmp    = "checkpoint.tmp"
+	frameHdr   = 8 // 4-byte length + 4-byte CRC
+)
+
+// OpenDir opens (creating if needed) a file backend on dir. A torn final
+// WAL record — the signature of a crash mid-append — is truncated away
+// here, so later appends never land after garbage. The WAL is guarded by
+// an exclusive advisory lock (where the platform supports flock): a store
+// directory has exactly one opener at a time, and a second process —
+// say, `topkclean query -store` against a directory a live daemon is
+// journaling to — fails fast here instead of truncating or checkpointing
+// the journal under the first. The lock dies with the process, so crash
+// recovery is unaffected.
+func OpenDir(dir string) (*FileBackend, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	wal, err := os.OpenFile(filepath.Join(dir, walName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	b := &FileBackend{dir: dir, wal: wal}
+	if err := b.lockWAL(); err != nil {
+		wal.Close()
+		return nil, err
+	}
+	if err := b.truncateTorn(); err != nil {
+		wal.Close()
+		return nil, err
+	}
+	return b, nil
+}
+
+// errLocked explains a lost lock race.
+func errLocked(dir string, err error) error {
+	return fmt.Errorf("store: %s is already open in another process (%v)", dir, err)
+}
+
+// truncateTorn scans the WAL for its valid prefix and truncates the rest.
+func (b *FileBackend) truncateTorn() error {
+	valid, _, err := scanFrames(b.wal, nil)
+	if err != nil {
+		return err
+	}
+	fi, err := b.wal.Stat()
+	if err != nil {
+		return err
+	}
+	if fi.Size() > valid {
+		if err := b.wal.Truncate(valid); err != nil {
+			return err
+		}
+	}
+	_, err = b.wal.Seek(valid, io.SeekStart)
+	return err
+}
+
+// scanFrames reads frames from the start of f, calling fn (if non-nil) on
+// each payload, and returns the byte length of the valid prefix. A short
+// or CRC-failing tail ends the scan without error — as does a length
+// field larger than the bytes actually remaining, so a corrupted header
+// is treated as a torn tail instead of driving a multi-GiB allocation.
+func scanFrames(f *os.File, fn func([]byte) error) (valid int64, n int, err error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, 0, err
+	}
+	fileSize := fi.Size()
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, 0, err
+	}
+	r := io.Reader(f)
+	var hdr [frameHdr]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return valid, n, nil // clean EOF or torn header: prefix ends here
+		}
+		size := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if int64(size) > fileSize-valid-frameHdr {
+			return valid, n, nil // length exceeds what is on disk: corrupt/torn header
+		}
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return valid, n, nil // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return valid, n, nil // corrupted tail
+		}
+		if fn != nil {
+			if err := fn(payload); err != nil {
+				return valid, n, err
+			}
+		}
+		valid += int64(frameHdr) + int64(size)
+		n++
+	}
+}
+
+func frame(payload []byte) []byte {
+	out := make([]byte, frameHdr+len(payload))
+	binary.LittleEndian.PutUint32(out[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[4:8], crc32.ChecksumIEEE(payload))
+	copy(out[frameHdr:], payload)
+	return out
+}
+
+// AppendRecord appends one framed record to the WAL. The write lands in
+// the OS page cache; Sync makes it crash-durable.
+func (b *FileBackend) AppendRecord(rec []byte) error {
+	_, err := b.wal.Write(frame(rec))
+	return err
+}
+
+// Sync fsyncs the WAL.
+func (b *FileBackend) Sync() error { return b.wal.Sync() }
+
+// Records replays the valid WAL prefix (OpenDir already truncated any torn
+// tail, but the scan is defensive regardless).
+func (b *FileBackend) Records(fn func(rec []byte) error) error {
+	defer b.wal.Seek(0, io.SeekEnd) //nolint:errcheck // append position restored below on the success path too
+	_, _, err := scanFrames(b.wal, fn)
+	return err
+}
+
+// checkpoints lists the versioned checkpoint files, ascending by version.
+func (b *FileBackend) checkpoints() ([]uint64, error) {
+	entries, err := os.ReadDir(b.dir)
+	if err != nil {
+		return nil, err
+	}
+	var versions []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, ckptPrefix) || !strings.HasSuffix(name, ckptSuffix) {
+			continue
+		}
+		v, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, ckptPrefix), ckptSuffix), 10, 64)
+		if err != nil {
+			continue // not ours
+		}
+		versions = append(versions, v)
+	}
+	sort.Slice(versions, func(i, j int) bool { return versions[i] < versions[j] })
+	return versions, nil
+}
+
+func (b *FileBackend) ckptPath(version uint64) string {
+	return filepath.Join(b.dir, fmt.Sprintf("%s%d%s", ckptPrefix, version, ckptSuffix))
+}
+
+// LoadCheckpoint reads the newest checkpoint file, verifying its frame.
+func (b *FileBackend) LoadCheckpoint() ([]byte, uint64, bool, error) {
+	versions, err := b.checkpoints()
+	if err != nil || len(versions) == 0 {
+		return nil, 0, false, err
+	}
+	version := versions[len(versions)-1]
+	raw, err := os.ReadFile(b.ckptPath(version))
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if len(raw) < frameHdr {
+		return nil, 0, false, fmt.Errorf("%w: checkpoint %d truncated", ErrCorrupt, version)
+	}
+	size := binary.LittleEndian.Uint32(raw[0:4])
+	sum := binary.LittleEndian.Uint32(raw[4:8])
+	if int(size) != len(raw)-frameHdr || crc32.ChecksumIEEE(raw[frameHdr:]) != sum {
+		return nil, 0, false, fmt.Errorf("%w: checkpoint %d fails its checksum", ErrCorrupt, version)
+	}
+	return raw[frameHdr:], version, true, nil
+}
+
+// WriteCheckpoint atomically replaces the checkpoint and resets the WAL.
+func (b *FileBackend) WriteCheckpoint(data []byte, version uint64) error {
+	tmp := filepath.Join(b.dir, ckptTmp)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(frame(data))
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return werr
+	}
+	if err := os.Rename(tmp, b.ckptPath(version)); err != nil {
+		return err
+	}
+	if err := syncDir(b.dir); err != nil {
+		return err
+	}
+	// The checkpoint is durable; everything below is cleanup that recovery
+	// tolerates losing to a crash.
+	if old, err := b.checkpoints(); err == nil {
+		for _, v := range old {
+			if v < version {
+				os.Remove(b.ckptPath(v))
+			}
+		}
+	}
+	if err := b.wal.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := b.wal.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	return b.wal.Sync()
+}
+
+// Close syncs and closes the WAL handle.
+func (b *FileBackend) Close() error {
+	if err := b.wal.Sync(); err != nil {
+		b.wal.Close()
+		return err
+	}
+	return b.wal.Close()
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	// Some filesystems refuse fsync on directories; the rename itself is
+	// still ordered on those, so don't fail the checkpoint over it.
+	if err != nil && (errors.Is(err, os.ErrInvalid) || errors.Is(err, os.ErrPermission)) {
+		return nil
+	}
+	return err
+}

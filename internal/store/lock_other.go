@@ -1,0 +1,7 @@
+//go:build !unix
+
+package store
+
+// lockWAL is a no-op where flock is unavailable; the single-opener
+// constraint (PERSISTENCE.md) is then the operator's to uphold.
+func (b *FileBackend) lockWAL() error { return nil }

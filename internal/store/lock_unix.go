@@ -1,0 +1,18 @@
+//go:build unix
+
+package store
+
+import "syscall"
+
+// lockWAL takes a non-blocking exclusive advisory lock on the WAL file,
+// so two processes cannot journal (or truncate, or checkpoint) one store
+// directory at once — the second opener fails fast instead of corrupting
+// the journal under the first. flock locks die with the process, so a
+// crash never leaves a stale lock behind (which is what makes this safe
+// to combine with crash recovery).
+func (b *FileBackend) lockWAL() error {
+	if err := syscall.Flock(int(b.wal.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		return errLocked(b.dir, err)
+	}
+	return nil
+}

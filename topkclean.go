@@ -1,6 +1,8 @@
 package topkclean
 
 import (
+	"fmt"
+
 	"github.com/probdb/topkclean/internal/quality"
 	"github.com/probdb/topkclean/internal/topkq"
 	"github.com/probdb/topkclean/internal/uncertain"
@@ -49,6 +51,23 @@ var (
 
 // WeightedSum returns a RankFunc scoring sum_i w_i * attr_i.
 func WeightedSum(weights ...float64) RankFunc { return uncertain.WeightedSum(weights...) }
+
+// RankByName resolves a named built-in ranking function: "first"
+// (ByFirstAttr; the empty name means the same) or "sum" (SumOfAttrs).
+// These names are a persistent contract — the CLI's -rank flags and the
+// serving daemon's tenant.json both store them, and a recovered database
+// must be reopened with the function it was built with — so both
+// binaries resolve through this one registry.
+func RankByName(name string) (RankFunc, error) {
+	switch name {
+	case "", "first":
+		return ByFirstAttr, nil
+	case "sum":
+		return SumOfAttrs, nil
+	default:
+		return nil, fmt.Errorf("topkclean: unknown rank function %q (want first|sum)", name)
+	}
+}
 
 // NewDatabase returns an empty database; add x-tuples with AddXTuple and
 // finalize with Build.
