@@ -80,6 +80,9 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		seed      = fs.Int64("seed", 42, "random seed (planners, simulated cleaning agent)")
 		drain     = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 		storeDir  = fs.String("store", "", "persistence root: one journaled directory per database; empty serves from memory only")
+		follower  = fs.String("follower", "", "follow a leader's -store root as a read-only replica (mutually exclusive with -store)")
+		backend   = fs.String("store-backend", "file", "registered store driver for -store/-follower ("+strings.Join(store.Drivers(), " | ")+")")
+		polly     = fs.Duration("replica-poll", 25*time.Millisecond, "journal poll interval in -follower mode")
 		fsync     = fs.Bool("fsync", true, "fsync the journal after every commit (with -store)")
 		ckptEvery = fs.Int("checkpoint-every", 256, "journal records between automatic checkpoints (with -store)")
 	)
@@ -87,49 +90,81 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		return err
 	}
 	logger := log.New(logw, "topkcleand: ", log.LstdFlags)
+	if *follower != "" && *storeDir != "" {
+		return fmt.Errorf("-follower and -store are mutually exclusive: a follower never writes the store it tails")
+	}
+	if _, ok := store.ByName(*backend); !ok {
+		return fmt.Errorf("unknown -store-backend %q (registered: %s)", *backend, strings.Join(store.Drivers(), ", "))
+	}
+	if *follower != "" && *backend != "file" {
+		return fmt.Errorf("-follower requires -store-backend file: following needs a store another process can share")
+	}
 
+	root := *storeDir
+	if *follower != "" {
+		root = *follower
+	}
 	srv := newServer(serverConfig{
 		k:               *k,
 		threshold:       *threshold,
 		seed:            *seed,
 		synthetic:       *synthetic,
-		storeRoot:       *storeDir,
+		storeRoot:       root,
+		storeBackend:    *backend,
 		fsync:           *fsync,
 		checkpointEvery: *ckptEvery,
+		follower:        *follower != "",
+		replicaPoll:     *polly,
 	})
-	if *storeDir != "" {
-		if err := srv.recoverTenants(logger.Printf); err != nil {
+	if *follower != "" {
+		// Follower startup: open every persisted database read-only, sync
+		// to the journal tail, start tailing. Nothing is created — the
+		// leader owns the data; this daemon only serves it.
+		if err := srv.recoverFollowers(logger.Printf); err != nil {
 			return err
 		}
-	}
-	if _, err := srv.tenant(defaultDB); err != nil {
-		db, source, err := loadDatabase(*data, *synthetic, *seed)
-		if err != nil {
-			return err
-		}
-		if _, err := srv.addTenant(defaultDB, db, tenantConfig{}); err != nil {
-			if errors.Is(err, store.ErrExists) {
-				// recoverTenants skipped it (and said why above): refuse to
-				// overwrite persisted data with a fresh database.
-				return fmt.Errorf("a %q database exists under -store but failed to recover (see log above): %w", defaultDB, err)
+	} else {
+		// The file backend persists across restarts; recover what it holds.
+		// (The mem backend is process-local: a fresh daemon has nothing to
+		// recover, so the scan would only misread unrelated directories.)
+		if *storeDir != "" && *backend == "file" {
+			if err := srv.recoverTenants(logger.Printf); err != nil {
+				return err
 			}
-			return err
 		}
-		logger.Printf("created %s database from %s (%d x-tuples, %d tuples)",
-			defaultDB, source, db.NumGroups(), db.NumTuples())
+		if _, err := srv.tenant(defaultDB); err != nil {
+			db, source, err := loadDatabase(*data, *synthetic, *seed)
+			if err != nil {
+				return err
+			}
+			if _, err := srv.addTenant(defaultDB, db, tenantConfig{}); err != nil {
+				if errors.Is(err, store.ErrExists) {
+					// recoverTenants skipped it (and said why above): refuse to
+					// overwrite persisted data with a fresh database.
+					return fmt.Errorf("a %q database exists under -store but failed to recover (see log above): %w", defaultDB, err)
+				}
+				return err
+			}
+			logger.Printf("created %s database from %s (%d x-tuples, %d tuples)",
+				defaultDB, source, db.NumGroups(), db.NumTuples())
+		}
 	}
 	// Warm the default database's memoized pass so the first request is
-	// not the slow one; other tenants warm on first query.
-	def, err := srv.tenant(defaultDB)
-	if err != nil {
-		return err
-	}
-	if _, err := def.eng.Answers(ctx); err != nil {
+	// not the slow one; other tenants warm on first query. A follower may
+	// legitimately have no default database — warm nothing then.
+	if def, err := srv.tenant(defaultDB); err == nil {
+		if _, err := def.engine().Answers(ctx); err != nil {
+			return err
+		}
+	} else if *follower == "" {
 		return err
 	}
 	durability := "ephemeral (no -store)"
-	if *storeDir != "" {
-		durability = fmt.Sprintf("durable under %s (fsync=%v, checkpoint-every=%d)", *storeDir, *fsync, *ckptEvery)
+	switch {
+	case *follower != "":
+		durability = fmt.Sprintf("read-only follower of %s (poll=%s)", *follower, *polly)
+	case *storeDir != "":
+		durability = fmt.Sprintf("durable under %s (backend=%s, fsync=%v, checkpoint-every=%d)", *storeDir, *backend, *fsync, *ckptEvery)
 	}
 	logger.Printf("serving %d database(s) at %s, default k=%d threshold=%g, %s",
 		len(srv.tenantList()), *addr, *k, *threshold, durability)

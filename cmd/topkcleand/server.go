@@ -37,18 +37,24 @@ type server struct {
 }
 
 // serverConfig carries the daemon flags the serving layer needs: defaults
-// for new tenants and the persistence policy.
+// for new tenants, the persistence policy, and the serving role.
 type serverConfig struct {
 	k               int
 	threshold       float64
 	seed            int64
 	synthetic       int    // default size for /dbs creations without data
 	storeRoot       string // "" = everything is ephemeral
+	storeBackend    string // registered store driver ("file" | "mem")
 	fsync           bool
 	checkpointEvery int
+	follower        bool          // serve replicated epochs; refuse writes
+	replicaPoll     time.Duration // follower journal poll interval
 }
 
 func newServer(cfg serverConfig) *server {
+	if cfg.storeBackend == "" {
+		cfg.storeBackend = "file"
+	}
 	s := &server{cfg: cfg, tenants: make(map[string]*tenant), creating: make(map[string]bool), started: time.Now()}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -59,23 +65,28 @@ func newServer(cfg serverConfig) *server {
 	// serve the default database.
 	for _, route := range []struct {
 		method, path string
+		write        bool // mutates the database: leader-only
 		h            func(http.ResponseWriter, *http.Request, *tenant)
 	}{
-		{"GET", "stats", s.handleStats},
-		{"GET", "topk", s.handleTopK},
-		{"GET", "quality", s.handleQuality},
-		{"POST", "plan", s.handlePlan},
-		{"POST", "apply", s.handleApply},
-		{"POST", "mutate", s.handleMutate},
+		{"GET", "stats", false, s.handleStats},
+		{"GET", "topk", false, s.handleTopK},
+		{"GET", "quality", false, s.handleQuality},
+		{"POST", "plan", false, s.handlePlan}, // planning only reads; executing the plan is /apply
+		{"POST", "apply", true, s.handleApply},
+		{"POST", "mutate", true, s.handleMutate},
 	} {
 		route := route
+		h := route.h
+		if route.write {
+			h = s.leaderOnly(route.h)
+		}
 		s.mux.HandleFunc(route.method+" /dbs/{name}/"+route.path, func(w http.ResponseWriter, r *http.Request) {
 			t, err := s.tenant(r.PathValue("name"))
 			if err != nil {
 				writeErr(w, http.StatusNotFound, err)
 				return
 			}
-			route.h(w, r, t)
+			h(w, r, t)
 		})
 		s.mux.HandleFunc(route.method+" /"+route.path, func(w http.ResponseWriter, r *http.Request) {
 			t, err := s.tenant(defaultDB)
@@ -83,10 +94,33 @@ func newServer(cfg serverConfig) *server {
 				writeErr(w, http.StatusNotFound, err)
 				return
 			}
-			route.h(w, r, t)
+			h(w, r, t)
 		})
 	}
 	return s
+}
+
+// leaderOnly guards a write route: on a follower it answers 403 with the
+// role error body instead of invoking the handler. Followers replicate the
+// leader's journal; accepting a local write would fork the history.
+func (s *server) leaderOnly(h func(http.ResponseWriter, *http.Request, *tenant)) func(http.ResponseWriter, *http.Request, *tenant) {
+	if !s.cfg.follower {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request, _ *tenant) {
+		s.writeRoleErr(w)
+	}
+}
+
+// writeRoleErr is the follower's answer to any write: the body names this
+// daemon's role and the role the request needs, so clients (and proxies)
+// can re-route to the leader.
+func (s *server) writeRoleErr(w http.ResponseWriter) {
+	writeJSON(w, http.StatusForbidden, map[string]string{
+		"error":         "this daemon is a read-only follower; send writes to the leader",
+		"role":          "follower",
+		"required_role": "leader",
+	})
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -234,19 +268,31 @@ type mutateResponse struct {
 }
 
 type statsResponse struct {
-	Name          string  `json:"name"`
-	Version       uint64  `json:"version"`
-	XTuples       int     `json:"xtuples"`
-	Tuples        int     `json:"tuples"`
-	RealTuples    int     `json:"real_tuples"`
-	K             int     `json:"k"`
-	Threshold     float64 `json:"threshold"`
-	Durable       bool    `json:"durable"`
-	WALRecords    int     `json:"wal_records_since_checkpoint"`
-	CheckpointVer uint64  `json:"checkpoint_version"`
-	Coalesced     int64   `json:"coalesced_queries"`
-	DBs           int     `json:"dbs"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
+	Name          string           `json:"name"`
+	Role          string           `json:"role"` // leader | follower
+	Version       uint64           `json:"version"`
+	XTuples       int              `json:"xtuples"`
+	Tuples        int              `json:"tuples"`
+	RealTuples    int              `json:"real_tuples"`
+	K             int              `json:"k"`
+	Threshold     float64          `json:"threshold"`
+	Durable       bool             `json:"durable"`
+	WALRecords    int              `json:"wal_records_since_checkpoint"`
+	CheckpointVer uint64           `json:"checkpoint_version"`
+	Coalesced     int64            `json:"coalesced_queries"`
+	DBs           int              `json:"dbs"`
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Replication   *replicationJSON `json:"replication,omitempty"` // followers only
+}
+
+// replicationJSON is the follower's lag block in /stats.
+type replicationJSON struct {
+	AppliedVersion uint64 `json:"applied_version"`
+	VersionsBehind uint64 `json:"versions_behind"`
+	BytesBehind    int64  `json:"bytes_behind"`
+	Ready          bool   `json:"ready"`
+	Resyncs        uint64 `json:"resyncs"`
+	LastError      string `json:"last_error,omitempty"`
 }
 
 type dbInfoJSON struct {
@@ -288,18 +334,37 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	if !s.cfg.follower {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "role": "leader"})
+		return
+	}
+	// A follower is healthy once every replica has caught up to its
+	// journal tail at least once — before that, answers would reflect an
+	// arbitrarily old prefix of the leader's history.
+	ready := true
+	for _, t := range s.tenantList() {
+		if t.rep != nil && !t.rep.Ready() {
+			ready = false
+			break
+		}
+	}
+	status, code := "ok", http.StatusOK
+	if !ready {
+		status, code = "starting", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{"status": status, "role": "follower", "ready": ready})
 }
 
 func (t *tenant) info() dbInfoJSON {
-	snap := t.eng.DB().Snapshot()
+	eng := t.engine()
+	snap := eng.DB().Snapshot()
 	return dbInfoJSON{
 		Name:      t.name,
 		Version:   snap.Version(),
 		XTuples:   snap.NumGroups(),
 		Tuples:    snap.NumTuples(),
-		K:         t.eng.K(),
-		Threshold: t.eng.Threshold(),
+		K:         eng.K(),
+		Threshold: eng.Threshold(),
 		Durable:   t.durable(),
 	}
 }
@@ -314,6 +379,10 @@ func (s *server) handleListDBs(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleCreateDB(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.follower {
+		s.writeRoleErr(w)
+		return
+	}
 	var req createRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -377,6 +446,10 @@ func (s *server) buildDatabase(req createRequest) (*topkclean.Database, error) {
 }
 
 func (s *server) handleDeleteDB(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.follower {
+		s.writeRoleErr(w)
+		return
+	}
 	name := r.PathValue("name")
 	if err := s.deleteTenant(name); err != nil {
 		status := http.StatusBadRequest
@@ -390,21 +463,41 @@ func (s *server) handleDeleteDB(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request, t *tenant) {
-	snap := t.eng.DB().Snapshot()
+	eng := t.engine()
+	snap := eng.DB().Snapshot()
+	role := "leader"
+	if s.cfg.follower {
+		role = "follower"
+	}
 	resp := statsResponse{
 		Name:          t.name,
+		Role:          role,
 		Version:       snap.Version(),
 		XTuples:       snap.NumGroups(),
 		Tuples:        snap.NumTuples(),
 		RealTuples:    snap.NumRealTuples(),
-		K:             t.eng.K(),
-		Threshold:     t.eng.Threshold(),
+		K:             eng.K(),
+		Threshold:     eng.Threshold(),
 		Durable:       t.durable(),
 		Coalesced:     t.coal.coalesced.Load(),
 		UptimeSeconds: time.Since(s.started).Seconds(),
 	}
 	if t.sdb != nil {
 		resp.WALRecords, resp.CheckpointVer = t.sdb.SinceCheckpoint()
+	}
+	if t.rep != nil {
+		lag := t.rep.Lag()
+		rj := &replicationJSON{
+			AppliedVersion: t.rep.Version(),
+			VersionsBehind: lag.Versions,
+			BytesBehind:    lag.Bytes,
+			Ready:          t.rep.Ready(),
+			Resyncs:        t.rep.Resyncs(),
+		}
+		if err := t.rep.Err(); err != nil {
+			rj.LastError = err.Error()
+		}
+		resp.Replication = rj
 	}
 	s.mu.RLock()
 	resp.DBs = len(s.tenants)
@@ -413,7 +506,8 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request, t *tenant) 
 }
 
 func (s *server) handleTopK(w http.ResponseWriter, r *http.Request, t *tenant) {
-	threshold := t.eng.Threshold()
+	eng := t.engine()
+	threshold := eng.Threshold()
 	if q := r.URL.Query().Get("threshold"); q != "" {
 		v, err := strconv.ParseFloat(q, 64)
 		// Reject non-finite values outright: beyond being meaningless as
@@ -429,12 +523,12 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request, t *tenant) {
 	// requests share one engine call and one JSON encoding. If a commit
 	// lands between keying and answering, the shared answer is simply the
 	// newer version's (reported in its body) — still one consistent epoch.
-	key := coalKey{version: t.eng.DB().Snapshot().Version(), threshold: threshold}
+	key := coalKey{version: eng.DB().Snapshot().Version(), threshold: threshold}
 	body, err := t.coal.do(key, func() ([]byte, error) {
 		// Compute detached from the leader's request context: followers
 		// with live connections share this result, and the leader's client
 		// hanging up must not fail them all with its cancellation.
-		res, err := t.eng.AnswersThreshold(context.WithoutCancel(r.Context()), threshold)
+		res, err := eng.AnswersThreshold(context.WithoutCancel(r.Context()), threshold)
 		if err != nil {
 			return nil, err
 		}
@@ -467,7 +561,8 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request, t *tenant) {
 }
 
 func (s *server) handleQuality(w http.ResponseWriter, r *http.Request, t *tenant) {
-	k := t.eng.K()
+	eng := t.engine()
+	k := eng.K()
 	if q := r.URL.Query().Get("k"); q != "" {
 		v, err := strconv.Atoi(q)
 		if err != nil || v < 1 {
@@ -476,7 +571,7 @@ func (s *server) handleQuality(w http.ResponseWriter, r *http.Request, t *tenant
 		}
 		k = v
 	}
-	quality, version, err := t.eng.QualityAtVersion(r.Context(), k)
+	quality, version, err := eng.QualityAtVersion(r.Context(), k)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -544,12 +639,13 @@ func (s *server) handlePlan(w http.ResponseWriter, r *http.Request, t *tenant) {
 	if req.Planner == "" {
 		req.Planner = "greedy"
 	}
-	spec, err := buildSpec(t.eng.DB().Snapshot().NumGroups(), req.Spec)
+	eng := t.engine()
+	spec, err := buildSpec(eng.DB().Snapshot().NumGroups(), req.Spec)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	plan, cctx, err := t.eng.PlanCleaning(r.Context(), req.Planner, spec, req.Budget)
+	plan, cctx, err := eng.PlanCleaning(r.Context(), req.Planner, spec, req.Budget)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return

@@ -13,25 +13,60 @@ import (
 	"time"
 
 	topkclean "github.com/probdb/topkclean"
+	"github.com/probdb/topkclean/internal/replica"
 	"github.com/probdb/topkclean/internal/store"
 )
 
 // A tenant is one named database with everything serving it: the engine
 // (queries, planning), the optional persistence handle (nil = ephemeral),
-// the per-tenant query coalescer, and the write mutex that keeps WAL
-// order equal to commit order across /mutate and /apply.
+// the replica handle on follower daemons, the per-tenant query coalescer,
+// and the write mutex that keeps WAL order equal to commit order across
+// /mutate and /apply.
 type tenant struct {
 	name    string
 	eng     *topkclean.Engine
-	sdb     *store.DB // nil when the daemon runs without -store
+	sdb     *store.DB        // nil when the daemon runs without -store
+	rep     *replica.Replica // non-nil on follower daemons
+	cfg     tenantConfig
 	coal    coalescer
 	applies atomic.Int64 // per-apply rng decorrelation counter
 	writeMu sync.Mutex   // serializes journaled writes; queries never take it
+	engMu   sync.Mutex   // follower only: guards the engine rebuild below
+	engGen  uint64       // replica generation the current engine was built on
 	created time.Time
 }
 
-// durable reports whether the tenant survives restarts.
-func (t *tenant) durable() bool { return t.sdb != nil }
+// durable reports whether the tenant survives restarts (its own journal,
+// or — on a follower — the leader's).
+func (t *tenant) durable() bool { return t.sdb != nil || t.rep != nil }
+
+// engine returns the engine to serve queries from. On a leader it is the
+// tenant's engine, fixed for the tenant's lifetime. On a follower the
+// replica's incremental tailing keeps the same database (and the engine's
+// snapshot-keyed memoization stays warm across replicated commits), but a
+// resync — the leader checkpointed past this follower — replaces the
+// database wholesale; the engine is then rebuilt over the new one, keyed
+// by the replica's generation. A rebuild failure keeps serving the
+// previous engine (bounded staleness beats an outage) and retries on the
+// next request.
+func (t *tenant) engine() *topkclean.Engine {
+	if t.rep == nil {
+		return t.eng
+	}
+	t.engMu.Lock()
+	defer t.engMu.Unlock()
+	if gen := t.rep.Generation(); gen != t.engGen {
+		eng, err := topkclean.New(t.rep.DB(),
+			topkclean.WithK(t.cfg.K),
+			topkclean.WithPTKThreshold(t.cfg.Threshold),
+			topkclean.WithSeed(t.cfg.Seed))
+		if err == nil {
+			t.eng = eng
+			t.engGen = gen
+		}
+	}
+	return t.eng
+}
 
 // tenantConfig is the per-database serving configuration, persisted as
 // tenant.json next to the journal so a restart recovers not just the data
@@ -128,27 +163,33 @@ func (s *server) addTenant(name string, db *topkclean.Database, cfg tenantConfig
 
 	var sdb *store.DB
 	if s.cfg.storeRoot != "" {
-		dir := filepath.Join(s.cfg.storeRoot, name)
-		backend, err := store.OpenDir(dir)
+		dir := s.tenantPath(name)
+		backend, err := store.OpenBackend(s.cfg.storeBackend, dir)
 		if err != nil {
 			return nil, err
 		}
 		sdb, err = store.Create(backend, db, s.storeOptions()...)
 		if err != nil {
 			backend.Close()
+			s.dropTenantStorage(name)
 			return nil, err
 		}
-		if err := writeTenantConfig(dir, cfg); err != nil {
-			sdb.Close()
-			os.RemoveAll(dir) // leave no half-created store a retry would trip over
-			return nil, err
+		// tenant.json lives next to the journal; only the file backend has
+		// a directory to keep it in (mem tenants die with the process, so
+		// there is nothing to recover a config for).
+		if s.cfg.storeBackend == "file" {
+			if err := writeTenantConfig(dir, cfg); err != nil {
+				sdb.Close()
+				s.dropTenantStorage(name) // leave no half-created store a retry would trip over
+				return nil, err
+			}
 		}
 	}
-	t, err := s.newTenant(name, db, sdb, cfg)
+	t, err := s.newTenant(name, db, sdb, nil, cfg)
 	if err != nil {
 		if sdb != nil {
 			sdb.Close()
-			os.RemoveAll(filepath.Join(s.cfg.storeRoot, name))
+			s.dropTenantStorage(name)
 		}
 		return nil, err
 	}
@@ -158,8 +199,25 @@ func (s *server) addTenant(name string, db *topkclean.Database, cfg tenantConfig
 	return t, nil
 }
 
+// tenantPath is where a tenant's journal lives: a directory for the file
+// backend, an opaque process-local key for mem.
+func (s *server) tenantPath(name string) string {
+	return filepath.Join(s.cfg.storeRoot, name)
+}
+
+// dropTenantStorage removes whatever the tenant's backend keeps at its
+// path — the cleanup half of create failures and deletions.
+func (s *server) dropTenantStorage(name string) {
+	switch s.cfg.storeBackend {
+	case "file":
+		os.RemoveAll(s.tenantPath(name))
+	case "mem":
+		store.DropMem(s.tenantPath(name))
+	}
+}
+
 // newTenant wires the engine and serving state for a database.
-func (s *server) newTenant(name string, db *topkclean.Database, sdb *store.DB, cfg tenantConfig) (*tenant, error) {
+func (s *server) newTenant(name string, db *topkclean.Database, sdb *store.DB, rep *replica.Replica, cfg tenantConfig) (*tenant, error) {
 	eng, err := topkclean.New(db,
 		topkclean.WithK(cfg.K),
 		topkclean.WithPTKThreshold(cfg.Threshold),
@@ -167,7 +225,7 @@ func (s *server) newTenant(name string, db *topkclean.Database, sdb *store.DB, c
 	if err != nil {
 		return nil, err
 	}
-	t := &tenant{name: name, eng: eng, sdb: sdb, created: time.Now()}
+	t := &tenant{name: name, eng: eng, sdb: sdb, rep: rep, cfg: cfg, created: time.Now()}
 	t.coal.inflight = make(map[coalKey]*coalCall)
 	return t, nil
 }
@@ -196,7 +254,7 @@ func (s *server) recoverTenants(logf func(format string, args ...any)) error {
 			logf("recover %s: %v (skipped)", name, err)
 			continue
 		}
-		backend, err := store.OpenDir(dir)
+		backend, err := store.OpenBackend(s.cfg.storeBackend, dir)
 		if err != nil {
 			logf("recover %s: %v (skipped)", name, err)
 			continue
@@ -207,7 +265,7 @@ func (s *server) recoverTenants(logf func(format string, args ...any)) error {
 			logf("recover %s: %v (skipped)", name, err)
 			continue
 		}
-		t, err := s.newTenant(name, sdb.DB(), sdb, cfg)
+		t, err := s.newTenant(name, sdb.DB(), sdb, nil, cfg)
 		if err != nil {
 			sdb.Close()
 			logf("recover %s: %v (skipped)", name, err)
@@ -222,18 +280,76 @@ func (s *server) recoverTenants(logf func(format string, args ...any)) error {
 	return nil
 }
 
+// recoverFollowers is the follower-mode startup path: it opens every
+// database under the store root read-only, syncs each replica to the
+// journal tail, and starts the tailing loops. Unlike recoverTenants it
+// creates nothing and repairs nothing — a follower serves exactly what the
+// leader persisted, so an empty root is an error, not an invitation.
+func (s *server) recoverFollowers(logf func(format string, args ...any)) error {
+	entries, err := os.ReadDir(s.cfg.storeRoot)
+	if err != nil {
+		return fmt.Errorf("follower: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() || !tenantNameRE.MatchString(e.Name()) {
+			continue
+		}
+		name := e.Name()
+		dir := filepath.Join(s.cfg.storeRoot, name)
+		cfg := readTenantConfig(dir, tenantConfig{K: s.cfg.k, Threshold: s.cfg.threshold, Seed: s.cfg.seed})
+		rank, err := cfg.rankFunc()
+		if err != nil {
+			logf("follow %s: %v (skipped)", name, err)
+			continue
+		}
+		backend, err := store.OpenBackendReadOnly(s.cfg.storeBackend, dir)
+		if err != nil {
+			logf("follow %s: %v (skipped)", name, err)
+			continue
+		}
+		rep, err := replica.Open(backend, rank, replica.WithPollInterval(s.cfg.replicaPoll))
+		if err != nil {
+			backend.Close()
+			logf("follow %s: %v (skipped)", name, err)
+			continue
+		}
+		t, err := s.newTenant(name, rep.DB(), nil, rep, cfg)
+		if err != nil {
+			rep.Close()
+			logf("follow %s: %v (skipped)", name, err)
+			continue
+		}
+		rep.Start()
+		s.mu.Lock()
+		s.tenants[name] = t
+		s.mu.Unlock()
+		logf("following %s at version %d (%d x-tuples, k=%d threshold=%g)",
+			name, rep.Version(), rep.DB().NumGroups(), cfg.K, cfg.Threshold)
+	}
+	if len(s.tenantList()) == 0 {
+		return fmt.Errorf("follower: %s holds no databases to follow (is it a leader's -store root?)", s.cfg.storeRoot)
+	}
+	return nil
+}
+
 // deleteTenant unregisters a database and, when durable, deletes its
 // persisted state. The default database is refused: the legacy
-// single-database routes alias to it. The name stays reserved (via
-// s.creating) until the directory removal finishes, so a concurrent
-// create of the same name cannot write a fresh journal into a directory
-// RemoveAll is still unlinking.
+// single-database routes alias to it. So is a database with followers
+// attached (file backend; flock-based, so best-effort and same-machine
+// only): unlinking a journal a replica is tailing would strand it. The
+// name stays reserved (via s.creating) until the directory removal
+// finishes, so a concurrent create of the same name cannot write a fresh
+// journal into a directory RemoveAll is still unlinking.
 func (s *server) deleteTenant(name string) error {
 	if name == defaultDB {
 		return fmt.Errorf("the %q database cannot be deleted (legacy routes alias to it)", defaultDB)
 	}
 	s.mu.Lock()
 	t, ok := s.tenants[name]
+	if ok && t.sdb != nil && s.cfg.storeBackend == "file" && store.ReadersAttached(s.tenantPath(name)) {
+		s.mu.Unlock()
+		return fmt.Errorf("database %q has followers attached; detach them before deleting", name)
+	}
 	if ok {
 		delete(s.tenants, name)
 		s.creating[name] = true // reserve against concurrent re-creation
@@ -258,14 +374,23 @@ func (s *server) deleteTenant(name string) error {
 			// it will resurrect on the next restart. Surface that.
 			return fmt.Errorf("unregistered, but deleting its storage failed (it will be recovered on restart): %w", err)
 		}
+		if s.cfg.storeBackend == "mem" {
+			s.dropTenantStorage(name)
+		}
 	}
 	return nil
 }
 
-// closeStores flushes every durable tenant (final checkpoint + sync) —
-// the graceful-drain counterpart of recoverTenants.
+// closeStores flushes every durable tenant (final checkpoint + sync) and
+// stops follower replicas — the graceful-drain counterpart of
+// recoverTenants/recoverFollowers.
 func (s *server) closeStores(logf func(format string, args ...any)) {
 	for _, t := range s.tenantList() {
+		if t.rep != nil {
+			if err := t.rep.Close(); err != nil {
+				logf("stop replica %s: %v", t.name, err)
+			}
+		}
 		if t.sdb == nil {
 			continue
 		}

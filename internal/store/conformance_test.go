@@ -1,0 +1,51 @@
+package store_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/probdb/topkclean/internal/store"
+	"github.com/probdb/topkclean/internal/store/storetest"
+)
+
+// TestBackendConformance runs the storetest suite against every registered
+// driver, so "file" and "mem" (and any driver registered by a test build)
+// are held to the same contract.
+func TestBackendConformance(t *testing.T) {
+	for _, name := range store.Drivers() {
+		t.Run(name, func(t *testing.T) {
+			storetest.RunBackend(t, func(t *testing.T) storetest.Fixture {
+				path := filepath.Join(t.TempDir(), "db")
+				fx := storetest.Fixture{
+					Open:         func() (store.Backend, error) { return store.OpenBackend(name, path) },
+					OpenReadOnly: func() (store.Backend, error) { return store.OpenBackendReadOnly(name, path) },
+				}
+				switch name {
+				case "file":
+					// Tear the last record at the byte level: chop a few
+					// bytes off the WAL, leaving an incomplete frame.
+					fx.Tear = func(tb testing.TB, _ store.Backend) {
+						wal := filepath.Join(path, "wal.log")
+						fi, err := os.Stat(wal)
+						if err != nil {
+							tb.Fatal(err)
+						}
+						if err := os.Truncate(wal, fi.Size()-5); err != nil {
+							tb.Fatal(err)
+						}
+					}
+				case "mem":
+					fx.Tear = func(tb testing.TB, b store.Backend) {
+						tearer, ok := b.(interface{ TearLast() })
+						if !ok {
+							tb.Fatalf("%T cannot simulate torn tails", b)
+						}
+						tearer.TearLast()
+					}
+				}
+				return fx
+			})
+		})
+	}
+}

@@ -2,6 +2,9 @@
 
 package store
 
-// lockWAL is a no-op where flock is unavailable; the single-opener
-// constraint (PERSISTENCE.md) is then the operator's to uphold.
-func (b *FileBackend) lockWAL() error { return nil }
+import "os"
+
+// flockFile is a no-op where flock is unavailable; the single-writer
+// constraint (PERSISTENCE.md) is then the operator's to uphold, and
+// ReadersAttached always reports false.
+func flockFile(f *os.File, exclusive bool) error { return nil }

@@ -1,0 +1,93 @@
+//go:build unix
+
+package store
+
+import (
+	"testing"
+)
+
+// The flock protocol after replication support: writers take an exclusive
+// lock on writer.lock, read-only openers a shared lock on reader.lock.
+// These are the regression tests for the three pairings the protocol must
+// get right — the old single-lock scheme got writer-vs-reader wrong (a
+// follower could not attach to a live leader at all).
+
+func TestLockWriterVsWriter(t *testing.T) {
+	dir := t.TempDir()
+	w1, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w1.Close()
+	if w2, err := OpenDir(dir); err == nil {
+		w2.Close()
+		t.Fatal("second writer opened the same directory")
+	}
+}
+
+func TestLockWriterVsReader(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	// Reader attaches to a live writer…
+	r, err := OpenDirReadOnly(dir)
+	if err != nil {
+		t.Fatalf("reader refused while writer attached: %v", err)
+	}
+	// …and a writer attaches (after the first releases) while a reader
+	// holds on: the reader lock never excludes the writer.
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w, err = OpenDir(dir)
+	if err != nil {
+		t.Fatalf("writer refused while reader attached: %v", err)
+	}
+	w.Close()
+	r.Close()
+}
+
+func TestLockReaderVsReader(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	r1, err := OpenDirReadOnly(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1.Close()
+	r2, err := OpenDirReadOnly(dir)
+	if err != nil {
+		t.Fatalf("second reader refused: %v", err)
+	}
+	r2.Close()
+}
+
+func TestReadersAttached(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if ReadersAttached(dir) {
+		t.Fatal("ReadersAttached true with no readers")
+	}
+	r, err := OpenDirReadOnly(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ReadersAttached(dir) {
+		t.Fatal("ReadersAttached false while a reader holds the directory")
+	}
+	r.Close()
+	if ReadersAttached(dir) {
+		t.Fatal("ReadersAttached true after the reader detached")
+	}
+}

@@ -2,17 +2,21 @@
 
 package store
 
-import "syscall"
+import (
+	"os"
+	"syscall"
+)
 
-// lockWAL takes a non-blocking exclusive advisory lock on the WAL file,
-// so two processes cannot journal (or truncate, or checkpoint) one store
-// directory at once — the second opener fails fast instead of corrupting
-// the journal under the first. flock locks die with the process, so a
-// crash never leaves a stale lock behind (which is what makes this safe
-// to combine with crash recovery).
-func (b *FileBackend) lockWAL() error {
-	if err := syscall.Flock(int(b.wal.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
-		return errLocked(b.dir, err)
+// flockFile takes a non-blocking advisory lock on f: exclusive for the
+// single writer, shared for read-only openers (any number of which coexist
+// with each other and with the writer, because writer and readers lock
+// different files — see lockDir). flock locks die with the process, so a
+// crash never leaves a stale lock behind, which is what makes locking safe
+// to combine with crash recovery.
+func flockFile(f *os.File, exclusive bool) error {
+	how := syscall.LOCK_SH
+	if exclusive {
+		how = syscall.LOCK_EX
 	}
-	return nil
+	return syscall.Flock(int(f.Fd()), how|syscall.LOCK_NB)
 }

@@ -1,16 +1,25 @@
 package store
 
+import "sync"
+
 // MemBackend keeps the journal in process memory: same record and
 // checkpoint semantics as the file backend, no durability. It exists for
 // tests (crash points can be simulated by copying its state at exact
-// record boundaries) and as the second Backend implementation that keeps
-// the interface honest for the KV backends to come.
+// record boundaries, torn tails by TearLast), as the "mem" registry driver
+// for ephemeral tenants that still want journaling semantics, and as the
+// second Backend implementation that keeps the interface honest for the KV
+// backends to come. All methods are safe for concurrent use, so a leader's
+// store and a tailing replica can share one MemBackend — the in-process
+// replication harness the replica tests run on.
 type MemBackend struct {
+	mu       sync.Mutex
 	ckpt     []byte
 	ckptVer  uint64
 	hasCkpt  bool
 	records  [][]byte
-	synced   int // records covered by the last Sync, observable in tests
+	partial  []byte // a torn in-progress record at the tail (TearLast)
+	gen      uint64 // journal generation; bumps when WriteCheckpoint trims
+	synced   int    // records covered by the last Sync, observable in tests
 	SyncFail error
 }
 
@@ -20,19 +29,58 @@ func Mem() *MemBackend { return &MemBackend{} }
 // Snapshot returns a deep copy of the backend's durable state — what a
 // crash at this instant would leave on disk if this were a file. Records
 // appended after the last Sync are included: MemBackend models an
-// eagerly-durable medium, torn-write simulation belongs to the file
-// backend tests.
+// eagerly-durable medium; torn-write simulation uses TearLast.
 func (b *MemBackend) Snapshot() *MemBackend {
-	out := &MemBackend{ckptVer: b.ckptVer, hasCkpt: b.hasCkpt, synced: b.synced}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := &MemBackend{ckptVer: b.ckptVer, hasCkpt: b.hasCkpt, gen: b.gen, synced: b.synced}
 	out.ckpt = append([]byte(nil), b.ckpt...)
 	out.records = make([][]byte, len(b.records))
 	for i, r := range b.records {
 		out.records[i] = append([]byte(nil), r...)
 	}
+	out.partial = append([]byte(nil), b.partial...)
+	if b.partial == nil {
+		out.partial = nil
+	}
 	return out
 }
 
+// TearLast converts the most recent complete record into a torn tail — the
+// in-memory analogue of a crash (or a concurrent observation) mid-append.
+// TailRecords stops before it; JournalStat counts it in Tail.
+func (b *MemBackend) TearLast() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.records) == 0 || b.partial != nil {
+		return
+	}
+	b.partial = b.records[len(b.records)-1]
+	b.records = b.records[:len(b.records)-1]
+}
+
+// CompletePartial finishes the torn record created by TearLast, as if the
+// writer's append finally landed in full.
+func (b *MemBackend) CompletePartial() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.partial == nil {
+		return
+	}
+	b.records = append(b.records, b.partial)
+	b.partial = nil
+}
+
+// DiscardPartial drops the torn record, as a writer re-open would.
+func (b *MemBackend) DiscardPartial() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.partial = nil
+}
+
 func (b *MemBackend) LoadCheckpoint() ([]byte, uint64, bool, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if !b.hasCkpt {
 		return nil, 0, false, nil
 	}
@@ -40,20 +88,28 @@ func (b *MemBackend) LoadCheckpoint() ([]byte, uint64, bool, error) {
 }
 
 func (b *MemBackend) WriteCheckpoint(data []byte, version uint64) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	b.ckpt = append([]byte(nil), data...)
 	b.ckptVer = version
 	b.hasCkpt = true
 	b.records = nil
+	b.partial = nil
+	b.gen++ // records were discarded: stale cursors are void
 	b.synced = 0
 	return nil
 }
 
 func (b *MemBackend) AppendRecord(rec []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	b.records = append(b.records, append([]byte(nil), rec...))
 	return nil
 }
 
 func (b *MemBackend) Sync() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if b.SyncFail != nil {
 		return b.SyncFail
 	}
@@ -61,13 +117,41 @@ func (b *MemBackend) Sync() error {
 	return nil
 }
 
-func (b *MemBackend) Records(fn func(rec []byte) error) error {
-	for _, r := range b.records {
-		if err := fn(r); err != nil {
-			return err
-		}
+// TailRecords replays complete records from record-index from; the torn
+// tail (if any) is invisible to it. Records are copied out under the lock
+// and fn runs outside it, so fn may call back into the backend.
+func (b *MemBackend) TailRecords(from int64, fn func(rec []byte) error) (int64, error) {
+	b.mu.Lock()
+	if from > int64(len(b.records)) {
+		from = int64(len(b.records))
 	}
-	return nil
+	pending := make([][]byte, len(b.records[from:]))
+	copy(pending, b.records[from:])
+	b.mu.Unlock()
+	next := from
+	for _, r := range pending {
+		if err := fn(r); err != nil {
+			return next, err
+		}
+		next++
+	}
+	return next, nil
+}
+
+// JournalStat reports the generation and end cursor; the cursor unit is
+// records, and a torn tail counts toward Tail (it is real lag).
+func (b *MemBackend) JournalStat() (JournalStat, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := JournalStat{Gen: b.gen, Tail: int64(len(b.records))}
+	if b.partial != nil {
+		st.Tail++
+	}
+	if b.hasCkpt {
+		st.CheckpointVersion = b.ckptVer
+		st.HasCheckpoint = true
+	}
+	return st, nil
 }
 
 func (b *MemBackend) Close() error { return nil }

@@ -9,18 +9,27 @@ import (
 	"github.com/probdb/topkclean/internal/uncertain"
 )
 
-// record is one WAL entry, keyed by the database version the commit
+// Record is one WAL entry, keyed by the database version the commit
 // produced. "build" carries the full wire encoding of the database (the
 // initial state Create journals); "mutate" carries the logical operations
 // of one commit — a single mutation, a whole Batch, or the collapses of an
 // applied cleaning — exactly as they succeeded, so replaying them cannot
 // fail and cannot diverge. Journaling operations rather than bytes is what
 // keeps records small and replay bit-identical; see DESIGN.md ("Storage").
-type record struct {
+type Record struct {
 	Version uint64          `json:"v"`
 	Op      string          `json:"op"` // build | mutate
 	DB      json.RawMessage `json:"db,omitempty"`
 	Ops     []Op            `json:"ops,omitempty"`
+}
+
+// DecodeRecord parses one raw WAL record payload.
+func DecodeRecord(raw []byte) (Record, error) {
+	var rec Record
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return Record{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return rec, nil
 }
 
 // Op is one logical mutation inside a "mutate" record.
@@ -111,16 +120,9 @@ func Create(b Backend, db *uncertain.Database, opts ...Option) (*DB, error) {
 	if db == nil || !db.Built() {
 		return nil, uncertain.ErrNotBuilt
 	}
-	if _, _, ok, err := b.LoadCheckpoint(); err != nil {
+	if st, err := b.JournalStat(); err != nil {
 		return nil, err
-	} else if ok {
-		return nil, ErrExists
-	}
-	empty := true
-	if err := b.Records(func([]byte) error { empty = false; return nil }); err != nil {
-		return nil, err
-	}
-	if !empty {
+	} else if st.HasCheckpoint || st.Tail > 0 {
 		return nil, ErrExists
 	}
 	data, err := uncertain.EncodeWire(db)
@@ -128,7 +130,7 @@ func Create(b Backend, db *uncertain.Database, opts ...Option) (*DB, error) {
 		return nil, err
 	}
 	d := &DB{b: b, db: db, opts: buildOptions(opts), last: db.Version()}
-	rec, err := json.Marshal(record{Version: db.Version(), Op: "build", DB: data})
+	rec, err := json.Marshal(Record{Version: db.Version(), Op: "build", DB: data})
 	if err != nil {
 		return nil, err
 	}
@@ -165,66 +167,82 @@ func Open(b Backend, rank uncertain.RankFunc, opts ...Option) (*DB, error) {
 		}
 		ckptVer = v
 	}
-	replayed := 0
-	err := b.Records(func(raw []byte) error {
-		var rec record
-		if err := json.Unmarshal(raw, &rec); err != nil {
-			return fmt.Errorf("%w: record after v%d: %v", ErrCorrupt, versionOf(db), err)
-		}
-		switch rec.Op {
-		case "build":
-			if db == nil {
-				d, err := uncertain.DecodeWire(rec.DB, rank)
-				if err != nil {
-					return fmt.Errorf("%w: build record: %v", ErrCorrupt, err)
-				}
-				if d.Version() != rec.Version {
-					return fmt.Errorf("%w: build record labeled v%d decodes to v%d", ErrCorrupt, rec.Version, d.Version())
-				}
-				db = d
-				replayed++
-				return nil
-			}
-			if rec.Version <= db.Version() {
-				return nil // superseded by the checkpoint
-			}
-			return fmt.Errorf("%w: build record at v%d after v%d", ErrCorrupt, rec.Version, db.Version())
-		case "mutate":
-			if db == nil {
-				return fmt.Errorf("%w: mutation record v%d before any database", ErrCorrupt, rec.Version)
-			}
-			if rec.Version <= db.Version() {
-				return nil // already in the checkpoint (crash between checkpoint and WAL trim)
-			}
-			if rec.Version != db.Version()+1 {
-				return fmt.Errorf("%w: record v%d after v%d (gap)", ErrCorrupt, rec.Version, db.Version())
-			}
-			if err := db.Batch(func(ub *uncertain.Batch) error {
-				for _, op := range rec.Ops {
-					if err := applyOp(ub, op); err != nil {
-						return err
-					}
-				}
-				return nil
-			}); err != nil {
-				return fmt.Errorf("%w: replaying v%d: %v", ErrCorrupt, rec.Version, err)
-			}
-			if db.Version() != rec.Version {
-				return fmt.Errorf("%w: replay of v%d landed at v%d", ErrCorrupt, rec.Version, db.Version())
-			}
-			replayed++
-			return nil
-		default:
-			return fmt.Errorf("%w: unknown record op %q", ErrCorrupt, rec.Op)
-		}
-	})
-	if err != nil {
+	r := &Replayer{DB: db, Rank: rank}
+	if _, err := b.TailRecords(0, r.Apply); err != nil {
 		return nil, err
 	}
-	if db == nil {
+	if r.DB == nil {
 		return nil, ErrNoDatabase
 	}
-	return &DB{b: b, db: db, opts: buildOptions(opts), last: db.Version(), ckptVer: ckptVer, sinceCk: replayed}, nil
+	return &DB{b: b, db: r.DB, opts: buildOptions(opts), last: r.DB.Version(), ckptVer: ckptVer, sinceCk: r.Replayed}, nil
+}
+
+// Replayer applies raw WAL records to a database, enforcing the version
+// chain. It is the one replay path: Open drives it over the whole journal,
+// and a tailing replica (internal/replica) drives it record by record as
+// the journal grows. Records at or below DB's current version are skipped
+// (the checkpoint overlap), a "build" record seeds DB when it is nil, and
+// a record that skips past DB's next version fails with an error wrapping
+// both ErrCorrupt and ErrGap — fatal during Open, a resync-from-checkpoint
+// signal for a replica.
+type Replayer struct {
+	DB       *uncertain.Database
+	Rank     uncertain.RankFunc
+	Replayed int // records applied (not skipped) so far
+}
+
+// Apply decodes and applies one record; see Replayer.
+func (r *Replayer) Apply(raw []byte) error {
+	rec, err := DecodeRecord(raw)
+	if err != nil {
+		return fmt.Errorf("record after v%d: %w", versionOf(r.DB), err)
+	}
+	switch rec.Op {
+	case "build":
+		if r.DB == nil {
+			d, err := uncertain.DecodeWire(rec.DB, r.Rank)
+			if err != nil {
+				return fmt.Errorf("%w: build record: %v", ErrCorrupt, err)
+			}
+			if d.Version() != rec.Version {
+				return fmt.Errorf("%w: build record labeled v%d decodes to v%d", ErrCorrupt, rec.Version, d.Version())
+			}
+			r.DB = d
+			r.Replayed++
+			return nil
+		}
+		if rec.Version <= r.DB.Version() {
+			return nil // superseded by the checkpoint
+		}
+		return fmt.Errorf("%w: build record at v%d after v%d (%w)", ErrCorrupt, rec.Version, r.DB.Version(), ErrGap)
+	case "mutate":
+		if r.DB == nil {
+			return fmt.Errorf("%w: mutation record v%d before any database (%w)", ErrCorrupt, rec.Version, ErrGap)
+		}
+		if rec.Version <= r.DB.Version() {
+			return nil // already in the checkpoint (crash between checkpoint and WAL trim)
+		}
+		if rec.Version != r.DB.Version()+1 {
+			return fmt.Errorf("%w: record v%d after v%d (%w)", ErrCorrupt, rec.Version, r.DB.Version(), ErrGap)
+		}
+		if err := r.DB.Batch(func(ub *uncertain.Batch) error {
+			for _, op := range rec.Ops {
+				if err := applyOp(ub, op); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return fmt.Errorf("%w: replaying v%d: %v", ErrCorrupt, rec.Version, err)
+		}
+		if r.DB.Version() != rec.Version {
+			return fmt.Errorf("%w: replay of v%d landed at v%d", ErrCorrupt, rec.Version, r.DB.Version())
+		}
+		r.Replayed++
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown record op %q", ErrCorrupt, rec.Op)
+	}
 }
 
 func versionOf(db *uncertain.Database) uint64 {
@@ -323,7 +341,7 @@ func (d *DB) Batch(fn func(*Batch) error) error {
 		return fn(sb)
 	})
 	if len(sb.ops) > 0 {
-		if jerr := d.journal(record{Version: d.db.Version(), Op: "mutate", Ops: sb.ops}); jerr != nil {
+		if jerr := d.journal(Record{Version: d.db.Version(), Op: "mutate", Ops: sb.ops}); jerr != nil {
 			return jerr
 		}
 	}
@@ -356,7 +374,7 @@ func (d *DB) JournalCleaning(choices map[int]int) error {
 	for i, l := range groups {
 		ops[i] = Op{Op: "collapse", Group: l, Choice: choices[l]}
 	}
-	return d.journal(record{Version: d.db.Version(), Op: "mutate", Ops: ops})
+	return d.journal(Record{Version: d.db.Version(), Op: "mutate", Ops: ops})
 }
 
 // journal appends one record for the commit that just happened, enforcing
@@ -365,7 +383,7 @@ func (d *DB) JournalCleaning(choices map[int]int) error {
 // store's back — poisons the store: the memory state is then ahead of the
 // journal and appending further records would persist a history with a
 // hole. Callers hold d.mu.
-func (d *DB) journal(rec record) error {
+func (d *DB) journal(rec Record) error {
 	// Every failure below returns (and records) an ErrPoisoned-wrapped
 	// error — including the first one, so callers can classify even the
 	// request that hit the disk failure as a server-side fault rather

@@ -1,0 +1,394 @@
+// Package storetest is the conformance suite for store.Backend drivers:
+// RunBackend exercises the contract a backend must uphold for the store
+// and for tailing replicas — append/tail round-trips, checkpoint
+// replacement with generation bumps, torn tails that wait rather than
+// corrupt, writer exclusion with reader coexistence, and read-only opens
+// that refuse writes. A third-party driver (a KV backend, say) passes the
+// suite and gets the store's crash-recovery and replication correctness
+// for free.
+package storetest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/probdb/topkclean/internal/store"
+)
+
+// Fixture wires one backend instance (one "path") into the suite. Open
+// opens the writer view, OpenReadOnly a tailing reader view of the same
+// journal (nil when the driver has no read-only mode — the tail subtests
+// are skipped). Tear, when non-nil, makes the journal end in a torn
+// (incomplete) record, the way a crash or a concurrent observation
+// mid-append would: for a file backend, append half a frame to the file;
+// for a memory backend, call TearLast.
+type Fixture struct {
+	Open         func() (store.Backend, error)
+	OpenReadOnly func() (store.Backend, error)
+	Tear         func(tb testing.TB, b store.Backend)
+}
+
+// RunBackend runs the conformance suite. mk must return a fresh Fixture —
+// a fresh, empty path — per call; it is called once per subtest.
+func RunBackend(t *testing.T, mk func(t *testing.T) Fixture) {
+	t.Run("RoundTrip", func(t *testing.T) { testRoundTrip(t, mk(t)) })
+	t.Run("CheckpointReplace", func(t *testing.T) { testCheckpointReplace(t, mk(t)) })
+	t.Run("TornTail", func(t *testing.T) { testTornTail(t, mk(t)) })
+	t.Run("TailAcrossTrim", func(t *testing.T) { testTailAcrossTrim(t, mk(t)) })
+	t.Run("LockExclusion", func(t *testing.T) { testLockExclusion(t, mk(t)) })
+	t.Run("ReadOnlyRefusesWrites", func(t *testing.T) { testReadOnlyRefusesWrites(t, mk(t)) })
+}
+
+func rec(i int) []byte { return []byte(fmt.Sprintf("record-%03d", i)) }
+
+// drain reads every complete record from cursor 0.
+func drain(t *testing.T, b store.Backend) ([][]byte, int64) {
+	t.Helper()
+	var got [][]byte
+	next, err := b.TailRecords(0, func(r []byte) error {
+		got = append(got, append([]byte(nil), r...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("TailRecords: %v", err)
+	}
+	return got, next
+}
+
+func wantRecords(t *testing.T, got [][]byte, from, to int) {
+	t.Helper()
+	if len(got) != to-from {
+		t.Fatalf("got %d records, want %d", len(got), to-from)
+	}
+	for i, r := range got {
+		if !bytes.Equal(r, rec(from+i)) {
+			t.Fatalf("record %d = %q, want %q", i, r, rec(from+i))
+		}
+	}
+}
+
+// testRoundTrip: appended records come back in order, in full, across
+// Sync, incremental tails, and (for reopenable backends) a close/open
+// cycle.
+func testRoundTrip(t *testing.T, fx Fixture) {
+	b, err := fx.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := b.JournalStat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tail != 0 || st.HasCheckpoint {
+		t.Fatalf("fresh backend not empty: %+v", st)
+	}
+	if _, _, ok, err := b.LoadCheckpoint(); err != nil || ok {
+		t.Fatalf("fresh backend has a checkpoint (ok=%v err=%v)", ok, err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := b.AppendRecord(rec(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := b.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	got, next := drain(t, b)
+	wantRecords(t, got, 0, 5)
+	st, err = b.JournalStat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tail != next {
+		t.Fatalf("JournalStat.Tail = %d, drained cursor = %d", st.Tail, next)
+	}
+	// Incremental tail: only the records past the cursor.
+	for i := 5; i < 8; i++ {
+		if err := b.AppendRecord(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	var inc [][]byte
+	next2, err := b.TailRecords(next, func(r []byte) error {
+		inc = append(inc, append([]byte(nil), r...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRecords(t, inc, 5, 8)
+	if next2 <= next {
+		t.Fatalf("cursor did not advance: %d -> %d", next, next2)
+	}
+	// fn's error aborts the scan and surfaces verbatim.
+	sentinel := errors.New("stop here")
+	if _, err := b.TailRecords(0, func([]byte) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("fn error not returned verbatim: %v", err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: everything synced must still be there.
+	b, err = fx.Open()
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer b.Close()
+	got, _ = drain(t, b)
+	wantRecords(t, got, 0, 8)
+}
+
+// testCheckpointReplace: WriteCheckpoint atomically replaces the blob,
+// discards obsolete records, and changes the journal generation so stale
+// cursors are detectable.
+func testCheckpointReplace(t *testing.T, fx Fixture) {
+	b, err := fx.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	for i := 0; i < 4; i++ {
+		if err := b.AppendRecord(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := b.JournalStat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteCheckpoint([]byte("state-at-7"), 7); err != nil {
+		t.Fatal(err)
+	}
+	data, v, ok, err := b.LoadCheckpoint()
+	if err != nil || !ok || v != 7 || !bytes.Equal(data, []byte("state-at-7")) {
+		t.Fatalf("LoadCheckpoint = (%q, %d, %v, %v)", data, v, ok, err)
+	}
+	after, err := b.JournalStat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Gen == before.Gen {
+		t.Fatal("WriteCheckpoint discarded records without changing Gen")
+	}
+	if after.Tail != 0 {
+		t.Fatalf("journal not trimmed: Tail = %d", after.Tail)
+	}
+	if !after.HasCheckpoint || after.CheckpointVersion != 7 {
+		t.Fatalf("JournalStat checkpoint = (%v, %d), want (true, 7)", after.HasCheckpoint, after.CheckpointVersion)
+	}
+	got, _ := drain(t, b)
+	if len(got) != 0 {
+		t.Fatalf("%d records survived the trim", len(got))
+	}
+	// Replacement: a second checkpoint supersedes the first.
+	if err := b.WriteCheckpoint([]byte("state-at-9"), 9); err != nil {
+		t.Fatal(err)
+	}
+	data, v, ok, err = b.LoadCheckpoint()
+	if err != nil || !ok || v != 9 || !bytes.Equal(data, []byte("state-at-9")) {
+		t.Fatalf("after replace: LoadCheckpoint = (%q, %d, %v, %v)", data, v, ok, err)
+	}
+}
+
+// testTornTail: a torn record is invisible to TailRecords (the scan ends
+// before it, without error) but counts toward JournalStat.Tail, so a
+// tailing reader sees honest lag; a writer reopen discards it.
+func testTornTail(t *testing.T, fx Fixture) {
+	if fx.Tear == nil {
+		t.Skip("driver has no torn-tail simulation")
+	}
+	b, err := fx.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := b.AppendRecord(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	fx.Tear(t, b)
+	got, next := drain(t, b)
+	if len(got) != 2 { // the tear consumed rec(2)
+		t.Fatalf("read %d records through a torn tail, want 2", len(got))
+	}
+	wantRecords(t, got, 0, 2)
+	st, err := b.JournalStat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tail <= next {
+		t.Fatalf("torn tail not counted: Tail = %d, cursor = %d", st.Tail, next)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A writer reopen discards the torn record; the complete prefix stays.
+	b, err = fx.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	got, next = drain(t, b)
+	wantRecords(t, got, 0, 2)
+	st, err = b.JournalStat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tail != next {
+		t.Fatalf("reopen kept the torn tail: Tail = %d, cursor = %d", st.Tail, next)
+	}
+	// And appending continues cleanly after the discarded tear.
+	if err := b.AppendRecord(rec(9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = drain(t, b)
+	if len(got) != 3 || !bytes.Equal(got[2], rec(9)) {
+		t.Fatalf("append after torn-tail discard: got %d records, last %q", len(got), got[len(got)-1])
+	}
+}
+
+// testTailAcrossTrim: a read-only opener tailing the journal observes a
+// checkpoint trim as a generation change, rescans from 0, and sees only
+// post-trim records — never a misread through its stale cursor.
+func testTailAcrossTrim(t *testing.T, fx Fixture) {
+	if fx.OpenReadOnly == nil {
+		t.Skip("driver has no read-only open")
+	}
+	w, err := fx.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for i := 0; i < 3; i++ {
+		if err := w.AppendRecord(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := fx.OpenReadOnly()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	st0, err := r.JournalStat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, cursor := drain(t, r)
+	wantRecords(t, got, 0, 3)
+
+	if err := w.WriteCheckpoint([]byte("ckpt"), 3); err != nil {
+		t.Fatal(err)
+	}
+	for i := 3; i < 5; i++ {
+		if err := w.AppendRecord(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	st1, err := r.JournalStat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Gen == st0.Gen && st1.Tail >= cursor {
+		t.Fatalf("trim invisible to the reader: gen %d->%d, tail %d vs cursor %d", st0.Gen, st1.Gen, st1.Tail, cursor)
+	}
+	if !st1.HasCheckpoint || st1.CheckpointVersion != 3 {
+		t.Fatalf("reader does not see the checkpoint: %+v", st1)
+	}
+	// The reader's protocol: generation changed, restart from 0.
+	got, _ = drain(t, r)
+	wantRecords(t, got, 3, 5)
+}
+
+// testLockExclusion: one writer at a time; readers coexist with the writer
+// and with each other.
+func testLockExclusion(t *testing.T, fx Fixture) {
+	w, err := fx.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendRecord(rec(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if w2, err := fx.Open(); err == nil {
+		w2.Close()
+		t.Fatal("second writer opened the same journal")
+	}
+	if fx.OpenReadOnly != nil {
+		r1, err := fx.OpenReadOnly()
+		if err != nil {
+			t.Fatalf("reader refused while writer attached: %v", err)
+		}
+		r2, err := fx.OpenReadOnly()
+		if err != nil {
+			t.Fatalf("second reader refused: %v", err)
+		}
+		r1.Close()
+		r2.Close()
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The lock dies with the handle: reopening works.
+	w, err = fx.Open()
+	if err != nil {
+		t.Fatalf("reopen after close: %v", err)
+	}
+	w.Close()
+}
+
+// testReadOnlyRefusesWrites: the mutating methods of a read-only open
+// return store.ErrReadOnly.
+func testReadOnlyRefusesWrites(t *testing.T, fx Fixture) {
+	if fx.OpenReadOnly == nil {
+		t.Skip("driver has no read-only open")
+	}
+	w, err := fx.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.AppendRecord(rec(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := fx.OpenReadOnly()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.AppendRecord(rec(1)); !errors.Is(err, store.ErrReadOnly) {
+		t.Fatalf("AppendRecord on read-only = %v, want ErrReadOnly", err)
+	}
+	if err := r.WriteCheckpoint([]byte("x"), 1); !errors.Is(err, store.ErrReadOnly) {
+		t.Fatalf("WriteCheckpoint on read-only = %v, want ErrReadOnly", err)
+	}
+	// Reads still work.
+	got, _ := drain(t, r)
+	wantRecords(t, got, 0, 1)
+}
