@@ -40,6 +40,7 @@ func Evaluate(db *Database, k int, ptkThreshold float64) (*Result, error) {
 	}
 	// answersAt takes the caller's raw threshold directly, preserving this
 	// function's historically unvalidated threshold domain.
+	//lint:allow ctxdiscipline deprecated no-context wrapper kept for API compatibility; use New and Engine.Answers
 	return eng.answersAt(context.Background(), ptkThreshold)
 }
 

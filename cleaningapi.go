@@ -67,6 +67,7 @@ func NewCleaningContext(db *Database, k int, spec CleaningSpec, budget int) (*Cl
 	if err != nil {
 		return nil, err
 	}
+	//lint:allow ctxdiscipline deprecated no-context wrapper kept for API compatibility; use Engine.CleaningContext
 	return eng.CleaningContext(context.Background(), spec, budget)
 }
 
@@ -82,6 +83,7 @@ func PlanCleaning(ctx *CleaningContext, method Method, seed int64) (CleaningPlan
 	if err != nil {
 		return nil, err
 	}
+	//lint:allow ctxdiscipline deprecated no-context wrapper kept for API compatibility; use Engine.PlanCleaning
 	return p.Plan(context.Background(), ctx)
 }
 
@@ -146,6 +148,7 @@ func AdaptiveCleaning(ctx *CleaningContext, method Method, rng *rand.Rand, maxRo
 	if err != nil {
 		return nil, err
 	}
+	//lint:allow ctxdiscipline deprecated no-context wrapper kept for API compatibility; use Engine.AdaptiveCleaning
 	return cleaning.AdaptiveExecuteContext(context.Background(), ctx, planner.Plan, rng, maxRounds)
 }
 
@@ -160,6 +163,7 @@ func MinBudgetForTarget(ctx *CleaningContext, target float64, maxBudget int, met
 	if err != nil {
 		return 0, nil, err
 	}
+	//lint:allow ctxdiscipline deprecated no-context wrapper kept for API compatibility; use Engine.MinBudgetForTarget
 	return cleaning.MinBudgetForTargetContext(context.Background(), ctx, target, maxBudget, planner.Plan)
 }
 

@@ -1,0 +1,129 @@
+// Command topkclean-lint runs the repo's invariant lint suite
+// (internal/analysis): stdlib-only static analysis that loads and
+// type-checks the whole module — tests included — and enforces the
+// snapshot, lock, and error discipline the runtime guarantees rest on
+// (frozenwrite, idxread, senterr, lockscope, ctxdiscipline; see DESIGN.md
+// "Enforced invariants").
+//
+// Usage:
+//
+//	topkclean-lint [./...]            # lint the module containing the cwd
+//	topkclean-lint -checks senterr,lockscope ./...
+//	topkclean-lint -json ./...        # machine-readable findings + allows
+//	topkclean-lint -list              # print the checks and exit
+//
+// The tool always lints the whole module (the suite's invariants span
+// packages); "./..." is accepted for familiarity. Exit status is 1 when
+// findings remain after //lint:allow filtering, 2 on load/type errors.
+// Every applied allow is printed with its mandatory reason, so
+// suppressions stay visible.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/probdb/topkclean/internal/analysis"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		jsonOut    = flag.Bool("json", false, "emit findings and allows as JSON")
+		checksFlag = flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+		list       = flag.Bool("list", false, "list the checks and exit")
+		dir        = flag.String("C", ".", "directory whose module to lint")
+		quiet      = flag.Bool("q", false, "suppress the allow listing; print findings only")
+	)
+	flag.Parse()
+
+	if *list {
+		docs := analysis.CheckDocs()
+		names := analysis.CheckNames()
+		for _, n := range names {
+			fmt.Printf("%-14s %s\n", n, docs[n])
+		}
+		return 0
+	}
+	for _, arg := range flag.Args() {
+		if arg != "./..." && arg != "..." {
+			fmt.Fprintf(os.Stderr, "topkclean-lint: the suite always lints the whole module; pass ./... or nothing (got %q)\n", arg)
+			return 2
+		}
+	}
+
+	root, err := analysis.FindModuleRoot(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "topkclean-lint: %v\n", err)
+		return 2
+	}
+	cfg, err := analysis.DefaultConfig(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "topkclean-lint: %v\n", err)
+		return 2
+	}
+	if *checksFlag != "" {
+		for _, name := range strings.Split(*checksFlag, ",") {
+			name = strings.TrimSpace(name)
+			if !analysis.KnownCheck(name) {
+				fmt.Fprintf(os.Stderr, "topkclean-lint: unknown check %q (known: %s)\n",
+					name, strings.Join(analysis.CheckNames(), ", "))
+				return 2
+			}
+			cfg.Checks = append(cfg.Checks, name)
+		}
+	}
+
+	res, err := analysis.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "topkclean-lint: %v\n", err)
+		return 2
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintf(os.Stderr, "topkclean-lint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range res.Findings {
+			fmt.Printf("%s:%d:%d: [%s] %s\n", relPath(root, f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Check, f.Message)
+		}
+		if !*quiet {
+			allows := append([]*analysis.Allow(nil), res.Allows...)
+			sort.Slice(allows, func(i, j int) bool {
+				if allows[i].Pos.Filename != allows[j].Pos.Filename {
+					return allows[i].Pos.Filename < allows[j].Pos.Filename
+				}
+				return allows[i].Pos.Line < allows[j].Pos.Line
+			})
+			for _, a := range allows {
+				fmt.Fprintf(os.Stderr, "%s:%d: allowed [%s]: %s\n", relPath(root, a.Pos.Filename), a.Pos.Line, a.Check, a.Reason)
+			}
+		}
+	}
+	if len(res.Findings) > 0 {
+		fmt.Fprintf(os.Stderr, "topkclean-lint: %d finding(s)\n", len(res.Findings))
+		return 1
+	}
+	return 0
+}
+
+// relPath renders a position path relative to the module root for
+// readable, stable output.
+func relPath(root, path string) string {
+	if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
+}

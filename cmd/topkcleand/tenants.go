@@ -344,12 +344,18 @@ func (s *server) deleteTenant(name string) error {
 	if name == defaultDB {
 		return fmt.Errorf("the %q database cannot be deleted (legacy routes alias to it)", defaultDB)
 	}
-	s.mu.Lock()
-	t, ok := s.tenants[name]
-	if ok && t.sdb != nil && s.cfg.storeBackend == "file" && store.ReadersAttached(s.tenantPath(name)) {
-		s.mu.Unlock()
+	// The follower probe stats and flocks journal files, so it must not
+	// run under s.mu (lockscope): peek under RLock, probe unlocked. A
+	// follower attaching in the gap before the write lock below loses the
+	// same race it always could — the probe is best-effort by design.
+	s.mu.RLock()
+	peek, attached := s.tenants[name]
+	s.mu.RUnlock()
+	if attached && peek.sdb != nil && s.cfg.storeBackend == "file" && store.ReadersAttached(s.tenantPath(name)) {
 		return fmt.Errorf("database %q has followers attached; detach them before deleting", name)
 	}
+	s.mu.Lock()
+	t, ok := s.tenants[name]
 	if ok {
 		delete(s.tenants, name)
 		s.creating[name] = true // reserve against concurrent re-creation

@@ -1,0 +1,87 @@
+package analysis
+
+// allow.go implements the suite's single escape hatch:
+//
+//	//lint:allow <check> <reason>
+//
+// A directive suppresses findings of the named check on its own line (as a
+// trailing comment) and on the line immediately below (as a standalone
+// comment above the flagged statement). The reason is mandatory and is
+// surfaced in the lint output, so every suppression carries its own
+// justification. Malformed directives — no reason, an unknown check — are
+// findings themselves, reported under the "allow" pseudo-check, and a
+// malformed directive suppresses nothing. Directives that suppress nothing
+// are also findings (when the full suite runs), so annotations cannot
+// outlive the code they excused.
+
+import (
+	"go/token"
+	"strings"
+)
+
+// AllowCheck is the pseudo-check name under which directive problems
+// (missing reason, unknown check, unused directive) are reported.
+const AllowCheck = "allow"
+
+// Allow is one well-formed //lint:allow directive.
+type Allow struct {
+	Check  string         `json:"check"`
+	Reason string         `json:"reason"`
+	Pos    token.Position `json:"pos"`
+	Used   bool           `json:"used"` // set once it suppresses a finding
+}
+
+// directivePrefix is what an allow comment starts with after "//". No
+// space between "//" and "lint:" — the same convention as //go:build.
+const directivePrefix = "lint:allow"
+
+// parseAllows scans a package's comments for lint:allow directives.
+// Well-formed ones land in the returned slice; malformed ones are reported
+// through report (as AllowCheck findings).
+func parseAllows(pkg *Package, fset *token.FileSet, known map[string]bool,
+	report func(pos token.Pos, format string, args ...any)) []*Allow {
+	var out []*Allow
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // /* */ comments cannot carry directives
+				}
+				text, ok = strings.CutPrefix(text, directivePrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					report(c.Pos(), "lint:allow needs a check name and a reason: //lint:allow <check> <reason>")
+					continue
+				}
+				check := fields[0]
+				if !known[check] {
+					report(c.Pos(), "lint:allow names unknown check %q (known: %s)", check, strings.Join(CheckNames(), ", "))
+					continue
+				}
+				if len(fields) < 2 {
+					report(c.Pos(), "lint:allow %s has no reason; suppressions must say why: //lint:allow %s <reason>", check, check)
+					continue
+				}
+				out = append(out, &Allow{
+					Check:  check,
+					Reason: strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(text), check)),
+					Pos:    fset.Position(c.Pos()),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// suppresses reports whether the directive covers a finding of the given
+// check at pos: same file, same line (trailing comment) or the line below
+// (standalone comment above the statement).
+func (a *Allow) suppresses(check string, pos token.Position) bool {
+	return a.Check == check &&
+		a.Pos.Filename == pos.Filename &&
+		(a.Pos.Line == pos.Line || a.Pos.Line == pos.Line-1)
+}

@@ -1,0 +1,211 @@
+// Package analysis is the repo's invariant lint suite: a zero-dependency
+// static-analysis framework (stdlib go/parser + go/types only) that loads
+// the whole module, type-checks it including test files, and enforces the
+// discipline every runtime guarantee rests on:
+//
+//   - frozenwrite: published snapshot epochs share tuple memory, so
+//     Database/XTuple/Tuple fields may be written only in the whitelisted
+//     writer files of internal/uncertain.
+//   - idxread: Tuple.idx is a writer-epoch field; no reader path may
+//     consume it.
+//   - senterr: exported Err* sentinels travel wrapped; == / != against
+//     them must be errors.Is.
+//   - lockscope: no blocking work (fsync, WAL append, wire encode, HTTP)
+//     inside a registry/tenant mu critical section in the daemon.
+//   - ctxdiscipline: no context.Background() in library packages outside
+//     explicitly allowlisted deprecated wrappers.
+//
+// Findings carry file:line:col positions; `//lint:allow <check> <reason>`
+// is the single escape hatch (see allow.go). The suite runs as the
+// topkclean-lint binary and as TestLintModule, so plain `go test ./...`
+// enforces the invariants. DESIGN.md "Enforced invariants" maps each check
+// to the incident that motivated it.
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Finding is one surviving lint report.
+type Finding struct {
+	Check   string         `json:"check"`
+	Pos     token.Position `json:"pos"`
+	Message string         `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Check, f.Message)
+}
+
+// Result is a suite run: the findings that survived allow filtering, plus
+// every well-formed allow directive (with its mandatory reason) so callers
+// can surface what was suppressed and why.
+type Result struct {
+	Findings []Finding `json:"findings"`
+	Allows   []*Allow  `json:"allows"`
+}
+
+// Check is one named invariant checker.
+type Check struct {
+	Name string
+	Doc  string
+	run  func(*Pass)
+}
+
+// checks is the suite, in stable execution order.
+var checks = []Check{
+	{
+		Name: "frozenwrite",
+		Doc:  "no writes to reader-visible Database/XTuple/Tuple fields outside the writer files",
+		run:  runFrozenWrite,
+	},
+	{
+		Name: "idxread",
+		Doc:  "no reads of the writer-epoch Tuple.idx field outside the writer files",
+		run:  runIdxRead,
+	},
+	{
+		Name: "senterr",
+		Doc:  "==/!= against exported Err* sentinels must be errors.Is (module-wide, tests included)",
+		run:  runSentErr,
+	},
+	{
+		Name: "lockscope",
+		Doc:  "no blocking calls (fsync, WAL append, wire encode, HTTP) inside a registry/tenant mu section",
+		run:  runLockScope,
+	},
+	{
+		Name: "ctxdiscipline",
+		Doc:  "no context.Background/TODO in library packages (binaries, examples, tests exempt)",
+		run:  runCtxDiscipline,
+	},
+}
+
+// CheckNames returns the names of every check in the suite, in execution
+// order.
+func CheckNames() []string {
+	names := make([]string, len(checks))
+	for i, c := range checks {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// CheckDocs returns a name -> one-line-doc map for -help output.
+func CheckDocs() map[string]string {
+	docs := make(map[string]string, len(checks))
+	for _, c := range checks {
+		docs[c.Name] = c.Doc
+	}
+	return docs
+}
+
+// KnownCheck reports whether name is a check in the suite.
+func KnownCheck(name string) bool {
+	for _, c := range checks {
+		if c.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass is one check's view of one package: the type-checked unit, the
+// configuration, and the reporting hook.
+type Pass struct {
+	Cfg    *Config
+	Fset   *token.FileSet
+	Pkg    *Package
+	check  string
+	report func(check string, pos token.Pos, format string, args ...any)
+}
+
+// Reportf records a finding of the running check at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(p.check, pos, format, args...)
+}
+
+// Run loads the module described by cfg and runs the enabled checks over
+// every package (test files included). The returned findings have allow
+// directives already applied; Result.Allows records every directive and
+// whether it was used. Loading or type-checking failures are returned as
+// an error — invariants cannot be verified on code that does not compile.
+func Run(cfg *Config) (*Result, error) {
+	mod, err := LoadModule(cfg)
+	if err != nil {
+		return nil, err
+	}
+	known := make(map[string]bool, len(checks))
+	for _, c := range checks {
+		known[c.Name] = true
+	}
+
+	var raw []Finding
+	var allows []*Allow
+	record := func(check string, pos token.Pos, format string, args ...any) {
+		raw = append(raw, Finding{
+			Check:   check,
+			Pos:     mod.Fset.Position(pos),
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	for _, pkg := range mod.Pkgs {
+		allows = append(allows, parseAllows(pkg, mod.Fset, known, func(pos token.Pos, format string, args ...any) {
+			record(AllowCheck, pos, format, args...)
+		})...)
+		pass := &Pass{Cfg: cfg, Fset: mod.Fset, Pkg: pkg, report: record}
+		for i := range checks {
+			if !cfg.checkEnabled(checks[i].Name) {
+				continue
+			}
+			pass.check = checks[i].Name
+			checks[i].run(pass)
+		}
+	}
+
+	res := &Result{Allows: allows}
+	for _, f := range raw {
+		suppressed := false
+		for _, a := range allows {
+			if a.suppresses(f.Check, f.Pos) {
+				a.Used = true
+				suppressed = true
+				// Keep scanning: several directives could target the line;
+				// all that match count as used.
+			}
+		}
+		if !suppressed {
+			res.Findings = append(res.Findings, f)
+		}
+	}
+	// An unused directive is dead weight that would silently excuse future
+	// regressions at its line; flag it. Only meaningful when every check
+	// ran — under -checks a directive's check may simply have been skipped.
+	if len(cfg.Checks) == 0 {
+		for _, a := range allows {
+			if !a.Used {
+				res.Findings = append(res.Findings, Finding{
+					Check:   AllowCheck,
+					Pos:     a.Pos,
+					Message: fmt.Sprintf("unused lint:allow %s directive (nothing suppressed on this or the next line); delete it", a.Check),
+				})
+			}
+		}
+	}
+	sort.Slice(res.Findings, func(i, j int) bool {
+		a, b := res.Findings[i], res.Findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return res, nil
+}

@@ -1,0 +1,194 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// fixtureConfig builds the suite's DefaultConfig rooted at one of the
+// miniature modules under testdata/src. The fixtures mirror the real
+// module's layout (internal/uncertain, internal/store, cmd/topkcleand,
+// ...) exactly so DefaultConfig wires them up without overrides.
+func fixtureConfig(t *testing.T, name string) *Config {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := DefaultConfig(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// wantRE matches one expectation comment: // want <check> "<substr>".
+// Several may share a line when a statement triggers several findings.
+var wantRE = regexp.MustCompile(`// want ([a-z]+) "([^"]+)"`)
+
+type want struct {
+	check, substr string
+	matched       bool
+}
+
+// loadWants scans every fixture .go file for want comments, keyed by
+// file:line.
+func loadWants(t *testing.T, root string) map[string][]*want {
+	t.Helper()
+	wants := make(map[string][]*want)
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRE.FindAllStringSubmatch(line, -1) {
+				key := fmt.Sprintf("%s:%d", path, i+1)
+				wants[key] = append(wants[key], &want{check: m[1], substr: m[2]})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wants
+}
+
+// TestFixtureSuite runs the whole suite over the fixture module and diffs
+// the findings against the want comments: every seeded violation must
+// fire, nothing else may, and every allow directive must be consumed.
+func TestFixtureSuite(t *testing.T) {
+	cfg := fixtureConfig(t, "fixture")
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := loadWants(t, cfg.Dir)
+	for _, f := range res.Findings {
+		key := fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.check == f.Check && strings.Contains(f.Message, w.substr) {
+				w.matched, found = true, true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected %s finding matching %q never fired", key, w.check, w.substr)
+			}
+		}
+	}
+	// The fixture seeds exactly one reasoned allow per suppressible shape
+	// (idxread, ctxdiscipline, lockscope); each must carry its reason and
+	// have actually suppressed something, or it would be an unused-allow
+	// finding caught above.
+	if len(res.Allows) != 3 {
+		t.Errorf("allows = %d, want 3", len(res.Allows))
+	}
+	for _, a := range res.Allows {
+		if a.Reason == "" {
+			t.Errorf("%s: allow [%s] surfaced without a reason", a.Pos, a.Check)
+		}
+		if !a.Used {
+			t.Errorf("%s: allow [%s] (%s) was not consumed", a.Pos, a.Check, a.Reason)
+		}
+	}
+}
+
+// TestCheckSubset runs only senterr over the fixture: other checks'
+// findings must not appear, and — crucially — the fixture's idxread /
+// ctxdiscipline / lockscope allows must NOT be reported as unused, since a
+// subset run cannot tell an unused directive from one whose check was
+// skipped.
+func TestCheckSubset(t *testing.T) {
+	cfg := fixtureConfig(t, "fixture")
+	cfg.Checks = []string{"senterr"}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Findings) == 0 {
+		t.Fatal("senterr-only run found nothing; the fixture seeds four identity comparisons")
+	}
+	for _, f := range res.Findings {
+		if f.Check != "senterr" {
+			t.Errorf("senterr-only run produced a %s finding: %s", f.Check, f)
+		}
+	}
+}
+
+// TestAllowDirectives runs the suite over the allowbad fixture: a
+// reason-less directive and an unknown-check directive are findings that
+// suppress nothing (so their seeded senterr violations also fire), and a
+// well-formed directive that suppresses nothing is an unused-allow
+// finding.
+func TestAllowDirectives(t *testing.T) {
+	cfg := fixtureConfig(t, "allowbad")
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	for _, f := range res.Findings {
+		counts[f.Check]++
+	}
+	if counts[AllowCheck] != 3 || counts["senterr"] != 2 || len(res.Findings) != 5 {
+		t.Fatalf("findings = %v (%d total), want 3 allow + 2 senterr", counts, len(res.Findings))
+	}
+	for _, substr := range []string{"has no reason", "unknown check", "unused lint:allow"} {
+		found := false
+		for _, f := range res.Findings {
+			if f.Check == AllowCheck && strings.Contains(f.Message, substr) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no allow finding mentions %q in %v", substr, res.Findings)
+		}
+	}
+	// Only the well-formed-but-unused directive survives parsing; the
+	// malformed two never become Allows at all.
+	if len(res.Allows) != 1 || res.Allows[0].Used {
+		t.Fatalf("allows = %+v, want exactly one unused allow", res.Allows)
+	}
+}
+
+// TestLintModule is the suite run CI and `go test ./...` enforce: the real
+// module must lint clean. A new legitimate exception needs a
+// //lint:allow with a reason; a finding without one is a regression
+// against the invariants in DESIGN.md "Enforced invariants".
+func TestLintModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type-check is slow under -short")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := DefaultConfig(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Findings {
+		t.Errorf("%s", f)
+	}
+}

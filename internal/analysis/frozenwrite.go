@@ -1,0 +1,64 @@
+package analysis
+
+// frozenwrite: published snapshot epochs (internal/uncertain/snapshot.go)
+// share Database containers and Tuple/XTuple memory with the live writer.
+// The snapshot contract therefore forbids writing any reader-visible field
+// of those types outside the writer paths — a stray `t.Prob = ...` in a
+// query or serving path silently mutates every pinned epoch that shares
+// the tuple. This check flags assignments (including compound assignment
+// and ++/--) whose left-hand side is a field selected through a *pointer*
+// to a configured frozen type, unless the write happens in one of the
+// whitelisted writer files of the uncertain package itself.
+//
+// Writes through value copies (`v := Tuple{}; v.Prob = 0.5`) are
+// deliberately not flagged: a value copy is local by construction and
+// cannot reach shared epoch memory. Element writes into container slices
+// obtained from accessors (db.Sorted()[0] = t) are outside this check's
+// reach; the accessors document the slices as read-only.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+func runFrozenWrite(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range st.Lhs {
+					p.checkFrozenWrite(lhs)
+				}
+			case *ast.IncDecStmt:
+				p.checkFrozenWrite(st.X)
+			}
+			return true
+		})
+	}
+}
+
+func (p *Pass) checkFrozenWrite(lhs ast.Expr) {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok || p.fieldSel(sel) == nil {
+		return
+	}
+	// Only writes through a pointer can reach memory shared with a
+	// published epoch.
+	recv := p.Pkg.Info.Types[sel.X].Type
+	if recv == nil {
+		return
+	}
+	if _, isPtr := types.Unalias(recv).(*types.Pointer); !isPtr {
+		return
+	}
+	typeName, ok := p.isFrozenType(recv)
+	if !ok {
+		return
+	}
+	if p.inUncertainFiles(sel, p.Cfg.WriterFiles) {
+		return
+	}
+	p.Reportf(sel.Pos(),
+		"write to (%s).%s outside the writer files: published snapshot epochs share this memory; route mutations through the uncertain writer paths",
+		typeName, sel.Sel.Name)
+}

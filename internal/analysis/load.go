@@ -1,0 +1,292 @@
+package analysis
+
+// load.go is the module loader: it discovers every package directory under
+// the module root, parses it (honoring build constraints, including test
+// files), and type-checks it with nothing but the standard library —
+// go/parser + go/types, with stdlib imports resolved by the compiler's
+// source importer and module-internal imports resolved from the tree
+// itself. No golang.org/x/tools, matching the repo's vendored-not-fetched
+// dependency rule.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked analysis unit: a package's files together
+// with the type information the checks consume. In-package test files are
+// type-checked together with the package ("augmented", like the compiler
+// does for `go test`); an external foo_test package is its own unit with
+// Path suffixed "_test".
+type Package struct {
+	Path  string      // import path of the unit
+	Dir   string      // directory the files live in
+	Files []*ast.File // parsed files, parallel to Filenames
+	// Filenames holds the absolute path of each file in Files.
+	Filenames []string
+	Types     *types.Package
+	Info      *types.Info
+}
+
+// FileBase returns the base name of the file containing pos.
+func (p *Package) FileBase(fset *token.FileSet, pos token.Pos) string {
+	return filepath.Base(fset.Position(pos).Filename)
+}
+
+// Module is the loaded, type-checked module: every analysis unit plus the
+// shared FileSet positions resolve against.
+type Module struct {
+	Path string // module path from Config
+	Dir  string
+	Fset *token.FileSet
+	Pkgs []*Package // sorted by Path
+}
+
+// parsedFile pairs a file's absolute path with its AST.
+type parsedFile struct {
+	name string
+	ast  *ast.File
+}
+
+// dirFiles is one directory's parsed contents, split the way the go tool
+// builds them: the plain package, its in-package test files, and an
+// external _test package.
+type dirFiles struct {
+	importPath string
+	dir        string
+	pkgName    string
+	plain      []parsedFile // non-test files
+	inTest     []parsedFile // _test.go files in the package itself
+	extTest    []parsedFile // _test.go files in package <name>_test
+}
+
+// loader loads and type-checks packages, acting as the types.Importer for
+// module-internal import paths and delegating everything else to the
+// stdlib source importer.
+type loader struct {
+	cfg   *Config
+	fset  *token.FileSet
+	std   types.ImporterFrom
+	dirs  map[string]*dirFiles      // import path -> parsed dir
+	plain map[string]*types.Package // import path -> plain package (import view)
+	busy  map[string]bool           // import cycle guard
+}
+
+// LoadModule parses and type-checks every package under cfg.Dir. Any parse
+// or type error is a hard failure: invariants cannot be verified on code
+// that does not compile.
+func LoadModule(cfg *Config) (*Module, error) {
+	fset := token.NewFileSet()
+	l := &loader{
+		cfg:   cfg,
+		fset:  fset,
+		std:   importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		dirs:  make(map[string]*dirFiles),
+		plain: make(map[string]*types.Package),
+		busy:  make(map[string]bool),
+	}
+	if err := l.discover(); err != nil {
+		return nil, err
+	}
+	paths := make([]string, 0, len(l.dirs))
+	for p := range l.dirs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	mod := &Module{Path: cfg.ModulePath, Dir: cfg.Dir, Fset: fset}
+	for _, path := range paths {
+		d := l.dirs[path]
+		if len(d.plain)+len(d.inTest) > 0 {
+			pkg, err := l.check(path, d.dir, append(append([]parsedFile(nil), d.plain...), d.inTest...))
+			if err != nil {
+				return nil, err
+			}
+			mod.Pkgs = append(mod.Pkgs, pkg)
+		}
+		if len(d.extTest) > 0 {
+			pkg, err := l.check(path+"_test", d.dir, d.extTest)
+			if err != nil {
+				return nil, err
+			}
+			mod.Pkgs = append(mod.Pkgs, pkg)
+		}
+	}
+	return mod, nil
+}
+
+// discover walks the module tree, parsing every buildable directory.
+// testdata, vendor, hidden, and underscore-prefixed directories are
+// skipped, exactly as the go tool skips them.
+func (l *loader) discover() error {
+	return filepath.WalkDir(l.cfg.Dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.cfg.Dir && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		rel, err := filepath.Rel(l.cfg.Dir, path)
+		if err != nil {
+			return err
+		}
+		importPath := l.cfg.ModulePath
+		if rel != "." {
+			importPath = l.cfg.ModulePath + "/" + filepath.ToSlash(rel)
+		}
+		df, err := l.parseDir(importPath, path)
+		if err != nil {
+			return err
+		}
+		if df != nil {
+			l.dirs[importPath] = df
+		}
+		return nil
+	})
+}
+
+// parseDir parses the buildable .go files of one directory, split into the
+// plain / in-package-test / external-test file sets. Returns nil when the
+// directory holds no buildable Go files.
+func (l *loader) parseDir(importPath, dir string) (*dirFiles, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	bctx := build.Default
+	df := &dirFiles{importPath: importPath, dir: dir}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if ok, err := bctx.MatchFile(dir, name); err != nil {
+			return nil, err
+		} else if !ok {
+			continue // excluded by build constraints (GOOS, //go:build)
+		}
+		full := filepath.Join(dir, name)
+		f, err := parser.ParseFile(l.fset, full, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pf := parsedFile{name: full, ast: f}
+		pkg := f.Name.Name
+		switch {
+		case !strings.HasSuffix(name, "_test.go"):
+			if df.pkgName != "" && pkg != df.pkgName {
+				return nil, fmt.Errorf("%s: packages %s and %s in one directory", dir, df.pkgName, pkg)
+			}
+			df.pkgName = pkg
+			df.plain = append(df.plain, pf)
+		case strings.HasSuffix(pkg, "_test"):
+			df.extTest = append(df.extTest, pf)
+		default:
+			df.inTest = append(df.inTest, pf)
+		}
+	}
+	if len(df.plain)+len(df.inTest)+len(df.extTest) == 0 {
+		return nil, nil
+	}
+	return df, nil
+}
+
+// check type-checks one analysis unit and records the type info the checks
+// need.
+func (l *loader) check(path, dir string, files []parsedFile) (*Package, error) {
+	pkg := &Package{Path: path, Dir: dir}
+	asts := make([]*ast.File, len(files))
+	for i, pf := range files {
+		asts[i] = pf.ast
+		pkg.Filenames = append(pkg.Filenames, pf.name)
+	}
+	pkg.Files = asts
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var errs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	tpkg, err := conf.Check(path, l.fset, asts, pkg.Info)
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("type-checking %s: %w", path, errs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// Import implements types.Importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.cfg.Dir, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-internal paths are
+// type-checked from the tree (plain files only, as the compiler imports
+// them); everything else goes to the stdlib source importer.
+func (l *loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.cfg.ModulePath || strings.HasPrefix(path, l.cfg.ModulePath+"/") {
+		return l.importModulePkg(path)
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}
+
+// importModulePkg type-checks the plain (non-test) view of a module
+// package for use as an import, caching the result.
+func (l *loader) importModulePkg(path string) (*types.Package, error) {
+	if pkg, ok := l.plain[path]; ok {
+		return pkg, nil
+	}
+	if l.busy[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.busy[path] = true
+	defer delete(l.busy, path)
+	df, ok := l.dirs[path]
+	if !ok || len(df.plain) == 0 {
+		return nil, fmt.Errorf("no package %s under %s", path, l.cfg.Dir)
+	}
+	asts := make([]*ast.File, len(df.plain))
+	for i, pf := range df.plain {
+		asts[i] = pf.ast
+	}
+	var errs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	pkg, err := conf.Check(path, l.fset, asts, nil)
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("type-checking import %s: %w", path, errs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("type-checking import %s: %w", path, err)
+	}
+	l.plain[path] = pkg
+	return pkg, nil
+}

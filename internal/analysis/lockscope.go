@@ -1,0 +1,167 @@
+package analysis
+
+// lockscope: PR 5's post-review hardening fixed, by hand, a /dbs creation
+// that held the daemon's registry lock across a full-database wire encode
+// plus fsyncs — every unrelated request stalled behind one slow disk. This
+// check machine-enforces that class: inside the configured daemon
+// packages, no call to a known-blocking operation (anything in the store
+// package, wire encode/decode, file I/O, HTTP) may appear between a
+// `<x>.mu.Lock()` / `RLock()` and its matching `Unlock()` / `RUnlock()`.
+//
+// Only mutexes whose field/variable name is in Config.LockNames are
+// checked ("mu": the registry and coalescer locks). The per-tenant
+// writeMu is exempt by name on purpose — its documented job is covering
+// the journal append so WAL order equals commit order.
+//
+// Scope is computed per statement list, flow-insensitively: from the Lock
+// call to the first matching unlock on the same receiver at the same
+// nesting level (statements in between are inspected recursively); a
+// `defer x.mu.Unlock()` does not close the section, so it extends to the
+// end of the list, matching the lock's actual extent. Function literals
+// inside a section are skipped — they may run after the unlock — but
+// *calling* a blocking function and passing one (e.g. sdb.Batch(func...))
+// is still flagged at the call.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// lockFuncs are the sync methods that open a checked section; unlockFuncs
+// close it. An RUnlock closing a Lock section (or vice versa) would be a
+// bug in its own right, but matching on the receiver alone keeps the
+// matcher simple and misses nothing this check cares about.
+var (
+	lockFuncs = map[string]bool{
+		"(*sync.Mutex).Lock":    true,
+		"(*sync.RWMutex).Lock":  true,
+		"(*sync.RWMutex).RLock": true,
+	}
+	unlockFuncs = map[string]bool{
+		"(*sync.Mutex).Unlock":    true,
+		"(*sync.RWMutex).Unlock":  true,
+		"(*sync.RWMutex).RUnlock": true,
+	}
+)
+
+func runLockScope(p *Pass) {
+	if !inStrings(trimTestPath(p.Pkg.Path), p.Cfg.LockPkgs) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if list := stmtList(n); list != nil {
+				p.scanLockList(list)
+			}
+			return true
+		})
+	}
+}
+
+// trimTestPath maps an external test unit ("foo_test") back to its
+// package's import path.
+func trimTestPath(path string) string {
+	if len(path) > 5 && path[len(path)-5:] == "_test" {
+		return path[:len(path)-5]
+	}
+	return path
+}
+
+// stmtList returns the statement list a node carries, if any.
+func stmtList(n ast.Node) []ast.Stmt {
+	switch s := n.(type) {
+	case *ast.BlockStmt:
+		return s.List
+	case *ast.CaseClause:
+		return s.Body
+	case *ast.CommClause:
+		return s.Body
+	}
+	return nil
+}
+
+// scanLockList finds Lock calls in one statement list and checks the
+// section each one opens.
+func (p *Pass) scanLockList(list []ast.Stmt) {
+	for i, st := range list {
+		es, ok := st.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		recv, ok := p.mutexCall(es.X, lockFuncs)
+		if !ok {
+			continue
+		}
+		section := list[i+1:]
+		for j := i + 1; j < len(list); j++ {
+			if es, ok := list[j].(*ast.ExprStmt); ok {
+				if r, ok := p.mutexCall(es.X, unlockFuncs); ok && r == recv {
+					section = list[i+1 : j]
+					break
+				}
+			}
+		}
+		for _, s := range section {
+			p.checkBlocking(s, recv)
+		}
+	}
+}
+
+// mutexCall matches a call whose callee is one of the given sync methods
+// on a receiver whose final name is in Config.LockNames. It returns the
+// receiver's source text, used to match a Lock to its Unlock.
+func (p *Pass) mutexCall(e ast.Expr, methods map[string]bool) (recv string, ok bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || !methods[fn.FullName()] {
+		return "", false
+	}
+	if !inStrings(finalName(sel.X), p.Cfg.LockNames) {
+		return "", false
+	}
+	return types.ExprString(sel.X), true
+}
+
+// finalName returns the last identifier of a selector chain (x.y.mu ->
+// "mu"; mu -> "mu"), or "".
+func finalName(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	}
+	return ""
+}
+
+// checkBlocking inspects one statement inside a held-mu section for calls
+// into the blocking deny list.
+func (p *Pass) checkBlocking(st ast.Stmt, recv string) {
+	ast.Inspect(st, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // may run after the unlock; calls passing it are still seen
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := p.calleeFunc(call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		full := fn.FullName()
+		if inStrings(fn.Pkg().Path(), p.Cfg.BlockingPkgs) || inStrings(full, p.Cfg.BlockingFuncs) {
+			p.Reportf(call.Pos(),
+				"%s called while %s.Lock() is held: registry/tenant mu sections must not fsync, append to the WAL, wire-encode, or touch HTTP; move the blocking work outside the lock",
+				full, recv)
+		}
+		return true
+	})
+}

@@ -1,0 +1,75 @@
+package analysis
+
+// resolve.go: small type-resolution helpers shared by the checks.
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+)
+
+// namedFrom unwraps pointers and aliases down to a *types.Named, or nil.
+func namedFrom(t types.Type) *types.Named {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isFrozenType reports whether t (after pointer/alias unwrapping) is one
+// of the snapshot-shared types of the configured uncertain package.
+func (p *Pass) isFrozenType(t types.Type) (name string, ok bool) {
+	n := namedFrom(t)
+	if n == nil {
+		return "", false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != p.Cfg.UncertainPkg {
+		return "", false
+	}
+	if !inStrings(obj.Name(), p.Cfg.FrozenTypes) {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+// fieldSel resolves sel as a struct field selection, returning the
+// selection or nil.
+func (p *Pass) fieldSel(sel *ast.SelectorExpr) *types.Selection {
+	s := p.Pkg.Info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s
+}
+
+// inUncertainWriterFiles reports whether pos's file is one of the listed
+// base names and the pass is running over the uncertain package itself
+// (the whitelists only ever apply there — any other package writing these
+// fields is a violation no matter the file name).
+func (p *Pass) inUncertainFiles(pos ast.Node, files []string) bool {
+	if p.Pkg.Path != p.Cfg.UncertainPkg && p.Pkg.Path != p.Cfg.UncertainPkg+"_test" {
+		return false
+	}
+	base := filepath.Base(p.Fset.Position(pos.Pos()).Filename)
+	return inStrings(base, files)
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes
+// (through selections and plain identifiers), or nil for builtins,
+// conversions, and calls of function-typed values.
+func (p *Pass) calleeFunc(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.Pkg.Info.Uses[id].(*types.Func)
+	return fn
+}

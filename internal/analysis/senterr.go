@@ -1,0 +1,68 @@
+package analysis
+
+// senterr: the module's error contract (PR 5/PR 6: ErrPoisoned, ErrGap,
+// ErrReadOnly, ErrFrozenSnapshot, ...) is that sentinels travel *wrapped*
+// — fmt.Errorf("...: %w", Err...) — so identity comparison against a
+// sentinel silently stops matching the moment a call site adds context.
+// This check flags == and != where either operand resolves to an exported
+// package-level `Err*` variable of error type, anywhere in the module
+// including tests (the exact bug class of the internal/quality quick_test
+// comparison this suite was built to catch). errors.Is is the fix.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func runSentErr(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			name := p.sentinelName(bin.X)
+			if name == "" {
+				name = p.sentinelName(bin.Y)
+			}
+			if name == "" {
+				return true
+			}
+			p.Reportf(bin.Pos(),
+				"%s compared with %s: sentinels are returned wrapped, so identity comparison misses them; use errors.Is(err, %s)",
+				bin.Op, name, name)
+			return true
+		})
+	}
+}
+
+// sentinelName returns the name of the exported Err* sentinel expr refers
+// to, or "".
+func (p *Pass) sentinelName(expr ast.Expr) string {
+	var id *ast.Ident
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return ""
+	}
+	v, ok := p.Pkg.Info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || !v.Exported() || v.IsField() {
+		return ""
+	}
+	// Package-level only: a local variable named ErrSomething is the
+	// caller's business.
+	if v.Parent() != v.Pkg().Scope() {
+		return ""
+	}
+	if !strings.HasPrefix(v.Name(), "Err") || !types.Implements(v.Type(), errorIface) {
+		return ""
+	}
+	return id.Name
+}

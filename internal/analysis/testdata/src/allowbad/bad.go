@@ -1,0 +1,32 @@
+// Package allowbad seeds malformed and unused lint:allow directives. The
+// analyzer tests assert each one is reported rather than honored — want
+// comments cannot express these (the expectation sits on the directive's
+// own line), so the assertions live in analysis_test.go.
+package allowbad
+
+import "errors"
+
+// ErrX is a sentinel so each directive has a finding it could plausibly
+// target.
+var ErrX = errors.New("x")
+
+// Bad compares identity under a reason-less directive: the directive is
+// malformed, so it suppresses nothing and BOTH problems are findings.
+func Bad(err error) bool {
+	//lint:allow senterr
+	return err == ErrX
+}
+
+// Unknown names a check that does not exist; the comparison below stays a
+// finding.
+func Unknown(err error) bool {
+	//lint:allow sentinelerr typo in the check name
+	return err == ErrX
+}
+
+// Fine already uses errors.Is, so the directive suppresses nothing and is
+// reported as unused.
+func Fine(err error) bool {
+	//lint:allow senterr this suppression has outlived the code it excused
+	return errors.Is(err, ErrX)
+}

@@ -1,0 +1,3 @@
+module allowbad
+
+go 1.24

@@ -1,0 +1,24 @@
+// Command tool is a binary: the ctxdiscipline exemption prefix covers it,
+// but senterr still applies module-wide.
+package main
+
+import (
+	"context"
+
+	"fixture/lib"
+)
+
+func main() {
+	run(context.Background())              // binaries own their lifecycles: not flagged
+	if err := work(); err == lib.ErrBusy { // want senterr "ErrBusy"
+		return
+	}
+}
+
+func run(ctx context.Context) {
+	_ = ctx
+}
+
+func work() error {
+	return lib.ErrBusy
+}

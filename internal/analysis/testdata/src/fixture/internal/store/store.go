@@ -1,0 +1,17 @@
+// Package store stands in for the real persistence backend: DefaultConfig
+// marks every call into it as blocking, so the lockscope fixture uses it
+// to seed held-lock violations.
+package store
+
+// ReadersAttached reports whether a follower holds the directory's
+// journal.
+func ReadersAttached(dir string) bool {
+	return dir == ""
+}
+
+// Append appends a record to the directory's journal.
+func Append(dir string, rec []byte) error {
+	_ = dir
+	_ = rec
+	return nil
+}

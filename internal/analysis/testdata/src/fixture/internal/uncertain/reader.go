@@ -1,0 +1,27 @@
+package uncertain
+
+// reader.go is deliberately absent from both file whitelists: every hit
+// below is a seeded violation with its expected finding in a want comment.
+
+// Corrupt writes frozen fields from a reader file.
+func Corrupt(db *Database, x *XTuple, t *Tuple) {
+	t.Prob = 0.5       // want frozenwrite "(Tuple).Prob"
+	t.idx++            // want frozenwrite "(Tuple).idx"
+	x.Name = "renamed" // want frozenwrite "(XTuple).Name"
+	db.n = 0           // want frozenwrite "(Database).n"
+	v := Tuple{}
+	v.Prob = 1 // a value copy is local by construction: not flagged
+	_ = v
+}
+
+// Peek reads the writer-epoch field from a reader file.
+func Peek(t *Tuple) int {
+	return t.idx // want idxread "writer-epoch field"
+}
+
+// PeekAllowed is the escape hatch in action: suppressed, with the reason
+// surfaced in the lint output.
+func PeekAllowed(t *Tuple) int {
+	//lint:allow idxread fixture: demonstrates a reasoned suppression
+	return t.idx
+}

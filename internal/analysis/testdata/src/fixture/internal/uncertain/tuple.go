@@ -1,0 +1,7 @@
+package uncertain
+
+// Index is the documented idx accessor; tuple.go is on the idx whitelist,
+// so this read is legitimate.
+func (t *Tuple) Index() int {
+	return t.idx
+}

@@ -1,0 +1,52 @@
+// Package lib is a plain library package: ctxdiscipline and senterr apply
+// in full here, and frozenwrite guards the uncertain types it imports.
+package lib
+
+import (
+	"context"
+	"errors"
+
+	"fixture/internal/uncertain"
+)
+
+// ErrBusy is an exported sentinel: identity comparison against it is a
+// senterr finding anywhere in the module.
+var ErrBusy = errors.New("busy")
+
+// Classify walks through the senterr shapes.
+func Classify(err error) string {
+	if err == ErrBusy { // want senterr "ErrBusy"
+		return "busy"
+	}
+	if err != uncertain.ErrGap { // want senterr "ErrGap"
+		return "other"
+	}
+	if errors.Is(err, ErrBusy) { // errors.Is is the fix: not flagged
+		return "busy"
+	}
+	ErrLocal := errors.New("local")
+	if err == ErrLocal { // a local variable is not a package sentinel
+		return "local"
+	}
+	return ""
+}
+
+// Mutate writes a frozen tuple from outside the uncertain package.
+func Mutate(t *uncertain.Tuple) {
+	t.Prob = 0.25 // want frozenwrite "(Tuple).Prob"
+	local := uncertain.Tuple{}
+	local.Prob = 1 // a value copy is local by construction: not flagged
+	_ = local
+}
+
+// Run uses the caller-hostile contexts the check exists to catch.
+func Run() {
+	work(context.Background()) // want ctxdiscipline "context.Background"
+	work(context.TODO())       // want ctxdiscipline "context.TODO"
+	//lint:allow ctxdiscipline fixture: demonstrates a reasoned wrapper suppression
+	work(context.Background())
+}
+
+func work(ctx context.Context) {
+	_ = ctx
+}

@@ -1,0 +1,15 @@
+package lib
+
+import (
+	"context"
+	"testing"
+)
+
+// Test files are linted for senterr (the quick_test incident) but exempt
+// from ctxdiscipline: tests own their lifecycles.
+func TestClassify(t *testing.T) {
+	if err := error(nil); err == ErrBusy { // want senterr "ErrBusy"
+		t.Fatal("nil matched sentinel")
+	}
+	work(context.Background()) // not flagged in a test file
+}

@@ -56,6 +56,7 @@ func (a *AdaptiveOutcome) FinalDB(ctx *Context) interface{ NumGroups() int } {
 // its realized improvement stochastically dominates the one-shot planner's
 // (verified statistically in the tests).
 func AdaptiveExecute(ctx *Context, planner func(*Context) (Plan, error), rng *rand.Rand, maxRounds int) (*AdaptiveOutcome, error) {
+	//lint:allow ctxdiscipline deprecated no-context wrapper kept for API compatibility; use AdaptiveExecuteContext
 	return AdaptiveExecuteContext(context.Background(), ctx, background(planner), rng, maxRounds)
 }
 

@@ -14,6 +14,7 @@ const dpMaxCells = 1 << 27
 // DPContext with a background context; prefer DPContext in servers so a
 // caller can abandon a long-running plan.
 func DP(c *Context) (Plan, error) {
+	//lint:allow ctxdiscipline deprecated no-context wrapper kept for API compatibility; use DPContext
 	return dp(context.Background(), c, true)
 }
 
@@ -42,6 +43,7 @@ func DPContext(ctx context.Context, c *Context) (Plan, error) {
 // paper's formulation). It exists to measure what the cap buys; the
 // returned plan's value matches DP's to within the 1e-15 cap tolerance.
 func AblationDPNoCap(c *Context) (Plan, error) {
+	//lint:allow ctxdiscipline ablation harness entry point; measurement runs own their lifecycles
 	return dp(context.Background(), c, false)
 }
 

@@ -13,6 +13,7 @@ const greedyCancelStride = 256
 // context; prefer GreedyContext in servers so a caller can abandon a
 // long-running plan.
 func Greedy(c *Context) (Plan, error) {
+	//lint:allow ctxdiscipline deprecated no-context wrapper kept for API compatibility; use GreedyContext
 	return GreedyContext(context.Background(), c)
 }
 

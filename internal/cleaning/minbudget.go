@@ -28,6 +28,7 @@ var ErrBadMaxBudget = errors.New("cleaning: maxBudget must be at least 1")
 // budget; Greedy gives an upper bound that is near-optimal in practice.
 // maxBudget caps the search.
 func MinBudgetForTarget(ctx *Context, target float64, maxBudget int, planner func(*Context) (Plan, error)) (int, Plan, error) {
+	//lint:allow ctxdiscipline deprecated no-context wrapper kept for API compatibility; use MinBudgetForTargetContext
 	return MinBudgetForTargetContext(context.Background(), ctx, target, maxBudget, background(planner))
 }
 

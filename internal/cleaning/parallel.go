@@ -26,6 +26,7 @@ const mcSeedStride = 1_000_003
 // MonteCarloImprovementParallel is MonteCarloImprovementParallelContext
 // with a background context.
 func MonteCarloImprovementParallel(c *Context, plan Plan, seed int64, trials, workers int) (float64, error) {
+	//lint:allow ctxdiscipline deprecated no-context wrapper kept for API compatibility; use MonteCarloImprovementParallelContext
 	return MonteCarloImprovementParallelContext(context.Background(), c, plan, seed, trials, workers)
 }
 

@@ -13,6 +13,7 @@ const randCancelStride = 256
 // RandU implements the uniform-random baseline of Section V-D.2 with a
 // background context; prefer RandUContext in servers.
 func RandU(c *Context, rng *rand.Rand) (Plan, error) {
+	//lint:allow ctxdiscipline deprecated no-context wrapper kept for API compatibility; use RandUContext
 	return RandUContext(context.Background(), c, rng)
 }
 
@@ -35,6 +36,7 @@ func RandUContext(ctx context.Context, c *Context, rng *rand.Rand) (Plan, error)
 // RandP implements the probability-weighted baseline of Section V-D.3 with
 // a background context; prefer RandPContext in servers.
 func RandP(c *Context, rng *rand.Rand) (Plan, error) {
+	//lint:allow ctxdiscipline deprecated no-context wrapper kept for API compatibility; use RandPContext
 	return RandPContext(context.Background(), c, rng)
 }
 

@@ -1,6 +1,7 @@
 package quality
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"reflect"
@@ -166,7 +167,7 @@ func TestPWRLimited(t *testing.T) {
 	if !numeric.AlmostEqual(s, -2.551325921692723, 1e-9, 1e-9) {
 		t.Fatalf("PWRLimited = %v", s)
 	}
-	if _, err := PWRLimited(db, 2, 6); err != ErrResultLimit {
+	if _, err := PWRLimited(db, 2, 6); !errors.Is(err, ErrResultLimit) {
 		t.Fatalf("err = %v, want ErrResultLimit", err)
 	}
 }

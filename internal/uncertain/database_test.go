@@ -272,6 +272,7 @@ func TestCloneIsDeep(t *testing.T) {
 		t.Fatalf("clone shape mismatch")
 	}
 	// Mutating the clone's tuple must not affect the original.
+	//lint:allow frozenwrite deliberate out-of-band write: the test proves Clone does not share tuple storage
 	cp.Sorted()[0].Prob = 0.123
 	if db.Sorted()[0].Prob == 0.123 {
 		t.Fatal("clone shares tuple storage with original")

@@ -73,6 +73,7 @@ func sameState(t *testing.T, want, got *Database) {
 	for i, wt := range want.sorted {
 		gt := got.sorted[i]
 		if gt.ID != wt.ID || gt.Group != wt.Group || gt.Null != wt.Null ||
+			//lint:allow idxread wire round-trip test asserts the writer-epoch field survives encode/decode bit-for-bit
 			gt.ord != wt.ord || gt.idx != wt.idx ||
 			math.Float64bits(gt.Prob) != math.Float64bits(wt.Prob) ||
 			math.Float64bits(gt.Score) != math.Float64bits(wt.Score) {
