@@ -1,14 +1,15 @@
 // Command topkclean-lint runs the repo's invariant lint suite
 // (internal/analysis): stdlib-only static analysis that loads and
 // type-checks the whole module — tests included — and enforces the
-// snapshot, lock, and error discipline the runtime guarantees rest on
-// (frozenwrite, idxread, senterr, lockscope, ctxdiscipline; see DESIGN.md
+// snapshot, lock, error, and determinism discipline the runtime
+// guarantees rest on (frozenwrite, idxread, senterr, lockscope,
+// ctxdiscipline, lockorder, unlockpath, maporder, walltime; see DESIGN.md
 // "Enforced invariants").
 //
 // Usage:
 //
 //	topkclean-lint [./...]            # lint the module containing the cwd
-//	topkclean-lint -checks senterr,lockscope ./...
+//	topkclean-lint -checks senterr,lockorder ./...
 //	topkclean-lint -json ./...        # machine-readable findings + allows
 //	topkclean-lint -list              # print the checks and exit
 //
@@ -16,26 +17,29 @@
 // packages); "./..." is accepted for familiarity. Exit status is 1 when
 // findings remain after //lint:allow filtering, 2 on load/type errors.
 // Every applied allow is printed with its mandatory reason, so
-// suppressions stay visible.
+// suppressions stay visible. Output is deterministic: findings and allows
+// are emitted sorted by (file, line, col, check) in both text and -json
+// modes, so two runs over the same tree produce identical bytes — CI
+// diffs the uploaded -json artifact across runs.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
-	"sort"
 	"strings"
 
 	"github.com/probdb/topkclean/internal/analysis"
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Stdout, os.Stderr))
 }
 
-func run() int {
+func run(stdout, stderr io.Writer) int {
 	var (
 		jsonOut    = flag.Bool("json", false, "emit findings and allows as JSON")
 		checksFlag = flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
@@ -47,34 +51,33 @@ func run() int {
 
 	if *list {
 		docs := analysis.CheckDocs()
-		names := analysis.CheckNames()
-		for _, n := range names {
-			fmt.Printf("%-14s %s\n", n, docs[n])
+		for _, n := range analysis.CheckNames() {
+			fmt.Fprintf(stdout, "%-14s %s\n", n, docs[n])
 		}
 		return 0
 	}
 	for _, arg := range flag.Args() {
 		if arg != "./..." && arg != "..." {
-			fmt.Fprintf(os.Stderr, "topkclean-lint: the suite always lints the whole module; pass ./... or nothing (got %q)\n", arg)
+			fmt.Fprintf(stderr, "topkclean-lint: the suite always lints the whole module; pass ./... or nothing (got %q)\n", arg)
 			return 2
 		}
 	}
 
 	root, err := analysis.FindModuleRoot(*dir)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "topkclean-lint: %v\n", err)
+		fmt.Fprintf(stderr, "topkclean-lint: %v\n", err)
 		return 2
 	}
 	cfg, err := analysis.DefaultConfig(root)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "topkclean-lint: %v\n", err)
+		fmt.Fprintf(stderr, "topkclean-lint: %v\n", err)
 		return 2
 	}
 	if *checksFlag != "" {
 		for _, name := range strings.Split(*checksFlag, ",") {
 			name = strings.TrimSpace(name)
 			if !analysis.KnownCheck(name) {
-				fmt.Fprintf(os.Stderr, "topkclean-lint: unknown check %q (known: %s)\n",
+				fmt.Fprintf(stderr, "topkclean-lint: unknown check %q (known: %s)\n",
 					name, strings.Join(analysis.CheckNames(), ", "))
 				return 2
 			}
@@ -84,39 +87,53 @@ func run() int {
 
 	res, err := analysis.Run(cfg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "topkclean-lint: %v\n", err)
+		fmt.Fprintf(stderr, "topkclean-lint: %v\n", err)
 		return 2
 	}
 
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(res); err != nil {
-			fmt.Fprintf(os.Stderr, "topkclean-lint: %v\n", err)
+		if err := writeJSON(stdout, res); err != nil {
+			fmt.Fprintf(stderr, "topkclean-lint: %v\n", err)
 			return 2
 		}
 	} else {
-		for _, f := range res.Findings {
-			fmt.Printf("%s:%d:%d: [%s] %s\n", relPath(root, f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Check, f.Message)
-		}
+		writeText(stdout, root, res)
 		if !*quiet {
-			allows := append([]*analysis.Allow(nil), res.Allows...)
-			sort.Slice(allows, func(i, j int) bool {
-				if allows[i].Pos.Filename != allows[j].Pos.Filename {
-					return allows[i].Pos.Filename < allows[j].Pos.Filename
-				}
-				return allows[i].Pos.Line < allows[j].Pos.Line
-			})
-			for _, a := range allows {
-				fmt.Fprintf(os.Stderr, "%s:%d: allowed [%s]: %s\n", relPath(root, a.Pos.Filename), a.Pos.Line, a.Check, a.Reason)
-			}
+			writeAllows(stderr, root, res)
 		}
 	}
 	if len(res.Findings) > 0 {
-		fmt.Fprintf(os.Stderr, "topkclean-lint: %d finding(s)\n", len(res.Findings))
+		fmt.Fprintf(stderr, "topkclean-lint: %d finding(s)\n", len(res.Findings))
 		return 1
 	}
 	return 0
+}
+
+// writeJSON emits the result as indented JSON. Run returns findings and
+// allows already sorted by (file, line, col, check), and encoding/json
+// preserves slice order and emits struct fields in declaration order, so
+// the bytes are identical run to run.
+func writeJSON(w io.Writer, res *analysis.Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+// writeText emits the findings, one per line, in the result's (file,
+// line, col, check) order with module-root-relative paths.
+func writeText(w io.Writer, root string, res *analysis.Result) {
+	for _, f := range res.Findings {
+		fmt.Fprintf(w, "%s:%d:%d: [%s] %s\n", relPath(root, f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Check, f.Message)
+	}
+}
+
+// writeAllows emits the allow inventory — every directive with its check
+// and mandatory reason — in the result's order, so suppressions stay
+// visible and the listing is byte-stable.
+func writeAllows(w io.Writer, root string, res *analysis.Result) {
+	for _, a := range res.Allows {
+		fmt.Fprintf(w, "%s:%d: allowed [%s]: %s\n", relPath(root, a.Pos.Filename), a.Pos.Line, a.Check, a.Reason)
+	}
 }
 
 // relPath renders a position path relative to the module root for

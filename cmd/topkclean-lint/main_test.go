@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"github.com/probdb/topkclean/internal/analysis"
+)
+
+// render runs the suite over the concur fixture (which seeds findings in
+// several files plus allows, so ordering actually matters) and returns the
+// text, allow-inventory, and JSON renderings.
+func render(t *testing.T) (text, allows, jsonOut []byte) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", "..", "internal", "analysis", "testdata", "src", "concur"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := analysis.DefaultConfig(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := analysis.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Findings) == 0 || len(res.Allows) == 0 {
+		t.Fatalf("fixture produced %d findings, %d allows; the determinism test needs both",
+			len(res.Findings), len(res.Allows))
+	}
+	var tb, ab, jb bytes.Buffer
+	writeText(&tb, root, res)
+	writeAllows(&ab, root, res)
+	if err := writeJSON(&jb, res); err != nil {
+		t.Fatal(err)
+	}
+	return tb.Bytes(), ab.Bytes(), jb.Bytes()
+}
+
+// TestOutputDeterministic asserts two full load-check-render runs produce
+// identical bytes in every output mode: findings and allows are sorted by
+// (file, line, col, check), never by map-iteration or discovery order.
+func TestOutputDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("double fixture type-check is slow under -short")
+	}
+	text1, allows1, json1 := render(t)
+	text2, allows2, json2 := render(t)
+	if !bytes.Equal(text1, text2) {
+		t.Errorf("text output differs between runs:\n--- run 1\n%s--- run 2\n%s", text1, text2)
+	}
+	if !bytes.Equal(allows1, allows2) {
+		t.Errorf("allow inventory differs between runs:\n--- run 1\n%s--- run 2\n%s", allows1, allows2)
+	}
+	if !bytes.Equal(json1, json2) {
+		t.Errorf("-json output differs between runs:\n--- run 1\n%s--- run 2\n%s", json1, json2)
+	}
+}

@@ -14,6 +14,17 @@
 //     inside a registry/tenant mu critical section in the daemon.
 //   - ctxdiscipline: no context.Background() in library packages outside
 //     explicitly allowlisted deprecated wrappers.
+//   - lockorder: no cycles in the module-wide mutex acquisition-order
+//     graph and no same-class re-acquisition, computed interprocedurally
+//     over the call graph (callgraph.go).
+//   - unlockpath: every Lock()/RLock() is released on every exit path
+//     (early return, branch, panic) unless a deferred unlock covers it,
+//     checked over a per-function CFG (cfg.go).
+//   - maporder: no order-sensitive effects (float accumulation, append,
+//     encoder/writer output) inside range-over-map bodies in the
+//     byte-identity packages.
+//   - walltime: no time.Now / global math/rand in the replay-deterministic
+//     packages.
 //
 // Findings carry file:line:col positions; `//lint:allow <check> <reason>`
 // is the single escape hatch (see allow.go). The suite runs as the
@@ -47,11 +58,13 @@ type Result struct {
 	Allows   []*Allow  `json:"allows"`
 }
 
-// Check is one named invariant checker.
+// Check is one named invariant checker: either per-package (run) or
+// module-wide (runModule, which sees the call graph).
 type Check struct {
-	Name string
-	Doc  string
-	run  func(*Pass)
+	Name      string
+	Doc       string
+	run       func(*Pass)
+	runModule func(*ModulePass)
 }
 
 // checks is the suite, in stable execution order.
@@ -80,6 +93,26 @@ var checks = []Check{
 		Name: "ctxdiscipline",
 		Doc:  "no context.Background/TODO in library packages (binaries, examples, tests exempt)",
 		run:  runCtxDiscipline,
+	},
+	{
+		Name:      "lockorder",
+		Doc:       "no cycles in the mutex acquisition-order graph, no same-class re-acquisition (interprocedural, module-wide)",
+		runModule: runLockOrder,
+	},
+	{
+		Name: "unlockpath",
+		Doc:  "every Lock/RLock released on every exit path (return, branch, panic) unless deferred",
+		run:  runUnlockPath,
+	},
+	{
+		Name: "maporder",
+		Doc:  "no order-sensitive effects (float accumulation, append, writer output) in range-over-map bodies of byte-identity packages",
+		run:  runMapOrder,
+	},
+	{
+		Name: "walltime",
+		Doc:  "no time.Now or global math/rand in replay-deterministic packages",
+		run:  runWallTime,
 	},
 }
 
@@ -127,6 +160,18 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.report(p.check, pos, format, args...)
 }
 
+// ModulePass is a module-wide check's view: every analysis unit at once,
+// plus the call graph, so checks can reason across function and package
+// boundaries.
+type ModulePass struct {
+	Cfg    *Config
+	Fset   *token.FileSet
+	Mod    *Module
+	Graph  *CallGraph
+	check  string
+	report func(check string, pos token.Pos, format string, args ...any)
+}
+
 // Run loads the module described by cfg and runs the enabled checks over
 // every package (test files included). The returned findings have allow
 // directives already applied; Result.Allows records every directive and
@@ -157,12 +202,25 @@ func Run(cfg *Config) (*Result, error) {
 		})...)
 		pass := &Pass{Cfg: cfg, Fset: mod.Fset, Pkg: pkg, report: record}
 		for i := range checks {
-			if !cfg.checkEnabled(checks[i].Name) {
+			if checks[i].run == nil || !cfg.checkEnabled(checks[i].Name) {
 				continue
 			}
 			pass.check = checks[i].Name
 			checks[i].run(pass)
 		}
+	}
+	// Module-wide checks see every unit at once; the call graph is built
+	// only when one of them is enabled.
+	var mp *ModulePass
+	for i := range checks {
+		if checks[i].runModule == nil || !cfg.checkEnabled(checks[i].Name) {
+			continue
+		}
+		if mp == nil {
+			mp = &ModulePass{Cfg: cfg, Fset: mod.Fset, Mod: mod, Graph: BuildCallGraph(mod), report: record}
+		}
+		mp.check = checks[i].Name
+		checks[i].runModule(mp)
 	}
 
 	res := &Result{Allows: allows}
@@ -181,21 +239,35 @@ func Run(cfg *Config) (*Result, error) {
 		}
 	}
 	// An unused directive is dead weight that would silently excuse future
-	// regressions at its line; flag it. Only meaningful when every check
-	// ran — under -checks a directive's check may simply have been skipped.
-	if len(cfg.Checks) == 0 {
-		for _, a := range allows {
-			if !a.Used {
-				res.Findings = append(res.Findings, Finding{
-					Check:   AllowCheck,
-					Pos:     a.Pos,
-					Message: fmt.Sprintf("unused lint:allow %s directive (nothing suppressed on this or the next line); delete it", a.Check),
-				})
-			}
+	// regressions at its line; flag it — but only when the directive's own
+	// check actually ran. Under -checks, a directive whose check was
+	// skipped is unjudgeable, not unused.
+	for _, a := range allows {
+		if !a.Used && cfg.checkEnabled(a.Check) {
+			res.Findings = append(res.Findings, Finding{
+				Check:   AllowCheck,
+				Pos:     a.Pos,
+				Message: fmt.Sprintf("unused lint:allow %s directive (nothing suppressed on this or the next line); delete it", a.Check),
+			})
 		}
 	}
 	sort.Slice(res.Findings, func(i, j int) bool {
 		a, b := res.Findings[i], res.Findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	// Allows in the same deterministic order, so -json output and the CI
+	// allow inventory are byte-stable run to run.
+	sort.Slice(res.Allows, func(i, j int) bool {
+		a, b := res.Allows[i], res.Allows[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}

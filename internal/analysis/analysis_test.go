@@ -62,11 +62,13 @@ func loadWants(t *testing.T, root string) map[string][]*want {
 	return wants
 }
 
-// TestFixtureSuite runs the whole suite over the fixture module and diffs
-// the findings against the want comments: every seeded violation must
-// fire, nothing else may, and every allow directive must be consumed.
-func TestFixtureSuite(t *testing.T) {
-	cfg := fixtureConfig(t, "fixture")
+// runFixture runs the whole suite over one fixture module and diffs the
+// findings against its want comments: every seeded violation must fire,
+// nothing else may, and every allow directive must carry a reason and be
+// consumed. wantAllows pins how many directives the fixture seeds.
+func runFixture(t *testing.T, name string, wantAllows int) {
+	t.Helper()
+	cfg := fixtureConfig(t, name)
 	res, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -92,12 +94,8 @@ func TestFixtureSuite(t *testing.T) {
 			}
 		}
 	}
-	// The fixture seeds exactly one reasoned allow per suppressible shape
-	// (idxread, ctxdiscipline, lockscope); each must carry its reason and
-	// have actually suppressed something, or it would be an unused-allow
-	// finding caught above.
-	if len(res.Allows) != 3 {
-		t.Errorf("allows = %d, want 3", len(res.Allows))
+	if len(res.Allows) != wantAllows {
+		t.Errorf("allows = %d, want %d", len(res.Allows), wantAllows)
 	}
 	for _, a := range res.Allows {
 		if a.Reason == "" {
@@ -109,11 +107,35 @@ func TestFixtureSuite(t *testing.T) {
 	}
 }
 
+// TestFixtureSuite runs the suite over the original fixture module, which
+// seeds exactly one reasoned allow per suppressible shape (idxread,
+// ctxdiscipline, lockscope).
+func TestFixtureSuite(t *testing.T) {
+	runFixture(t, "fixture", 3)
+}
+
+// TestLockCycleFixture pins the interprocedural lockorder cases: a seeded
+// cross-package acquisition-order cycle (through interface dispatch, so it
+// also exercises dynamic call-graph edges), a same-class re-acquisition,
+// a consistently-ordered nesting as the negative, and one allowed
+// re-acquisition.
+func TestLockCycleFixture(t *testing.T) {
+	runFixture(t, "lockcycle", 1)
+}
+
+// TestConcurrencyFixture pins the unlockpath / maporder / walltime cases:
+// leaked locks on early-return and panic paths, order-sensitive effects in
+// range-over-map bodies, wall-clock and global-rand reads in a
+// replay-deterministic package — plus every clean idiom as negatives and
+// one reasoned allow per check.
+func TestConcurrencyFixture(t *testing.T) {
+	runFixture(t, "concur", 3)
+}
+
 // TestCheckSubset runs only senterr over the fixture: other checks'
 // findings must not appear, and — crucially — the fixture's idxread /
-// ctxdiscipline / lockscope allows must NOT be reported as unused, since a
-// subset run cannot tell an unused directive from one whose check was
-// skipped.
+// ctxdiscipline / lockscope allows must NOT be reported as unused: a
+// directive whose check was skipped is unjudgeable, not unused.
 func TestCheckSubset(t *testing.T) {
 	cfg := fixtureConfig(t, "fixture")
 	cfg.Checks = []string{"senterr"}
@@ -128,6 +150,52 @@ func TestCheckSubset(t *testing.T) {
 		if f.Check != "senterr" {
 			t.Errorf("senterr-only run produced a %s finding: %s", f.Check, f)
 		}
+	}
+}
+
+// TestSubsetUnusedAllow pins the per-check unused-allow gate: the allowbad
+// fixture's well-formed-but-unused directive targets senterr, so a
+// senterr-only run must still report it (the check ran, the directive
+// suppressed nothing), while an idxread-only run must stay silent about it
+// (senterr was skipped, so the directive is unjudgeable). Malformed
+// directives are reported either way — validation is not check-gated.
+func TestSubsetUnusedAllow(t *testing.T) {
+	cfg := fixtureConfig(t, "allowbad")
+	cfg.Checks = []string{"senterr"}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundUnused := false
+	for _, f := range res.Findings {
+		if f.Check == AllowCheck && strings.Contains(f.Message, "unused lint:allow") {
+			foundUnused = true
+		}
+	}
+	if !foundUnused {
+		t.Errorf("senterr-only run did not report the unused senterr directive; findings: %v", res.Findings)
+	}
+
+	cfg = fixtureConfig(t, "allowbad")
+	cfg.Checks = []string{"idxread"}
+	res, err = Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	malformed := 0
+	for _, f := range res.Findings {
+		if f.Check != AllowCheck {
+			t.Errorf("idxread-only run produced a %s finding: %s", f.Check, f)
+			continue
+		}
+		if strings.Contains(f.Message, "unused lint:allow") {
+			t.Errorf("idxread-only run reported an unused directive for a skipped check: %s", f)
+			continue
+		}
+		malformed++
+	}
+	if malformed != 2 {
+		t.Errorf("idxread-only run reported %d malformed directives, want 2", malformed)
 	}
 }
 

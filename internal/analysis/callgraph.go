@@ -1,0 +1,286 @@
+package analysis
+
+// callgraph.go builds the module-wide call graph the interprocedural
+// checks (lockorder) walk and check authors can rely on. Resolution is
+// static:
+//
+//   - Direct calls and method calls resolve through go/types to the
+//     declared *types.Func; module-internal callees become edges, stdlib
+//     callees are dropped (the checks model stdlib behavior explicitly
+//     where they care, e.g. the sync methods).
+//   - Calls through an interface-typed receiver resolve to every
+//     in-module named type that structurally implements the interface
+//     (method-name superset plus an identical signature for the called
+//     method). Signatures are compared as package-path-qualified strings
+//     because each analysis unit is type-checked separately, so the same
+//     named type is a distinct types.Type object in different units and
+//     types.Identical cannot be used across them.
+//   - Function literals are attached to their enclosing declaration:
+//     calls inside a FuncLit become edges of the enclosing function. The
+//     graph does not model when the literal runs (immediately, deferred,
+//     or on another goroutine) — callers that care, like lockorder's
+//     held-section scan, handle literal bodies themselves.
+//   - Calls of function-typed values (fields, parameters, variables) and
+//     method-value references passed around as values are not resolved;
+//     package-level var initializers are not walked. Both are documented
+//     approximations, acceptable for lint-grade analysis.
+//
+// Node keys are types.Func FullName strings ("pkg.F", "(*pkg.T).M"),
+// which are stable across analysis units; init functions get a #n suffix
+// since every one of them shares the name "init".
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// CallEdge is one resolved call site.
+type CallEdge struct {
+	Callee  string    // key of the callee node
+	Pos     token.Pos // position of the call expression
+	Dynamic bool      // true when resolved through an interface
+}
+
+// CallNode is one module function (or method) and its outgoing edges in
+// source order.
+type CallNode struct {
+	Key   string
+	Pkg   *Package      // the analysis unit the body was type-checked in
+	Decl  *ast.FuncDecl // the declaration; Body is never nil
+	Pos   token.Pos
+	Calls []CallEdge
+}
+
+// CallGraph is the module-wide static call graph.
+type CallGraph struct {
+	Nodes map[string]*CallNode
+}
+
+// Keys returns the node keys in sorted order, for deterministic walks.
+func (g *CallGraph) Keys() []string {
+	keys := make([]string, 0, len(g.Nodes))
+	for k := range g.Nodes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// methodImpl is one concrete method a dynamic call could dispatch to.
+type methodImpl struct {
+	key string // node key of the declared method
+	sig string // qualified signature string (receiver excluded)
+}
+
+// namedInfo indexes one in-module named type's method set.
+type namedInfo struct {
+	methods map[string]methodImpl // method name -> implementation
+}
+
+// BuildCallGraph constructs the graph over every analysis unit of the
+// loaded module, test files included.
+func BuildCallGraph(mod *Module) *CallGraph {
+	g := &CallGraph{Nodes: make(map[string]*CallNode)}
+
+	// Pass 1: one node per declared function with a body. init functions
+	// all share the name "init"; disambiguate by order of appearance.
+	initSeq := make(map[string]int)
+	nodeKey := func(pkg *Package, fn *types.Func) string {
+		key := fn.FullName()
+		if fn.Name() == "init" && fn.Type().(*types.Signature).Recv() == nil {
+			initSeq[pkg.Path]++
+			key = fmt.Sprintf("%s#%d", key, initSeq[pkg.Path])
+		}
+		return key
+	}
+	// declKeys remembers the key chosen for each declaration object so
+	// pass 2 can attribute bodies to the pass-1 node (init functions
+	// would otherwise renumber).
+	declKeys := make(map[*ast.FuncDecl]string)
+	for _, pkg := range mod.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				key := nodeKey(pkg, fn)
+				declKeys[fd] = key
+				g.Nodes[key] = &CallNode{Key: key, Pkg: pkg, Decl: fd, Pos: fd.Pos()}
+			}
+		}
+	}
+
+	// Index named types for interface resolution.
+	index := buildMethodIndex(mod)
+
+	// Pass 2: edges.
+	for _, pkg := range mod.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				node := g.Nodes[declKeys[fd]]
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					addCallEdges(g, node, pkg, call, index)
+					return true
+				})
+			}
+		}
+	}
+	return g
+}
+
+// buildMethodIndex collects, per in-module named type, the method name ->
+// implementation map (promoted methods included). Each named type appears
+// in exactly one analysis unit — its defining one — but the map is keyed
+// by pkg.Type name to be safe against augmented-unit duplication.
+func buildMethodIndex(mod *Module) map[string]*namedInfo {
+	index := make(map[string]*namedInfo)
+	for _, pkg := range mod.Pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			id := pkg.Types.Path() + "." + tn.Name()
+			if _, seen := index[id]; seen {
+				continue
+			}
+			ni := &namedInfo{methods: make(map[string]methodImpl)}
+			// The pointer method set is the superset (value + pointer
+			// receivers, promotions included).
+			mset := types.NewMethodSet(types.NewPointer(named))
+			for i := 0; i < mset.Len(); i++ {
+				sel := mset.At(i)
+				fn, ok := sel.Obj().(*types.Func)
+				if !ok {
+					continue
+				}
+				ni.methods[fn.Name()] = methodImpl{
+					key: fn.FullName(),
+					sig: qualifiedSignature(fn.Type().(*types.Signature)),
+				}
+			}
+			index[id] = ni
+		}
+	}
+	return index
+}
+
+// addCallEdges resolves one call expression into zero or more edges of
+// node.
+func addCallEdges(g *CallGraph, node *CallNode, pkg *Package, call *ast.CallExpr, index map[string]*namedInfo) {
+	// Interface dispatch: a method call whose receiver's static type is
+	// an interface.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s := pkg.Info.Selections[sel]; s != nil && s.Kind() == types.MethodVal && types.IsInterface(s.Recv()) {
+			fn, ok := s.Obj().(*types.Func)
+			if !ok {
+				return
+			}
+			want := qualifiedSignature(fn.Type().(*types.Signature))
+			iface, ok := s.Recv().Underlying().(*types.Interface)
+			if !ok {
+				return
+			}
+			// Every in-module type whose method-name set covers the
+			// interface and whose candidate method matches the called
+			// signature is a possible dispatch target.
+			names := make([]string, 0, iface.NumMethods())
+			for i := 0; i < iface.NumMethods(); i++ {
+				names = append(names, iface.Method(i).Name())
+			}
+			ids := make([]string, 0, len(index))
+			for id := range index {
+				ids = append(ids, id)
+			}
+			sort.Strings(ids)
+			for _, id := range ids {
+				ni := index[id]
+				impl, ok := ni.methods[fn.Name()]
+				if !ok || impl.sig != want {
+					continue
+				}
+				covers := true
+				for _, n := range names {
+					if _, ok := ni.methods[n]; !ok {
+						covers = false
+						break
+					}
+				}
+				if !covers {
+					continue
+				}
+				if _, ok := g.Nodes[impl.key]; ok {
+					node.Calls = append(node.Calls, CallEdge{Callee: impl.key, Pos: call.Pos(), Dynamic: true})
+				}
+			}
+			return
+		}
+	}
+	// Static dispatch.
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return
+	}
+	fn, ok := pkg.Info.Uses[id].(*types.Func)
+	if !ok {
+		return
+	}
+	if _, ok := g.Nodes[fn.FullName()]; ok {
+		node.Calls = append(node.Calls, CallEdge{Callee: fn.FullName(), Pos: call.Pos()})
+	}
+}
+
+// qualifiedSignature renders a function signature with package-path
+// qualified type names and no receiver, so signatures compare equal
+// across independently type-checked units.
+func qualifiedSignature(sig *types.Signature) string {
+	qual := func(p *types.Package) string { return p.Path() }
+	var b strings.Builder
+	b.WriteByte('(')
+	for i := 0; i < sig.Params().Len(); i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(types.TypeString(sig.Params().At(i).Type(), qual))
+	}
+	if sig.Variadic() {
+		b.WriteString("...")
+	}
+	b.WriteByte(')')
+	b.WriteByte('(')
+	for i := 0; i < sig.Results().Len(); i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(types.TypeString(sig.Results().At(i).Type(), qual))
+	}
+	b.WriteByte(')')
+	return b.String()
+}

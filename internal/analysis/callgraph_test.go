@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"testing"
+)
+
+// TestCallGraphShape pins the resolved edge set over the callgraph fixture
+// so check authors can rely on it: direct calls resolve to their declared
+// function, interface calls fan out to every in-module implementer (marked
+// dynamic), literal bodies attribute to the enclosing declaration, and
+// cross-package static calls resolve like local ones.
+func TestCallGraphShape(t *testing.T) {
+	cfg := fixtureConfig(t, "callgraph")
+	mod, err := LoadModule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := BuildCallGraph(mod)
+
+	for _, key := range []string{
+		"callgraph/a.Run",
+		"callgraph/a.Direct",
+		"callgraph/a.helper",
+		"callgraph/a.WithLit",
+		"(callgraph/a.Impl).Do",
+		"(*callgraph/a.Other).Do",
+		"callgraph/b.CallAcross",
+		"callgraph/b.Dispatch",
+	} {
+		if g.Nodes[key] == nil {
+			t.Errorf("node %q missing; have %v", key, g.Keys())
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	edgeSet := func(key string) map[string]bool {
+		out := make(map[string]bool)
+		for _, e := range g.Nodes[key].Calls {
+			out[e.Callee] = true
+		}
+		return out
+	}
+
+	// Direct static call.
+	if got := edgeSet("callgraph/a.Direct"); !got["callgraph/a.helper"] || len(got) != 1 {
+		t.Errorf("Direct edges = %v, want exactly {helper}", got)
+	}
+	// Interface dispatch: both implementers, both dynamic.
+	runEdges := g.Nodes["callgraph/a.Run"].Calls
+	got := edgeSet("callgraph/a.Run")
+	if !got["(callgraph/a.Impl).Do"] || !got["(*callgraph/a.Other).Do"] || len(got) != 2 {
+		t.Errorf("Run edges = %v, want both Do implementations", got)
+	}
+	for _, e := range runEdges {
+		if !e.Dynamic {
+			t.Errorf("Run -> %s not marked dynamic", e.Callee)
+		}
+	}
+	// Literal body attributed to the enclosing declaration.
+	if got := edgeSet("callgraph/a.WithLit"); !got["callgraph/a.helper"] {
+		t.Errorf("WithLit edges = %v, want helper (literal attribution)", got)
+	}
+	// Cross-package static calls.
+	if got := edgeSet("callgraph/b.CallAcross"); !got["callgraph/a.Direct"] || len(got) != 1 {
+		t.Errorf("CallAcross edges = %v, want exactly {a.Direct}", got)
+	}
+	cd := g.Nodes["callgraph/b.Dispatch"].Calls
+	if len(cd) != 1 || cd[0].Callee != "callgraph/a.Run" || cd[0].Dynamic {
+		t.Errorf("Dispatch edges = %+v, want one static edge to a.Run", cd)
+	}
+	// Leaves have no edges.
+	if got := edgeSet("callgraph/a.helper"); len(got) != 0 {
+		t.Errorf("helper edges = %v, want none", got)
+	}
+}

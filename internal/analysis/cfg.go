@@ -1,0 +1,318 @@
+package analysis
+
+// cfg.go is the lightweight per-function control-flow graph unlockpath
+// runs its dataflow over. Blocks hold AST nodes (statements plus the
+// condition/range expressions of the construct that guards them) in
+// execution order; edges model if/else, loops, switch/select, break,
+// continue, goto, fallthrough, return, and calls that never return
+// (panic, os.Exit, runtime.Goexit, log.Fatal*, testing's Fatal/Skip
+// family). Implicit panics (nil derefs, slice bounds) are not modeled —
+// this is a lint CFG, not a verifier's.
+
+import (
+	"go/ast"
+)
+
+// cfgBlock is one straight-line run of nodes with its successor edges.
+type cfgBlock struct {
+	nodes []ast.Node
+	succs []*cfgBlock
+	exit  bool // the function's single exit block
+}
+
+// funcCFG is the graph for one function body: entry, the shared exit, and
+// every block reachable or not (unreachable blocks simply never receive
+// dataflow states).
+type funcCFG struct {
+	entry  *cfgBlock
+	exit   *cfgBlock
+	blocks []*cfgBlock
+}
+
+// cfgBuilder carries the construction state: the current block, the
+// break/continue target stack, and goto labels.
+type cfgBuilder struct {
+	g          *funcCFG
+	cur        *cfgBlock
+	targets    []cfgTargets
+	labels     map[string]*cfgBlock // label -> block the labeled stmt starts in
+	gotoFixups []gotoFixup
+	// isTerminal reports whether a statement's call never returns.
+	isTerminal func(ast.Node) bool
+	// pendingLabel is attached to the next loop/switch for labeled
+	// break/continue.
+	pendingLabel string
+}
+
+// cfgTargets is one enclosing breakable/continuable construct.
+type cfgTargets struct {
+	label string
+	brk   *cfgBlock // nil when break does not apply (never: all entries have brk)
+	cont  *cfgBlock // nil for switch/select
+}
+
+type gotoFixup struct {
+	from  *cfgBlock
+	label string
+}
+
+// buildCFG constructs the graph for one function body. isTerminal
+// classifies statements that never return control (panic and friends).
+func buildCFG(body *ast.BlockStmt, isTerminal func(ast.Node) bool) *funcCFG {
+	g := &funcCFG{}
+	b := &cfgBuilder{g: g, labels: make(map[string]*cfgBlock), isTerminal: isTerminal}
+	g.entry = b.newBlock()
+	g.exit = &cfgBlock{exit: true}
+	g.blocks = append(g.blocks, g.exit)
+	b.cur = g.entry
+	b.stmtList(body.List)
+	// Falling off the end of the body is a return.
+	b.edge(b.cur, g.exit)
+	for _, fix := range b.gotoFixups {
+		if target, ok := b.labels[fix.label]; ok {
+			b.edge(fix.from, target)
+		}
+	}
+	return g
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *cfgBlock) {
+	if from == nil || to == nil {
+		return
+	}
+	from.succs = append(from.succs, to)
+}
+
+// startBlock finishes cur by linking it to next and makes next current.
+func (b *cfgBuilder) startBlock(next *cfgBlock) {
+	b.edge(b.cur, next)
+	b.cur = next
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, st := range list {
+		b.stmt(st)
+	}
+}
+
+func (b *cfgBuilder) stmt(st ast.Stmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	switch s := st.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.LabeledStmt:
+		start := b.newBlock()
+		b.startBlock(start)
+		b.labels[s.Label.Name] = start
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.cur.nodes = append(b.cur.nodes, s.Cond)
+		cond := b.cur
+		after := b.newBlock()
+		then := b.newBlock()
+		b.edge(cond, then)
+		b.cur = then
+		b.stmtList(s.Body.List)
+		b.edge(b.cur, after)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			b.edge(b.cur, after)
+		} else {
+			b.edge(cond, after)
+		}
+		b.cur = after
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		body := b.newBlock()
+		post := b.newBlock()
+		after := b.newBlock()
+		b.startBlock(head)
+		if s.Cond != nil {
+			head.nodes = append(head.nodes, s.Cond)
+			b.edge(head, after)
+		}
+		b.edge(head, body)
+		b.targets = append(b.targets, cfgTargets{label: label, brk: after, cont: post})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.targets = b.targets[:len(b.targets)-1]
+		b.edge(b.cur, post)
+		b.cur = post
+		if s.Post != nil {
+			b.stmt(s.Post)
+		}
+		b.edge(b.cur, head)
+		b.cur = after
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		b.startBlock(head)
+		head.nodes = append(head.nodes, s.X)
+		b.edge(head, after) // zero iterations
+		b.edge(head, body)
+		b.targets = append(b.targets, cfgTargets{label: label, brk: after, cont: head})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.targets = b.targets[:len(b.targets)-1]
+		b.edge(b.cur, head)
+		b.cur = after
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var init ast.Stmt
+		var clauses []ast.Stmt
+		switch sw := s.(type) {
+		case *ast.SwitchStmt:
+			init = sw.Init
+			if sw.Tag != nil {
+				defer func() {}() // no-op; Tag handled below before branching
+			}
+			clauses = sw.Body.List
+			if sw.Init != nil {
+				b.stmt(sw.Init)
+				init = nil
+			}
+			if sw.Tag != nil {
+				b.cur.nodes = append(b.cur.nodes, sw.Tag)
+			}
+		case *ast.TypeSwitchStmt:
+			if sw.Init != nil {
+				b.stmt(sw.Init)
+			}
+			b.cur.nodes = append(b.cur.nodes, sw.Assign)
+			clauses = sw.Body.List
+		}
+		_ = init
+		head := b.cur
+		after := b.newBlock()
+		b.targets = append(b.targets, cfgTargets{label: label, brk: after})
+		bodies := make([]*cfgBlock, len(clauses))
+		hasDefault := false
+		for i, c := range clauses {
+			bodies[i] = b.newBlock()
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					head.nodes = append(head.nodes, e)
+				}
+				if cc.List == nil {
+					hasDefault = true
+				}
+			}
+			b.edge(head, bodies[i])
+		}
+		if !hasDefault {
+			b.edge(head, after)
+		}
+		for i, c := range clauses {
+			cc, ok := c.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			b.cur = bodies[i]
+			// fallthrough jumps to the next clause body; detect it so the
+			// edge lands there instead of after.
+			fallsTo := (*cfgBlock)(nil)
+			if n := len(cc.Body); n > 0 {
+				if br, ok := cc.Body[n-1].(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" {
+					if i+1 < len(bodies) {
+						fallsTo = bodies[i+1]
+					}
+				}
+			}
+			b.stmtList(cc.Body)
+			if fallsTo != nil {
+				b.edge(b.cur, fallsTo)
+				b.cur = b.newBlock() // unreachable continuation
+			}
+			b.edge(b.cur, after)
+		}
+		b.targets = b.targets[:len(b.targets)-1]
+		b.cur = after
+	case *ast.SelectStmt:
+		head := b.cur
+		after := b.newBlock()
+		b.targets = append(b.targets, cfgTargets{label: label, brk: after})
+		hasDefault := false
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			body := b.newBlock()
+			b.edge(head, body)
+			b.cur = body
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			} else {
+				hasDefault = true
+			}
+			b.stmtList(cc.Body)
+			b.edge(b.cur, after)
+		}
+		_ = hasDefault // a select with no default still picks some clause
+		b.targets = b.targets[:len(b.targets)-1]
+		b.cur = after
+	case *ast.ReturnStmt:
+		b.cur.nodes = append(b.cur.nodes, s)
+		b.edge(b.cur, b.g.exit)
+		b.cur = b.newBlock() // unreachable continuation
+	case *ast.BranchStmt:
+		switch s.Tok.String() {
+		case "break":
+			b.edge(b.cur, b.findTarget(s.Label, true))
+			b.cur = b.newBlock()
+		case "continue":
+			b.edge(b.cur, b.findTarget(s.Label, false))
+			b.cur = b.newBlock()
+		case "goto":
+			if s.Label != nil {
+				b.gotoFixups = append(b.gotoFixups, gotoFixup{from: b.cur, label: s.Label.Name})
+			}
+			b.cur = b.newBlock()
+		case "fallthrough":
+			// handled by the switch builder
+		}
+	default:
+		// Plain statement: an event in the current block. A call that
+		// never returns ends the flow toward exit.
+		b.cur.nodes = append(b.cur.nodes, st)
+		if b.isTerminal != nil && b.isTerminal(st) {
+			b.edge(b.cur, b.g.exit)
+			b.cur = b.newBlock()
+		}
+	}
+}
+
+// findTarget resolves a break/continue to its enclosing construct,
+// innermost first, honoring labels.
+func (b *cfgBuilder) findTarget(label *ast.Ident, isBreak bool) *cfgBlock {
+	for i := len(b.targets) - 1; i >= 0; i-- {
+		t := b.targets[i]
+		if label != nil && t.label != label.Name {
+			continue
+		}
+		if isBreak {
+			return t.brk
+		}
+		if t.cont != nil {
+			return t.cont
+		}
+	}
+	return nil
+}

@@ -17,9 +17,9 @@ type Config struct {
 	Dir        string // module root directory
 
 	// Checks selects which checks run; empty means all. Allow-directive
-	// validation always runs; unused-directive reporting only happens when
-	// every check runs (a subset run cannot tell an unused directive from
-	// one whose check was skipped).
+	// validation always runs; an unused directive is reported only when its
+	// own check is enabled (a directive whose check was skipped is
+	// unjudgeable, not unused).
 	Checks []string
 
 	// frozenwrite / idxread: the snapshot-bearing package and its types.
@@ -36,6 +36,15 @@ type Config struct {
 	LockNames     []string // mutex field/variable names forming checked sections
 	BlockingPkgs  []string // any call into these packages blocks
 	BlockingFuncs []string // extra fully-qualified blocking functions/methods
+
+	// maporder: the byte-identity packages, where anything emitted,
+	// appended, or accumulated in map-iteration order can break the
+	// leader/follower/recovery byte-equality contract.
+	MapOrderPkgs []string
+
+	// walltime: the replay-deterministic packages, which may read neither
+	// the wall clock nor the OS-seeded global math/rand source.
+	WallTimePkgs []string
 
 	// ctxdiscipline: import-path prefixes (binaries, examples) where
 	// context.Background is legitimate.
@@ -87,6 +96,26 @@ func DefaultConfig(dir string) (*Config, error) {
 			"os.OpenFile",
 			uncertain + ".EncodeWire",
 			uncertain + ".DecodeWire",
+		},
+		// Everything whose output lands in wire bytes, journal records, or
+		// HTTP responses that replicas digest-compare.
+		MapOrderPkgs: []string{
+			uncertain,
+			modPath + "/internal/topkq",
+			modPath + "/internal/quality",
+			modPath + "/internal/cleaning",
+			modPath + "/internal/store",
+			modPath + "/internal/replica",
+			modPath + "/cmd/topkcleand",
+		},
+		// The replay path: wire codec, store recovery/journal, query
+		// evaluation, follower tailing. Timestamps are stamped in the
+		// daemon layer and passed in.
+		WallTimePkgs: []string{
+			uncertain,
+			modPath + "/internal/topkq",
+			modPath + "/internal/store",
+			modPath + "/internal/replica",
 		},
 		CtxExempt: []string{modPath + "/cmd/", modPath + "/examples/"},
 	}, nil

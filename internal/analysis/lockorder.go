@@ -1,0 +1,274 @@
+package analysis
+
+// lockorder: interprocedural deadlock detection over the daemon's growing
+// mutex family (registry mu, per-tenant writeMu/engMu, store DB.mu, the
+// mem-registry locks). The check:
+//
+//  1. computes, per call-graph node, the set of lock classes the function
+//     may acquire (its own acquisitions plus, transitively, its callees');
+//  2. scans every held section — Lock() to the matching Unlock() on the
+//     same receiver at the same nesting level, end-of-list when the unlock
+//     is deferred, exactly lockscope's section shape — and records an
+//     acquisition-order edge held-class -> acquired-class for every direct
+//     acquisition and every call's may-acquire set inside the section;
+//  3. reports every same-class edge (potential self-deadlock: sync mutexes
+//     are not reentrant, and an RLock under a pending writer blocks too);
+//  4. reports every cycle in the class graph: two functions taking the
+//     same pair of locks in opposite orders deadlock under contention,
+//     which no intraprocedural check can see.
+//
+// Function literals are isolated from the enclosing section (a deferred or
+// goroutine-launched literal does not run under the textual lock; see
+// deleteTenant's deferred registry cleanup), but a literal's own sections
+// are scanned, and literal acquisitions count toward the enclosing
+// function's may-acquire set — conservative for callers, deliberate.
+// Function-value calls stay unresolved, matching the call graph.
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+func runLockOrder(mp *ModulePass) {
+	g := mp.Graph
+	keys := g.Keys()
+
+	// Direct acquisitions per node (literals included).
+	direct := make(map[string]map[string]bool, len(keys))
+	for _, key := range keys {
+		n := g.Nodes[key]
+		set := make(map[string]bool)
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			if call, ok := node.(*ast.CallExpr); ok {
+				if cls, _, ok := lockCallClass(n.Pkg, mp.Cfg.ModulePath, call, lockFuncs); ok && cls != "" {
+					set[cls] = true
+				}
+			}
+			return true
+		})
+		direct[key] = set
+	}
+
+	// may[F] = direct[F] ∪ ⋃ may[callee]: fixpoint over the call graph.
+	may := make(map[string]map[string]bool, len(keys))
+	for k, s := range direct {
+		cp := make(map[string]bool, len(s))
+		for c := range s {
+			cp[c] = true
+		}
+		may[k] = cp
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, key := range keys {
+			set := may[key]
+			for _, e := range g.Nodes[key].Calls {
+				for c := range may[e.Callee] {
+					if !set[c] {
+						set[c] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Acquisition-order edges, first position wins (nodes walk in sorted
+	// key order, sections in source order, so "first" is deterministic).
+	// Self-edges are collected per site, not per pair: each re-acquisition
+	// is its own incident and must be suppressible on its own line.
+	type orderEdge struct{ from, to string }
+	type selfSite struct {
+		class string
+		pos   token.Pos
+	}
+	edges := make(map[orderEdge]token.Pos)
+	selfSeen := make(map[selfSite]bool)
+	var selves []selfSite
+	record := func(from, to string, pos token.Pos) {
+		if from == to {
+			s := selfSite{from, pos}
+			if !selfSeen[s] {
+				selfSeen[s] = true
+				selves = append(selves, s)
+			}
+			return
+		}
+		e := orderEdge{from, to}
+		if _, ok := edges[e]; !ok {
+			edges[e] = pos
+		}
+	}
+	for _, key := range keys {
+		n := g.Nodes[key]
+		edgesByPos := make(map[token.Pos][]string)
+		for _, e := range n.Calls {
+			edgesByPos[e.Pos] = append(edgesByPos[e.Pos], e.Callee)
+		}
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			if list := stmtList(node); list != nil {
+				scanOrderList(mp, n.Pkg, list, may, edgesByPos, record)
+			}
+			return true
+		})
+	}
+
+	// Self-edges: re-acquiring a held class, one finding per site.
+	for _, s := range selves {
+		mp.Reportf(s.pos,
+			"lock class %s may be re-acquired while already held (self-deadlock: sync mutexes are not reentrant, and RLock blocks under a pending writer)",
+			s.class)
+	}
+
+	// Cycles: strongly connected components of the class graph.
+	classes := make(map[string]bool)
+	ordered := make([]orderEdge, 0, len(edges))
+	for e := range edges {
+		ordered = append(ordered, e)
+		classes[e.from] = true
+		classes[e.to] = true
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].from != ordered[j].from {
+			return ordered[i].from < ordered[j].from
+		}
+		return ordered[i].to < ordered[j].to
+	})
+	succs := make(map[string][]string)
+	for _, e := range ordered {
+		succs[e.from] = append(succs[e.from], e.to)
+	}
+	for _, scc := range stronglyConnected(classes, succs) {
+		if len(scc) < 2 {
+			continue
+		}
+		in := make(map[string]bool, len(scc))
+		for _, c := range scc {
+			in[c] = true
+		}
+		for _, e := range ordered {
+			if e.from != e.to && in[e.from] && in[e.to] {
+				mp.Reportf(edges[e],
+					"lock-order cycle: %s is held here while %s may be acquired, but another path acquires them in the opposite order (cycle members: %s); pick one global order",
+					e.from, e.to, strings.Join(scc, ", "))
+			}
+		}
+	}
+}
+
+// scanOrderList finds held sections in one statement list and records the
+// acquisition-order edges inside each.
+func scanOrderList(mp *ModulePass, pkg *Package, list []ast.Stmt,
+	may map[string]map[string]bool, edgesByPos map[token.Pos][]string,
+	record func(from, to string, pos token.Pos)) {
+	for i, st := range list {
+		es, ok := st.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		recv, recvText, ok := syncCall(pkg, es.X, lockFuncs)
+		if !ok {
+			continue
+		}
+		held := lockClass(pkg, mp.Cfg.ModulePath, recv)
+		if held == "" {
+			continue // function-local mutex: unreachable by any other path
+		}
+		section := list[i+1:]
+		for j := i + 1; j < len(list); j++ {
+			if es, ok := list[j].(*ast.ExprStmt); ok {
+				if _, r, ok := syncCall(pkg, es.X, unlockFuncs); ok && r == recvText {
+					section = list[i+1 : j]
+					break
+				}
+			}
+		}
+		for _, s := range section {
+			ast.Inspect(s, func(node ast.Node) bool {
+				if _, ok := node.(*ast.FuncLit); ok {
+					return false // does not run under the textual lock
+				}
+				call, ok := node.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if cls, pos, ok := lockCallClass(pkg, mp.Cfg.ModulePath, call, lockFuncs); ok {
+					if cls != "" {
+						record(held, cls, pos)
+					}
+					return true
+				}
+				for _, callee := range edgesByPos[call.Pos()] {
+					for cls := range may[callee] {
+						record(held, cls, call.Pos())
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// stronglyConnected is Tarjan's SCC over the class graph, iterating in
+// sorted order so component membership and emission order are
+// deterministic. Components come out with their members sorted.
+func stronglyConnected(nodes map[string]bool, succs map[string][]string) [][]string {
+	names := make([]string, 0, len(nodes))
+	for n := range nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	var strong func(v string)
+	strong = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range succs[v] {
+			if _, seen := index[w]; !seen {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Strings(scc)
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, v := range names {
+		if _, seen := index[v]; !seen {
+			strong(v)
+		}
+	}
+	return sccs
+}
+
+// Reportf records a finding of the running module check at pos.
+func (mp *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	mp.report(mp.check, pos, format, args...)
+}

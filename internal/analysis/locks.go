@@ -1,0 +1,107 @@
+package analysis
+
+// locks.go: shared lock-identity resolution for the interprocedural
+// concurrency checks. lockscope (PR 7) matches mutexes by receiver *name*;
+// lockorder and unlockpath need a module-wide identity — a "lock class" —
+// so an acquisition in cmd/topkcleand and one in internal/store can be
+// ordered against each other.
+//
+// A class is:
+//
+//	"<pkgpath>.<TypeName>.<field>"  for a mutex field (s.mu on *server
+//	                                -> "…/cmd/topkcleand.server.mu")
+//	"<pkgpath>.<varname>"           for a package-level mutex variable
+//	                                (driversMu -> "…/internal/store.driversMu")
+//	"<pkgpath>.<TypeName>"          for an embedded mutex (x.Lock() where
+//	                                x's type embeds sync.Mutex)
+//
+// Classes are strings, not types.Object, because each analysis unit is
+// type-checked separately — the same field is a distinct object per unit,
+// but its rendered class is stable. Function-local mutexes get no class
+// ("") and are invisible to lockorder: a lock nothing else can reach
+// cannot participate in a cross-function ordering.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// syncCall matches a call to one of the given sync methods (lockFuncs /
+// unlockFuncs from lockscope.go) on any receiver, returning the receiver
+// expression and its source text (the per-function key unlockpath matches
+// Lock to Unlock with).
+func syncCall(pkg *Package, e ast.Expr, methods map[string]bool) (recv ast.Expr, recvText string, ok bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil, "", false
+	}
+	return syncCallExpr(pkg, call, methods)
+}
+
+// syncCallExpr is syncCall for an already-unwrapped call expression.
+func syncCallExpr(pkg *Package, call *ast.CallExpr, methods map[string]bool) (recv ast.Expr, recvText string, ok bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || !methods[fn.FullName()] {
+		return nil, "", false
+	}
+	return sel.X, types.ExprString(sel.X), true
+}
+
+// lockClass maps a mutex receiver expression to its module-wide class, or
+// "" for locals and out-of-module mutexes.
+func lockClass(pkg *Package, modPath string, e ast.Expr) string {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if s := pkg.Info.Selections[x]; s != nil && s.Kind() == types.FieldVal {
+			n := namedFrom(s.Recv())
+			if n == nil || n.Obj().Pkg() == nil || !inModulePath(n.Obj().Pkg().Path(), modPath) {
+				return ""
+			}
+			return n.Obj().Pkg().Path() + "." + n.Obj().Name() + "." + s.Obj().Name()
+		}
+		// Qualified identifier: pkg.Var has no Selection entry.
+		if v, ok := pkg.Info.Uses[x.Sel].(*types.Var); ok && isPkgLevelVar(v) && inModulePath(v.Pkg().Path(), modPath) {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+	case *ast.Ident:
+		if v, ok := pkg.Info.Uses[x].(*types.Var); ok && isPkgLevelVar(v) && inModulePath(v.Pkg().Path(), modPath) {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+	}
+	// Embedded mutex: the receiver is the struct itself; class by its named
+	// type.
+	if tv, ok := pkg.Info.Types[e]; ok && tv.Type != nil {
+		if n := namedFrom(tv.Type); n != nil && n.Obj().Pkg() != nil && inModulePath(n.Obj().Pkg().Path(), modPath) {
+			return n.Obj().Pkg().Path() + "." + n.Obj().Name()
+		}
+	}
+	return ""
+}
+
+// lockCallClass matches call as a sync acquisition/release (per methods)
+// and resolves its receiver's class in one step.
+func lockCallClass(pkg *Package, modPath string, call *ast.CallExpr, methods map[string]bool) (class string, pos token.Pos, ok bool) {
+	recv, _, ok := syncCallExpr(pkg, call, methods)
+	if !ok {
+		return "", token.NoPos, false
+	}
+	return lockClass(pkg, modPath, recv), call.Pos(), true
+}
+
+// isPkgLevelVar reports whether v is declared at package scope.
+func isPkgLevelVar(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// inModulePath reports whether path is the module or one of its packages
+// (test units included: "foo_test" shares foo's prefix).
+func inModulePath(path, modPath string) bool {
+	return path == modPath || strings.HasPrefix(path, modPath+"/")
+}

@@ -1,0 +1,45 @@
+// Package a seeds the call shapes the call-graph test asserts on: direct
+// calls, interface dispatch with two in-module implementers, and calls
+// from inside function literals (attributed to the enclosing declaration).
+package a
+
+// Doer is dispatched through in Run; Impl and Other both implement it.
+type Doer interface {
+	Do(x int) int
+}
+
+// Impl implements Doer with a value receiver.
+type Impl struct{}
+
+// Do implements Doer.
+func (Impl) Do(x int) int { return x + 1 }
+
+// Other implements Doer with a pointer receiver.
+type Other struct{ n int }
+
+// Do implements Doer.
+func (o *Other) Do(x int) int {
+	o.n += x
+	return o.n
+}
+
+// Run calls through the interface: the graph must resolve the edge to
+// both implementers, marked dynamic.
+func Run(d Doer) int {
+	return d.Do(1)
+}
+
+// Direct calls helper statically.
+func Direct() int {
+	return helper(2)
+}
+
+func helper(x int) int { return x }
+
+// WithLit calls helper from inside a literal: the edge belongs to WithLit.
+func WithLit() func() int {
+	f := func() int {
+		return helper(3)
+	}
+	return f
+}

@@ -1,0 +1,16 @@
+// Package b seeds cross-package edges: a static call into a and a
+// dispatch set up from outside the interface's home package.
+package b
+
+import "callgraph/a"
+
+// CallAcross calls a.Direct statically across the package boundary.
+func CallAcross() int {
+	return a.Direct()
+}
+
+// Dispatch hands an implementer to a.Run; the dynamic edges live in Run,
+// this function's own edge to Run is static.
+func Dispatch() int {
+	return a.Run(a.Impl{})
+}

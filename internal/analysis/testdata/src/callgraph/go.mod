@@ -1,0 +1,3 @@
+module callgraph
+
+go 1.24

@@ -1,0 +1,3 @@
+module concur
+
+go 1.24

@@ -1,0 +1,84 @@
+// Package store (fixture) seeds the maporder shapes in a byte-identity
+// package: float accumulation, raw append, and writer emission inside
+// range-over-map bodies (positive); the collect-keys-then-sort idiom, map
+// writes, and integer accumulation (negative); and one reasoned allow.
+package store
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// BadSum accumulates floats in map order: addition is not associative, so
+// two runs over the same map can disagree in the last ulp.
+func BadSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want maporder "float accumulated in map-iteration order"
+	}
+	return sum
+}
+
+// BadCollect appends in map order and never sorts: element order changes
+// run to run.
+func BadCollect(m map[string]int) []string {
+	var ids []string
+	for k := range m {
+		ids = append(ids, k) // want maporder "append in map-iteration order"
+	}
+	return ids
+}
+
+// BadDump writes bytes in map order: the output is wire-visible and must
+// be identical across runs.
+func BadDump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want maporder "emits bytes in map-iteration order"
+	}
+}
+
+// GoodSortedKeys is the blessed idiom: collect bare keys, sort, iterate
+// the slice. The collection append is exempt because the slice is sorted
+// before anything order-sensitive consumes it.
+func GoodSortedKeys(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// GoodInvert writes into a map: maps have no order to corrupt.
+func GoodInvert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// GoodCount accumulates an integer: exact arithmetic, order-insensitive.
+func GoodCount(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// AllowedScale carries a reasoned allow on an accumulation whose inputs
+// make order immaterial; the reason is surfaced in the allow inventory.
+func AllowedScale(m map[string]float64) float64 {
+	scale := 1.0
+	for _, v := range m {
+		//lint:allow maporder inputs are exact powers of two, multiplication never rounds, so order cannot change the bits
+		scale *= v
+	}
+	return scale
+}

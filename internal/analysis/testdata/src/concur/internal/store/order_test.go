@@ -1,0 +1,24 @@
+package store
+
+// Test files are exempt from maporder and walltime: tests compare output,
+// they don't produce replayed state. Nothing here may fire — any finding
+// on this file fails the fixture suite as "unexpected".
+
+import (
+	"testing"
+	"time"
+)
+
+func TestExemptions(t *testing.T) {
+	m := map[string]float64{"a": 0.5, "b": 0.25}
+	var sum float64
+	for _, v := range m {
+		sum += v // order-sensitive, but test files are exempt
+	}
+	if sum == 0 {
+		t.Fatal("empty")
+	}
+	if time.Now().IsZero() { // wall clock in a test: exempt
+		t.Fatal("clock broken")
+	}
+}

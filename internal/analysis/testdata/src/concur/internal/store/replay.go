@@ -1,0 +1,47 @@
+// replay.go seeds the walltime shapes: wall-clock reads and global
+// math/rand draws in a replay-deterministic package (positive), explicitly
+// seeded generators and daemon-supplied timestamps (negative), and one
+// reasoned allow.
+package store
+
+import (
+	"math/rand"
+	"time"
+)
+
+// BadStamp reads the wall clock inside the replay path: leader, follower,
+// and recovery would each record a different value.
+func BadStamp() int64 {
+	return time.Now().UnixNano() // want walltime "time.Now"
+}
+
+// BadAge measures against the wall clock.
+func BadAge(since time.Time) time.Duration {
+	return time.Since(since) // want walltime "time.Since"
+}
+
+// BadJitter draws from the OS-seeded global source: replay cannot
+// reproduce it.
+func BadJitter() int {
+	return rand.Intn(10) // want walltime "global math/rand"
+}
+
+// GoodSeeded uses an explicitly seeded generator: deterministic by
+// construction, the same pattern the quality/cleaning samplers use.
+func GoodSeeded(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+// GoodStamped takes the timestamp from the caller: the daemon layer stamps
+// once, and replay reuses the journaled value.
+func GoodStamped(now int64) int64 {
+	return now + 1
+}
+
+// AllowedProbe carries a reasoned allow for a wall-clock read whose value
+// never reaches replayed state.
+func AllowedProbe() int64 {
+	//lint:allow walltime diagnostic-only gauge: the value is logged, never journaled, so replay never sees it
+	return time.Now().Unix()
+}

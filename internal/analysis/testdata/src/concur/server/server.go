@@ -1,0 +1,121 @@
+// Package server seeds the unlockpath shapes: locks leaked on early
+// returns and panic paths (positive), every clean release idiom the
+// daemon actually uses (negative — including the conditional
+// lock-and-defer that rejoins before return, which a naive merge-at-exit
+// analysis false-positives on), and one reasoned handoff allow.
+package server
+
+import (
+	"errors"
+	"sync"
+)
+
+var errInvalid = errors.New("invalid")
+
+// S is the fixture's lock-bearing server.
+type S struct {
+	mu       sync.RWMutex
+	n        int
+	reserved bool
+}
+
+// BadEarlyReturn leaks mu on the validation path: the exact shape that
+// deadlocks the daemon on the next request.
+func (s *S) BadEarlyReturn(x int) error {
+	s.mu.Lock() // want unlockpath "not released on every exit path"
+	if x < 0 {
+		return errInvalid
+	}
+	s.n = x
+	s.mu.Unlock()
+	return nil
+}
+
+// BadPanicPath leaks mu when the panic fires; a recovering caller stays
+// deadlocked.
+func (s *S) BadPanicPath() int {
+	s.mu.RLock() // want unlockpath "not released on every exit path"
+	if s.n == 0 {
+		panic("empty")
+	}
+	n := s.n
+	s.mu.RUnlock()
+	return n
+}
+
+// GoodDeferred is the canonical clean shape.
+func (s *S) GoodDeferred() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.n
+}
+
+// GoodBranches unlocks explicitly on every path.
+func (s *S) GoodBranches(x int) error {
+	s.mu.Lock()
+	if x < 0 {
+		s.mu.Unlock()
+		return errInvalid
+	}
+	s.n = x
+	s.mu.Unlock()
+	return nil
+}
+
+// GoodConditionalDefer locks and defers inside one branch, then rejoins:
+// held-ness and the deferred release travel together, so the path that
+// reaches return with the lock held is exactly the path that will release
+// it.
+func (s *S) GoodConditionalDefer(lock bool) {
+	if lock {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	s.n++
+}
+
+// GoodDeferredLit releases through a deferred literal, the way
+// deleteTenant's cleanup does.
+func (s *S) GoodDeferredLit() {
+	s.mu.Lock()
+	defer func() {
+		s.reserved = false
+		s.mu.Unlock()
+	}()
+	s.n++
+}
+
+// GoodLoopExit breaks out of a loop and still releases.
+func (s *S) GoodLoopExit(xs []int) int {
+	s.mu.Lock()
+	total := 0
+	for _, x := range xs {
+		if x < 0 {
+			break
+		}
+		total += x
+	}
+	s.mu.Unlock()
+	return total
+}
+
+// lockAndReserve intentionally returns with mu held: a documented handoff
+// whose release lives in release(). The allow carries the contract.
+func (s *S) lockAndReserve() {
+	//lint:allow unlockpath handoff by contract: returns with mu held, release() is the matching unlock
+	s.mu.Lock()
+	s.reserved = true
+}
+
+func (s *S) release() {
+	s.reserved = false
+	s.mu.Unlock()
+}
+
+// Reserve pairs the handoff: acquire via lockAndReserve, release via
+// release. unlockpath sees neither side as a leak.
+func (s *S) Reserve(x int) {
+	s.lockAndReserve()
+	s.n = x
+	s.release()
+}

@@ -1,0 +1,35 @@
+// Package eng is the other half of the seeded cycle: Engine.mu is held
+// while calling back into the registry (again through an interface), which
+// acquires Registry.mu — the opposite nesting order from reg.Acquire.
+package eng
+
+import "sync"
+
+// Flusher is implemented by reg.Registry.
+type Flusher interface {
+	Flush()
+}
+
+// Engine is the fixture's stand-in for a per-tenant engine.
+type Engine struct {
+	mu  sync.Mutex
+	reg Flusher
+	n   int
+}
+
+// WithLock runs f under Engine.mu; reg.Acquire calls it while holding
+// Registry.mu.
+func (e *Engine) WithLock(f func()) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	f()
+}
+
+// Refresh holds Engine.mu across the callback that acquires Registry.mu:
+// the edge that closes the cycle.
+func (e *Engine) Refresh() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.reg.Flush() // want lockorder "lock-order cycle"
+	e.n++
+}

@@ -1,0 +1,3 @@
+module lockcycle
+
+go 1.24

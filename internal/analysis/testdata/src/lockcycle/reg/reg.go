@@ -1,0 +1,72 @@
+// Package reg seeds one half of a cross-package lock-order cycle: the
+// registry holds its mutex while calling into the engine (through an
+// interface, so the edge only exists if the call graph resolves dynamic
+// dispatch), and the engine calls back while holding its own. The real
+// module must never contain this shape — the fixture pins that lockorder
+// would catch it if it ever did.
+package reg
+
+import "sync"
+
+// Locker is implemented by eng.Engine; the cycle edge crosses packages
+// through this interface.
+type Locker interface {
+	WithLock(f func())
+}
+
+// Registry is the fixture's stand-in for the daemon's tenant registry.
+type Registry struct {
+	mu      sync.Mutex
+	statsMu sync.Mutex
+	eng     Locker
+	n       int
+}
+
+// Acquire holds Registry.mu across a call that acquires Engine.mu: one
+// direction of the cycle.
+func (r *Registry) Acquire() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.eng.WithLock(func() { r.n++ }) // want lockorder "lock-order cycle"
+}
+
+// Flush is the callback eng.Engine invokes while holding Engine.mu: the
+// opposite direction.
+func (r *Registry) Flush() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.n = 0
+}
+
+// Recount re-acquires Registry.mu through size while already holding it:
+// the self-deadlock shape.
+func (r *Registry) Recount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.size() // want lockorder "re-acquired while already held"
+}
+
+// Rebuild has the same shape but carries a reasoned allow, pinning that
+// the escape hatch reaches interprocedural findings.
+func (r *Registry) Rebuild() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	//lint:allow lockorder fixture: documents that allow covers interprocedural findings; real code must not re-acquire
+	return r.size()
+}
+
+func (r *Registry) size() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Stats nests statsMu over Registry.mu; nothing nests the other way, so
+// this consistent ordering is the negative case: an edge, no cycle, no
+// finding.
+func (r *Registry) Stats() int {
+	r.statsMu.Lock()
+	defer r.statsMu.Unlock()
+	r.Flush()
+	return r.n
+}

@@ -1,0 +1,255 @@
+package analysis
+
+// unlockpath: every Lock()/RLock() must be released on every path out of
+// the function — early return, branch exit, or a call that never returns —
+// unless a matching deferred unlock covers it. The motivating shape is the
+// handler that unlocks on the happy path but returns early on a validation
+// error with the registry lock still held: the next request deadlocks the
+// whole daemon, and no test that only exercises the happy path will see
+// it.
+//
+// The check runs a forward dataflow over the per-function CFG (cfg.go).
+// State maps each mutex receiver (matched by source text, the same way a
+// human matches mu.Lock to mu.Unlock) to its acquisition position plus a
+// flag saying a deferred unlock covers it. Merging keeps the union of held
+// locks and ANDs the deferred flags, so a lock acquired-and-deferred
+// inside one branch survives the join correctly, while a lock deferred on
+// one path but left bare on another is still a leak. Leaks are evaluated
+// on each edge into the exit block — never on the merged exit state —
+// because "unlock then return" and "defer then return" are both clean
+// paths that a merged view would smear together into a false positive.
+//
+// Function literals are separate analysis units (their body runs under
+// their own frame); a deferred literal's body is scanned for the unlocks
+// it performs on the enclosing function's behalf.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// heldLock is one acquired mutex in the dataflow state.
+type heldLock struct {
+	pos      token.Pos // the Lock() call
+	deferred bool      // a deferred unlock covers this receiver
+}
+
+// lockState is the dataflow fact: receiver text -> acquisition info.
+type lockState map[string]heldLock
+
+func (s lockState) clone() lockState {
+	out := make(lockState, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// merge folds other into s (union of held, AND of deferred flags),
+// reporting whether s changed.
+func (s lockState) merge(other lockState) bool {
+	changed := false
+	for k, v := range other {
+		cur, ok := s[k]
+		if !ok {
+			s[k] = v
+			changed = true
+			continue
+		}
+		if cur.deferred && !v.deferred {
+			cur.deferred = false
+			s[k] = cur
+			changed = true
+		}
+	}
+	return changed
+}
+
+func runUnlockPath(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					p.checkUnlockPaths(fn.Body)
+				}
+			case *ast.FuncLit:
+				p.checkUnlockPaths(fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+func (p *Pass) checkUnlockPaths(body *ast.BlockStmt) {
+	g := buildCFG(body, p.neverReturns)
+
+	in := make(map[*cfgBlock]lockState, len(g.blocks))
+	in[g.entry] = make(lockState)
+	work := []*cfgBlock{g.entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := p.transferLocks(b, in[b])
+		for _, succ := range b.succs {
+			st, ok := in[succ]
+			if !ok {
+				in[succ] = out.clone()
+				work = append(work, succ)
+				continue
+			}
+			if st.merge(out) {
+				work = append(work, succ)
+			}
+		}
+	}
+
+	// Leaks: evaluate each predecessor edge into exit separately. Merging
+	// at exit would conflate a path that unlocked with one that deferred.
+	type leak struct {
+		pos  token.Pos
+		recv string
+	}
+	seen := make(map[leak]bool)
+	var leaks []leak
+	for _, b := range g.blocks {
+		state, reached := in[b]
+		if !reached {
+			continue
+		}
+		exits := false
+		for _, succ := range b.succs {
+			if succ == g.exit {
+				exits = true
+				break
+			}
+		}
+		if !exits {
+			continue
+		}
+		out := p.transferLocks(b, state)
+		for recv, h := range out {
+			if h.deferred {
+				continue
+			}
+			l := leak{h.pos, recv}
+			if !seen[l] {
+				seen[l] = true
+				leaks = append(leaks, l)
+			}
+		}
+	}
+	sort.Slice(leaks, func(i, j int) bool { return leaks[i].pos < leaks[j].pos })
+	for _, l := range leaks {
+		p.Reportf(l.pos,
+			"%s is locked here but not released on every exit path: some return, branch, or panic leaves it held; unlock on that path or defer the unlock",
+			l.recv)
+	}
+}
+
+// transferLocks folds b's events over state, returning the out-state.
+func (p *Pass) transferLocks(b *cfgBlock, state lockState) lockState {
+	out := state.clone()
+	for _, node := range b.nodes {
+		p.scanLockEvents(node, out)
+	}
+	return out
+}
+
+// scanLockEvents applies the lock/unlock/defer events of one CFG node to
+// state. Nested function literals are their own analysis units and are
+// skipped, except that a deferred literal is scanned for the unlocks it
+// runs on this function's behalf.
+func (p *Pass) scanLockEvents(node ast.Node, state lockState) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+				markDeferredUnlocks(p.Pkg, lit.Body, state)
+				return false
+			}
+			if _, recv, ok := syncCallExpr(p.Pkg, x.Call, unlockFuncs); ok {
+				if h, held := state[recv]; held {
+					h.deferred = true
+					state[recv] = h
+				}
+			}
+			return false
+		case *ast.CallExpr:
+			if _, recv, ok := syncCallExpr(p.Pkg, x, lockFuncs); ok {
+				state[recv] = heldLock{pos: x.Pos()}
+				return true
+			}
+			if _, recv, ok := syncCallExpr(p.Pkg, x, unlockFuncs); ok {
+				delete(state, recv)
+			}
+		}
+		return true
+	})
+}
+
+// markDeferredUnlocks records every unlock a deferred literal performs as
+// covering the matching held lock.
+func markDeferredUnlocks(pkg *Package, body *ast.BlockStmt, state lockState) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, recv, ok := syncCallExpr(pkg, call, unlockFuncs); ok {
+				if h, held := state[recv]; held {
+					h.deferred = true
+					state[recv] = h
+				}
+			}
+		}
+		return true
+	})
+}
+
+// terminalFuncs are calls that never return control to the caller: any
+// lock held across them is not "leaked" in a way an unlock after the call
+// could fix, but a lock held at a panic without a deferred unlock does
+// leak (recovering servers stay deadlocked), so the CFG routes these to
+// exit and the normal leak rule applies.
+var terminalFuncs = map[string]bool{
+	"os.Exit":        true,
+	"runtime.Goexit": true,
+	"log.Fatal":      true,
+	"log.Fatalf":     true,
+	"log.Fatalln":    true,
+}
+
+// testingFatal are the testing.common methods that stop the test goroutine.
+var testingFatal = map[string]bool{
+	"Fatal": true, "Fatalf": true, "FailNow": true,
+	"Skip": true, "Skipf": true, "SkipNow": true,
+}
+
+// neverReturns classifies a statement as ending control flow: a call to
+// panic, os.Exit, runtime.Goexit, log.Fatal*, or testing's Fatal/Skip
+// family.
+func (p *Pass) neverReturns(n ast.Node) bool {
+	es, ok := n.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := p.Pkg.Info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+			return true
+		}
+	}
+	fn := p.calleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if terminalFuncs[fn.FullName()] {
+		return true
+	}
+	return fn.Pkg().Path() == "testing" && testingFatal[fn.Name()]
+}

@@ -1,0 +1,83 @@
+package analysis
+
+// walltime: replay determinism. A follower replays the leader's journal
+// and must land on the same bytes (PERSISTENCE.md); recovery replays the
+// WAL and must land on the state that was journaled. Any wall-clock read
+// or draw from the global (OS-seeded) math/rand source inside those paths
+// produces state that exists only on the machine that ran first — the
+// replica digest comparison then fails with no code diff to explain it.
+//
+// In the configured replay-deterministic packages (wire, store, topkq,
+// replica; test files exempt), the check flags:
+//
+//   - time.Now, time.Since, time.Until — wall-clock reads;
+//   - package-level math/rand and math/rand/v2 calls — the global source
+//     is seeded from the OS. Explicitly seeded generators are fine and
+//     exactly what the quality/cleaning samplers use, so the constructors
+//     (New, NewSource, NewZipf, NewPCG, NewChaCha8) and all *rand.Rand
+//     methods are exempt.
+//
+// Timestamps that must exist (journal metadata, logs) belong in the
+// daemon layer, which stamps them before the deterministic core runs.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// wallClockFuncs read the wall clock.
+var wallClockFuncs = map[string]bool{
+	"time.Now":   true,
+	"time.Since": true,
+	"time.Until": true,
+}
+
+// randConstructors build explicitly seeded generators — deterministic by
+// construction, so exempt.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runWallTime(p *Pass) {
+	if !inStrings(trimTestPath(p.Pkg.Path), p.Cfg.WallTimePkgs) {
+		return
+	}
+	for i, f := range p.Pkg.Files {
+		if strings.HasSuffix(p.Pkg.Filenames[i], "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := p.calleeFunc(call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if wallClockFuncs[fn.FullName()] {
+				p.Reportf(call.Pos(),
+					"%s in a replay-deterministic package: wall-clock reads diverge between leader, follower, and recovery replay; take the timestamp in the daemon layer and pass it in",
+					fn.FullName())
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			sig, _ := fn.Type().(*types.Signature)
+			if sig != nil && sig.Recv() != nil {
+				return true // method on an explicitly seeded generator
+			}
+			if randConstructors[fn.Name()] {
+				return true
+			}
+			p.Reportf(call.Pos(),
+				"global %s.%s in a replay-deterministic package: the global source is OS-seeded, so replay cannot reproduce it; use an explicitly seeded *rand.Rand",
+				path, fn.Name())
+			return true
+		})
+	}
+}

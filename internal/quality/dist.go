@@ -65,9 +65,18 @@ func sortDist(d Distribution) {
 }
 
 func distFromMap(m map[string]float64, order map[string][]string) Distribution {
+	// Iterate sorted keys, not the map: equal-probability results would
+	// otherwise enter sortDist in a run-dependent order, and every
+	// downstream accumulation must be bit-identical across runs and
+	// replicas.
+	keys := make([]string, 0, len(m))
+	for key := range m {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
 	d := make(Distribution, 0, len(m))
-	for key, p := range m {
-		d = append(d, PWResult{TupleIDs: order[key], Prob: p})
+	for _, key := range keys {
+		d = append(d, PWResult{TupleIDs: order[key], Prob: m[key]})
 	}
 	sortDist(d)
 	return d

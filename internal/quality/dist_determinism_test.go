@@ -1,0 +1,51 @@
+package quality
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// TestDistFromMapBitIdentical pins the ground truth behind the maporder
+// lint check: building a distribution from the same pw-result map must
+// yield bit-identical probabilities and quality on every run, even though
+// Go randomizes map iteration. Before distFromMap iterated sorted keys,
+// equal-probability results entered the sort in map order and ties could
+// land differently run to run.
+func TestDistFromMapBitIdentical(t *testing.T) {
+	m := make(map[string]float64)
+	order := make(map[string][]string)
+	for i := 0; i < 64; i++ {
+		key := fmt.Sprintf("t%02d|u%02d|", i, (i*7)%64)
+		// Deliberately includes ties: every fourth result shares a
+		// probability, so insertion order would decide their sort order.
+		p := 1.0 / float64(16+i%4)
+		m[key] = p
+		order[key] = []string{fmt.Sprintf("t%02d", i), fmt.Sprintf("u%02d", (i*7)%64)}
+	}
+
+	ref := distFromMap(m, order)
+	refQ := math.Float64bits(ref.Quality())
+	refTotal := math.Float64bits(ref.TotalProb())
+	for run := 0; run < 50; run++ {
+		d := distFromMap(m, order)
+		if len(d) != len(ref) {
+			t.Fatalf("run %d: len = %d, want %d", run, len(d), len(ref))
+		}
+		for i := range d {
+			if math.Float64bits(d[i].Prob) != math.Float64bits(ref[i].Prob) {
+				t.Fatalf("run %d: result %d prob %x, want %x", run, i,
+					math.Float64bits(d[i].Prob), math.Float64bits(ref[i].Prob))
+			}
+			if fmt.Sprint(d[i].TupleIDs) != fmt.Sprint(ref[i].TupleIDs) {
+				t.Fatalf("run %d: result %d ids %v, want %v", run, i, d[i].TupleIDs, ref[i].TupleIDs)
+			}
+		}
+		if q := math.Float64bits(d.Quality()); q != refQ {
+			t.Fatalf("run %d: quality bits %x, want %x", run, q, refQ)
+		}
+		if tp := math.Float64bits(d.TotalProb()); tp != refTotal {
+			t.Fatalf("run %d: total bits %x, want %x", run, tp, refTotal)
+		}
+	}
+}
