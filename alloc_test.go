@@ -1,0 +1,48 @@
+package topkclean
+
+import (
+	"context"
+	"testing"
+
+	"github.com/probdb/topkclean/internal/gen"
+)
+
+// TestQualityFastPathAllocs pins the snapshot-pinned serving fast path:
+// once an engine has answered at the current database version, repeated
+// Quality calls at the same version are memo lookups and must not
+// allocate. A regression here (an accidental Sorted() materialization, a
+// rebuilt evaluation) would silently turn the monitoring loop's
+// cheapest call into an O(n) one.
+func TestQualityFastPathAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts shift under the race detector")
+	}
+	db := benchmarkableSynthetic(t, 500)
+	eng, err := New(db, WithK(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := eng.Quality(ctx); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := eng.Quality(ctx); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Quality on an unchanged version allocates %.0f times per call, want 0", allocs)
+	}
+}
+
+// benchmarkableSynthetic is the test-side twin of benchSynthetic (which
+// needs a *testing.B).
+func benchmarkableSynthetic(t *testing.T, xtuples int) *Database {
+	t.Helper()
+	db, err := gen.SyntheticSized(xtuples, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}

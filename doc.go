@@ -92,10 +92,11 @@
 // renumbering, and always describe exactly one committed version
 // (Result.Version says which). Mutations serialize against each other on
 // the database's writer lock; no external synchronization is needed in
-// either direction. The epochs are copy-on-write — a commit copies the
-// container slices once and clones only the x-tuples it touched — so a
-// snapshot costs readers nothing and writers O(n) pointer copies per
-// commit (see DESIGN.md, "Snapshot serving").
+// either direction. The epochs are copy-on-write at chunk granularity —
+// a commit copies the chunk spine and groups slice once and clones only
+// the x-tuples and rank chunks it touched — so a snapshot costs readers
+// nothing and writers a sub-linear copy per commit (see DESIGN.md,
+// "Snapshot serving" and "Chunked rank order").
 //
 // Database.Snapshot exposes the same mechanism directly: it returns a
 // frozen *Database view for callers that want to pin a version across

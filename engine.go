@@ -258,8 +258,18 @@ func (ent *kEntry) migrateEval(db *Database, prior, info *topkq.RankInfo, wm int
 	old := ent.st.eval
 	pureHit := wm >= prior.Processed && prior.Processed < prior.N
 	if pureHit && db.GroupIndicesStableSince(ent.version) {
-		gain := make([]float64, db.NumGroups())
-		copy(gain, old.GroupGain)
+		gain := old.GroupGain
+		if len(gain) != db.NumGroups() {
+			// The group count changed (groups appended or dropped below the
+			// termination point, all with zero gain): size a fresh slice.
+			// With the count unchanged the gains are identical entry for
+			// entry, so the old evaluation's slice is shared outright —
+			// evaluations are immutable once published, and an O(m) copy
+			// per migration would dominate the serving loop on databases
+			// with many x-tuples.
+			gain = make([]float64, db.NumGroups())
+			copy(gain, old.GroupGain)
+		}
 		return &quality.Evaluation{S: old.S, Omega: old.Omega, GroupGain: gain, Info: info}, nil
 	}
 	return quality.TPFromInfo(db, info)

@@ -6,8 +6,8 @@
 //   - frozenwrite: published snapshot epochs share tuple memory, so
 //     Database/XTuple/Tuple fields may be written only in the whitelisted
 //     writer files of internal/uncertain.
-//   - idxread: Tuple.idx is a writer-epoch field; no reader path may
-//     consume it.
+//   - idxread: Tuple.idx and Tuple.home (the chunk back-pointers) are
+//     writer-epoch fields; no reader path may consume them.
 //   - senterr: exported Err* sentinels travel wrapped; == / != against
 //     them must be errors.Is.
 //   - lockscope: no blocking work (fsync, WAL append, wire encode, HTTP)
@@ -76,7 +76,7 @@ var checks = []Check{
 	},
 	{
 		Name: "idxread",
-		Doc:  "no reads of the writer-epoch Tuple.idx field outside the writer files",
+		Doc:  "no reads of the writer-epoch Tuple.idx/Tuple.home fields outside the writer files",
 		run:  runIdxRead,
 	},
 	{

@@ -26,8 +26,8 @@ type Config struct {
 	UncertainPkg string   // import path holding Database/XTuple/Tuple
 	FrozenTypes  []string // type names whose fields snapshots share
 	WriterFiles  []string // base names (within UncertainPkg) allowed to write them
-	IdxField     string   // the writer-epoch rank-position field ("idx")
-	IdxFiles     []string // base names (within UncertainPkg) allowed to read it
+	IdxFields    []string // the writer-epoch rank-position fields ("idx", "home")
+	IdxFiles     []string // base names (within UncertainPkg) allowed to read them
 
 	// lockscope: packages whose registry/tenant mutexes must stay free of
 	// blocking work, the field names of those mutexes, and what counts as
@@ -67,14 +67,16 @@ func DefaultConfig(dir string) (*Config, error) {
 		UncertainPkg: uncertain,
 		FrozenTypes:  []string{"Database", "XTuple", "Tuple"},
 		// The writer epoch: the files that construct, mutate, and publish
-		// databases. Everything else — including uncertain's own reader
+		// databases (chunks.go carries the chunked rank structure's splice
+		// passes). Everything else — including uncertain's own reader
 		// files and tests — must treat published tuples as frozen.
-		WriterFiles: []string{"database.go", "mutate.go", "batch.go", "snapshot.go", "wire.go"},
-		IdxField:    "idx",
-		// Tuple.idx is a writer-epoch field (PR 4): splice passes repair it
-		// in place on tuples shared with snapshots, so only the writer
-		// paths (and the documented Index accessor) may consume it.
-		IdxFiles: []string{"database.go", "mutate.go", "batch.go", "snapshot.go", "wire.go", "tuple.go"},
+		WriterFiles: []string{"database.go", "mutate.go", "batch.go", "snapshot.go", "wire.go", "chunks.go"},
+		IdxFields:   []string{"idx", "home"},
+		// Tuple.idx and Tuple.home are writer-epoch fields (PR 4, chunked
+		// in PR 9): splice passes repair the chunk back-pointers in place
+		// on tuples shared with snapshots, so only the writer paths (and
+		// the documented Index accessor) may consume them.
+		IdxFiles: []string{"database.go", "mutate.go", "batch.go", "snapshot.go", "wire.go", "chunks.go", "tuple.go"},
 		LockPkgs: []string{modPath + "/cmd/topkcleand"},
 		// The registry lock (server.mu) and the coalescer lock are both
 		// named "mu"; the per-tenant writeMu intentionally covers journal

@@ -1,10 +1,11 @@
 package analysis
 
-// idxread: Tuple.idx is a *writer-epoch* field (PR 4's snapshot contract):
-// mutation splice passes repair it in place on tuples shared with older
-// epochs, so its value is only coherent for the newest epoch and reading
-// it from any reader path is a data race waiting for -race to interleave.
-// This check flags every read of the configured field on the uncertain
+// idxread: Tuple.idx and Tuple.home are *writer-epoch* fields (PR 4's
+// snapshot contract, chunked in PR 9): mutation splice passes repair the
+// chunk back-pointers in place on tuples shared with older epochs, so
+// their values are only coherent for the newest epoch and reading them
+// from any reader path is a data race waiting for -race to interleave.
+// This check flags every read of the configured fields on the uncertain
 // Tuple type outside the whitelisted writer files (which includes
 // tuple.go, where the documented Index accessor lives). Writes are
 // frozenwrite's jurisdiction; here a selector used solely as an assignment
@@ -37,7 +38,7 @@ func runIdxRead(p *Pass) {
 		})
 		ast.Inspect(f, func(n ast.Node) bool {
 			sel, ok := n.(*ast.SelectorExpr)
-			if !ok || sel.Sel.Name != p.Cfg.IdxField || writes[sel] {
+			if !ok || !inStrings(sel.Sel.Name, p.Cfg.IdxFields) || writes[sel] {
 				return true
 			}
 			if p.fieldSel(sel) == nil {
@@ -52,7 +53,7 @@ func runIdxRead(p *Pass) {
 			}
 			p.Reportf(sel.Pos(),
 				"read of Tuple.%s outside the writer files: it is a writer-epoch field repaired in place under snapshots; derive rank positions from the scan order (or Tuple.Index on the live epoch)",
-				p.Cfg.IdxField)
+				sel.Sel.Name)
 			return true
 		})
 	}

@@ -11,10 +11,11 @@ import "errors"
 var ErrGap = errors.New("journal gap")
 
 // Tuple mirrors the real tuple: exported reader-visible fields plus the
-// unexported writer-epoch idx field.
+// unexported writer-epoch chunk back-pointers (home/idx).
 type Tuple struct {
 	ID   string
 	Prob float64
+	home int
 	idx  int
 }
 
@@ -33,6 +34,7 @@ type Database struct {
 // Insert is a writer-file mutation: every field write and idx touch in
 // this file is whitelisted.
 func (db *Database) Insert(t *Tuple) {
+	t.home = 0
 	t.idx = len(db.sorted)
 	db.sorted = append(db.sorted, t)
 	db.n++

@@ -19,6 +19,12 @@ func Peek(t *Tuple) int {
 	return t.idx // want idxread "writer-epoch field"
 }
 
+// PeekHome reads the chunk back-pointer from a reader file: both halves of
+// the (home, idx) pair are writer-epoch state.
+func PeekHome(t *Tuple) int {
+	return t.home // want idxread "writer-epoch field"
+}
+
 // PeekAllowed is the escape hatch in action: suppressed, with the reason
 // surfaced in the lint output.
 func PeekAllowed(t *Tuple) int {

@@ -1,7 +1,7 @@
 package uncertain
 
-// Index is the documented idx accessor; tuple.go is on the idx whitelist,
-// so this read is legitimate.
+// Index is the documented accessor over the writer-epoch back-pointers;
+// tuple.go is on the idx whitelist, so these reads are legitimate.
 func (t *Tuple) Index() int {
-	return t.idx
+	return t.home + t.idx
 }

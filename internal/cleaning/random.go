@@ -59,7 +59,12 @@ func RandPContext(ctx context.Context, c *Context, rng *rand.Rand) (Plan, error)
 	// Positions come from the iteration index, not Tuple.Index: the context
 	// may hold a pinned snapshot whose tuples' live rank caches a concurrent
 	// writer is repairing, while the snapshot's own order is frozen.
-	for i, t := range c.DB.Sorted() {
+	cur := c.DB.CursorAt(0)
+	for i := 0; ; i++ {
+		t := cur.Next()
+		if t == nil {
+			break
+		}
 		weights[t.Group] += info.P(i)
 	}
 	return randomPlan(ctx, c, rng, weights)

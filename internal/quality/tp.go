@@ -61,11 +61,10 @@ func TPFromInfo(db *uncertain.Database, info *topkq.RankInfo) (*Evaluation, erro
 	if info == nil || info.N != db.NumTuples() {
 		return nil, fmt.Errorf("quality: rank info does not match database")
 	}
-	sorted := db.Sorted()
 	m := db.NumGroups()
 	limit0 := info.Processed
-	if limit0 > len(sorted) {
-		limit0 = len(sorted)
+	if limit0 > db.NumTuples() {
+		limit0 = db.NumTuples()
 	}
 	ev := &Evaluation{
 		Omega:     make([]float64, limit0),
@@ -82,8 +81,12 @@ func TPFromInfo(db *uncertain.Database, info *topkq.RankInfo) (*Evaluation, erro
 	defer eScratch.Put(E)
 	var s numeric.Kahan
 	limit := limit0
+	// Chunk cursor instead of materializing Sorted(): this pass runs after
+	// every mutation in the serving loop, and the processed prefix is
+	// usually a small fraction of a large database.
+	cur := db.CursorAt(0)
 	for i := 0; i < limit; i++ {
-		t := sorted[i]
+		t := cur.Next()
 		l := t.Group
 		E[l] += t.Prob
 		p := info.P(i)

@@ -215,8 +215,11 @@ func compute(db *uncertain.Database, k int, keepRho bool, deconvLim float64) (*R
 func scanFrom(db *uncertain.Database, info *RankInfo, st *scanState, start int, keepRho bool) (*RankInfo, error) {
 	k := info.K
 	deconvLim := info.deconvLim
-	sorted := db.Sorted()
-	n := len(sorted)
+	n := db.NumTuples()
+	// Iterate via a chunk cursor: O(log(n/C)) to seek the resume point,
+	// O(1) per step, and — unlike materializing db.Sorted() — no O(n)
+	// allocation, which is what keeps a watermark-resumed pass sub-linear.
+	cur := db.CursorAt(start)
 	for i := start; i < n; i++ {
 		if st.fullGroups >= k {
 			// Lemma 2: at least k x-tuples certainly place an alternative
@@ -227,7 +230,7 @@ func scanFrom(db *uncertain.Database, info *RankInfo, st *scanState, start int, 
 		if i > start && i%checkpointEvery == 0 {
 			info.ckpts = append(info.ckpts, st.snapshot(db, i, info.Rebuilds))
 		}
-		t := sorted[i]
+		t := cur.Next()
 		l := t.Group
 		ql := st.q[l]
 		switch {

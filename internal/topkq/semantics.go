@@ -56,21 +56,37 @@ func UKRanks(db *uncertain.Database, info *RankInfo) ([]RankedAnswer, error) {
 	if !info.HasRho() {
 		return nil, fmt.Errorf("topkq: UKRanks needs per-rank probabilities; use RankProbabilities")
 	}
-	out := make([]RankedAnswer, 0, info.K)
-	sorted := db.Sorted()
-	for h := 1; h <= info.K; h++ {
-		best := -1
-		bestP := 0.0
-		for i := 0; i < info.Processed && i < len(sorted); i++ {
-			if sorted[i].Null {
-				continue
-			}
-			if p := info.Rho(i, h); p > bestP {
-				best, bestP = i, p
+	k := info.K
+	limit := info.Processed
+	if n := db.NumTuples(); limit > n {
+		limit = n
+	}
+	// One cursor pass over the processed prefix, tracking the per-rank
+	// argmax, instead of k passes over a materialized Sorted() slice. The
+	// tie-break is unchanged: strictly-greater comparisons in ascending
+	// rank order keep the earliest (highest-ranked) winner for each h.
+	bestP := make([]float64, k+1)
+	bestI := make([]int, k+1)
+	bestT := make([]*uncertain.Tuple, k+1)
+	for h := range bestI {
+		bestI[h] = -1
+	}
+	cur := db.CursorAt(0)
+	for i := 0; i < limit; i++ {
+		t := cur.Next()
+		if t.Null {
+			continue
+		}
+		for h := 1; h <= k; h++ {
+			if p := info.Rho(i, h); p > bestP[h] {
+				bestP[h], bestI[h], bestT[h] = p, i, t
 			}
 		}
-		if best >= 0 {
-			out = append(out, snapshotRanked(h, sorted[best], best, bestP))
+	}
+	out := make([]RankedAnswer, 0, k)
+	for h := 1; h <= k; h++ {
+		if bestI[h] >= 0 {
+			out = append(out, snapshotRanked(h, bestT[h], bestI[h], bestP[h]))
 		}
 	}
 	return out, nil
@@ -80,13 +96,18 @@ func UKRanks(db *uncertain.Database, info *RankInfo) ([]RankedAnswer, error) {
 // probability is at least threshold, in descending rank order.
 func PTK(db *uncertain.Database, info *RankInfo, threshold float64) []ScoredAnswer {
 	var out []ScoredAnswer
-	sorted := db.Sorted()
-	for i := 0; i < info.Processed && i < len(sorted); i++ {
-		if sorted[i].Null {
+	limit := info.Processed
+	if n := db.NumTuples(); limit > n {
+		limit = n
+	}
+	cur := db.CursorAt(0)
+	for i := 0; i < limit; i++ {
+		t := cur.Next()
+		if t.Null {
 			continue
 		}
 		if p := info.P(i); p >= threshold {
-			out = append(out, snapshotScored(sorted[i], i, p))
+			out = append(out, snapshotScored(t, i, p))
 		}
 	}
 	return out
@@ -96,14 +117,19 @@ func PTK(db *uncertain.Database, info *RankInfo, threshold float64) []ScoredAnsw
 // the highest top-k probabilities, ties broken toward the higher-ranked
 // tuple (the tie-break used in Zhang and Chomicki's definition).
 func GlobalTopK(db *uncertain.Database, info *RankInfo) []ScoredAnswer {
-	sorted := db.Sorted()
-	cand := make([]ScoredAnswer, 0, info.Processed)
-	for i := 0; i < info.Processed && i < len(sorted); i++ {
-		if sorted[i].Null {
+	limit := info.Processed
+	if n := db.NumTuples(); limit > n {
+		limit = n
+	}
+	cand := make([]ScoredAnswer, 0, limit)
+	cur := db.CursorAt(0)
+	for i := 0; i < limit; i++ {
+		t := cur.Next()
+		if t.Null {
 			continue
 		}
 		if p := info.P(i); p > 0 {
-			cand = append(cand, snapshotScored(sorted[i], i, p))
+			cand = append(cand, snapshotScored(t, i, p))
 		}
 	}
 	sort.SliceStable(cand, func(a, b int) bool {

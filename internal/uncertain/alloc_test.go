@@ -1,0 +1,81 @@
+package uncertain
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// TestCommitAllocsSubLinear pins the allocation cost of a commit on a
+// large database. With the flat rank array, every commit's COW unshare
+// copied the whole order — n*8 bytes (800 KB at n=10^5) before the
+// mutation did any work. The chunked structure must instead copy one
+// spine of pointers plus only the chunks the mutation dirties, so both
+// the allocation count and the allocated bytes per commit stay small
+// constants independent of n.
+func TestCommitAllocsSubLinear(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a ~10^5-tuple database; run without -short")
+	}
+	if raceEnabled {
+		t.Skip("allocation counts shift under the race detector")
+	}
+	rng := rand.New(rand.NewSource(77))
+	db := buildWideDB(t, rng, 11000, 9) // ~10^5 tuples with nulls
+	n := db.NumTuples()
+	if n < 90_000 {
+		t.Fatalf("database has %d tuples, want ~10^5", n)
+	}
+
+	// Reweight a mid-order x-tuple, alternating between two probability
+	// vectors that keep the null alternative alive: the commit is pure
+	// in-place probability updates through the chunk-granular COW — no
+	// structural splices — which isolates the per-commit publish cost.
+	l := db.NumGroups() / 2
+	real := db.Groups()[l].RealTuples()
+	v1 := make([]float64, len(real))
+	v2 := make([]float64, len(real))
+	for i, tp := range real {
+		v1[i] = tp.Prob * 0.95
+		v2[i] = tp.Prob * 0.90
+	}
+	flip := false
+	commit := func() {
+		probs := v1
+		if flip {
+			probs = v2
+		}
+		flip = !flip
+		if err := db.Reweight(l, probs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm up past the version-mark ring's growth phase and let every
+	// chunk/group the commit touches settle into its steady COW rhythm.
+	for i := 0; i < 300; i++ {
+		commit()
+	}
+
+	const runs = 100
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	allocs := testing.AllocsPerRun(runs, commit)
+	runtime.ReadMemStats(&after)
+	perCommitBytes := float64(after.TotalAlloc-before.TotalAlloc) / (runs + 1)
+
+	// The commit COWs: two spine slices (~n/256 entries each), one x-tuple
+	// clone (~10 tuples), the distinct chunks those tuples live in (each
+	// <= 512 pointers), and the published snapshot bookkeeping. Generous
+	// ceilings still sit far below the flat design's O(n) copy.
+	if allocs > 120 {
+		t.Fatalf("commit performs %.0f allocations, want <= 120", allocs)
+	}
+	if limit := float64(256 * 1024); perCommitBytes > limit {
+		t.Fatalf("commit allocates %.0f bytes, want <= %.0f (flat-array COW would copy %d bytes of order alone)",
+			perCommitBytes, limit, 8*n)
+	}
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

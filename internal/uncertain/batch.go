@@ -29,8 +29,9 @@ type Batch struct {
 
 // Batch runs fn with a Batch whose mutation methods mirror the database's
 // (InsertXTuple, InsertAbsentXTuple, DeleteXTuple, Reweight, Collapse),
-// then commits: one rank-index fixup from the merged watermark, one
-// version bump, one watermark log entry.
+// then commits once: one version bump, one watermark log entry, one
+// published epoch — and, under the chunked rank structure, one spine
+// unshare however many chunk splices the batch performs.
 //
 // Each mutation validates before committing exactly as its standalone
 // counterpart does, so a failed mutation leaves the database as it was

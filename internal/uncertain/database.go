@@ -16,7 +16,7 @@ import (
 type Database struct {
 	groups  []*XTuple
 	rank    RankFunc
-	sorted  []*Tuple // all alternatives (incl. nulls) in descending rank order
+	rs      rankStore // all alternatives (incl. nulls) in descending rank order; see chunks.go
 	built   bool
 	nReal   int
 	version uint64            // bumped by Build and every mutation; see Version
@@ -170,24 +170,24 @@ func (db *Database) Build(rank RankFunc) error {
 		}
 	}
 	db.rank = rank
-	db.sorted = make([]*Tuple, 0, total)
+	sorted := make([]*Tuple, 0, total)
 	db.byID = make(map[string]*Tuple, total)
 	for _, x := range db.groups {
-		db.sorted = append(db.sorted, x.Tuples...)
+		sorted = append(sorted, x.Tuples...)
 		for _, t := range x.Tuples {
 			db.byID[t.ID] = t
 		}
 	}
-	sort.SliceStable(db.sorted, func(i, j int) bool {
-		return ranksAbove(db.sorted[i], db.sorted[j])
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return ranksAbove(sorted[i], sorted[j])
 	})
 	db.nReal = 0
-	for i, t := range db.sorted {
-		t.idx = i
+	for _, t := range sorted {
 		if !t.Null {
 			db.nReal++
 		}
 	}
+	db.rs = newRankStore(sorted)
 	for _, x := range db.groups {
 		x.uid = db.newUID()
 	}
@@ -242,7 +242,7 @@ func (db *Database) DirtySince(since uint64) (watermark int, ok bool) {
 	if !ok {
 		return 0, false
 	}
-	wm := len(db.sorted)
+	wm := db.rs.n
 	for _, m := range marks {
 		if m.watermark < wm {
 			wm = m.watermark
@@ -317,7 +317,7 @@ func (db *Database) NumRealTuples() int {
 
 // NumTuples returns the number of alternatives including materialized
 // nulls, i.e. the length of the rank order.
-func (db *Database) NumTuples() int { return len(db.sorted) }
+func (db *Database) NumTuples() int { return db.rs.n }
 
 // Groups returns the x-tuples in insertion order. The returned slice and
 // its contents must not be modified.
@@ -334,7 +334,13 @@ func (db *Database) Group(l int) (*XTuple, error) {
 // Sorted returns all alternatives in descending rank order (position 0 is
 // the highest rank). Valid only after Build. The slice must not be
 // modified.
-func (db *Database) Sorted() []*Tuple { return db.sorted }
+//
+// The order now lives in the chunked rank structure (chunks.go), so Sorted
+// materializes a fresh O(n) slice per call. It remains for compatibility
+// and for genuinely whole-order consumers; incremental scans and seeks
+// should use CursorAt / AtRank, which cost O(log(n/C)) to position and
+// O(1) per step with no allocation.
+func (db *Database) Sorted() []*Tuple { return db.rs.materialize() }
 
 // Rank returns the ranking function the database was built with.
 func (db *Database) Rank() RankFunc { return db.rank }
@@ -342,17 +348,19 @@ func (db *Database) Rank() RankFunc { return db.rank }
 // TupleByID returns the alternative with the given ID, or nil. On a live
 // built database this is an O(1) index lookup — the mutation validation
 // path (and any serving lookup) depends on it not scanning the rank
-// array. On a snapshot it degrades to an O(n) scan of the frozen rank
-// array: the ID index stays writer-private so that commits do not pay an
+// order. On a snapshot it degrades to an O(n) scan of the frozen chunks:
+// the ID index stays writer-private so that commits do not pay an
 // O(n) map copy per epoch; route hot by-ID lookups through the live
 // database (whose index is always current).
 func (db *Database) TupleByID(id string) *Tuple {
 	if db.byID != nil {
 		return db.byID[id]
 	}
-	for _, t := range db.sorted {
-		if t.ID == id {
-			return t
+	for _, c := range db.rs.chunks {
+		for _, t := range c.tuples {
+			if t.ID == id {
+				return t
+			}
 		}
 	}
 	return nil
@@ -373,15 +381,15 @@ func (db *Database) Clone() *Database {
 		nextOrd: db.nextOrd, nextUID: db.nextUID,
 		marks: append([]versionMark(nil), db.marks...)}
 	out.groups = make([]*XTuple, len(db.groups))
-	clones := make(map[*Tuple]*Tuple, len(db.sorted))
+	clones := make(map[*Tuple]*Tuple, db.rs.n)
 	for gi, x := range db.groups {
 		nx := &XTuple{Name: x.Name, uid: x.uid, Tuples: make([]*Tuple, len(x.Tuples))}
 		for ti, t := range x.Tuples {
 			// Copy the frozen fields individually rather than the whole
-			// struct: idx is a writer-epoch field that a concurrent writer
-			// may be repairing in place on tuples shared with a snapshot,
-			// so it must not be read here; the positions are rederived
-			// from the rank order below.
+			// struct: home/idx are writer-epoch fields that a concurrent
+			// writer may be repairing in place on tuples shared with a
+			// snapshot, so they must not be read here; the positions are
+			// rederived from the rank order below.
 			c := Tuple{ID: t.ID, Prob: t.Prob, Score: t.Score,
 				Group: t.Group, Null: t.Null, ord: t.ord,
 				Attrs: append([]float64(nil), t.Attrs...)}
@@ -391,14 +399,16 @@ func (db *Database) Clone() *Database {
 		out.groups[gi] = nx
 	}
 	if db.built {
-		out.sorted = make([]*Tuple, len(db.sorted))
-		out.byID = make(map[string]*Tuple, len(db.sorted))
-		for i, t := range db.sorted {
-			c := clones[t]
-			c.idx = i
-			out.sorted[i] = c
-			out.byID[c.ID] = c
+		sorted := make([]*Tuple, 0, db.rs.n)
+		out.byID = make(map[string]*Tuple, db.rs.n)
+		for _, ch := range db.rs.chunks {
+			for _, t := range ch.tuples {
+				c := clones[t]
+				sorted = append(sorted, c)
+				out.byID[c.ID] = c
+			}
 		}
+		out.rs = newRankStore(sorted)
 		out.publish()
 	}
 	return out
@@ -478,10 +488,20 @@ func (db *Database) Validate() error {
 			seen[t.ID] = true
 		}
 	}
-	for i := 1; i < len(db.sorted); i++ {
-		if ranksAbove(db.sorted[i], db.sorted[i-1]) {
+	if err := db.rs.check(); err != nil {
+		return err
+	}
+	cur := db.CursorAt(0)
+	prev := cur.Next()
+	for i := 1; ; i++ {
+		t := cur.Next()
+		if t == nil {
+			break
+		}
+		if ranksAbove(t, prev) {
 			return fmt.Errorf("uncertain: rank order violated at position %d", i)
 		}
+		prev = t
 	}
 	return nil
 }

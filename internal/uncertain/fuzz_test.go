@@ -1,0 +1,100 @@
+package uncertain
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// fuzzSeedDB builds a small mixed database (certain, uncertain, absent
+// x-tuples) without a testing handle, for seeding the fuzz corpus.
+func fuzzSeedDB() (*Database, error) {
+	db := New()
+	rng := rand.New(rand.NewSource(9))
+	for g := 0; g < 12; g++ {
+		n := 1 + rng.Intn(3)
+		ts := make([]Tuple, n)
+		for i := range ts {
+			ts[i] = Tuple{
+				ID:    fmt.Sprintf("f%d.%d", g, i),
+				Attrs: []float64{rng.Float64() * 100, float64(g)},
+				Prob:  (0.1 + 0.85*rng.Float64()) / float64(n),
+			}
+		}
+		if err := db.AddXTuple(fmt.Sprintf("F%d", g), ts...); err != nil {
+			return nil, err
+		}
+	}
+	if err := db.AddAbsentXTuple("gone"); err != nil {
+		return nil, err
+	}
+	if err := db.Build(ByFirstAttr); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// FuzzDecodeWire feeds arbitrary bytes to DecodeWire. The contract under
+// fuzz: corrupt input must produce an error, never a panic; and any input
+// the decoder accepts must yield a valid database whose encoding is a
+// fixed point (encode(decode(x)) re-decodes and re-encodes to identical
+// bytes) — the bit-identical persistence property PR 5 relies on.
+func FuzzDecodeWire(f *testing.F) {
+	db, err := fuzzSeedDB()
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, err := EncodeWire(db)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	// A mutated database exercises version > 1 and renumbered groups.
+	if err := db.DeleteXTuple(3); err != nil {
+		f.Fatal(err)
+	}
+	if err := db.InsertXTuple("late", Tuple{ID: "late.0", Attrs: []float64{55, 0}, Prob: 0.7}); err != nil {
+		f.Fatal(err)
+	}
+	mutated, err := EncodeWire(db)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(mutated)
+	// Structurally plausible corruptions: truncations, flipped bytes, and
+	// non-wire JSON, so the fuzzer starts near the interesting boundaries.
+	f.Add(valid[:len(valid)/2])
+	tweaked := append([]byte(nil), valid...)
+	tweaked[len(tweaked)/3] ^= 0x20
+	f.Add(tweaked)
+	f.Add([]byte(`{"format":"topkclean-wire/v1"}`))
+	f.Add([]byte(`{"format":"bogus/v9"}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecodeWire(data, ByFirstAttr)
+		if err != nil {
+			return // rejected: fine, as long as it did not panic
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("DecodeWire accepted bytes that validate to a broken database: %v", err)
+		}
+		e1, err := EncodeWire(got)
+		if err != nil {
+			t.Fatalf("decoded database does not re-encode: %v", err)
+		}
+		back, err := DecodeWire(e1, ByFirstAttr)
+		if err != nil {
+			t.Fatalf("re-encoded bytes do not decode: %v", err)
+		}
+		e2, err := EncodeWire(back)
+		if err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(e1, e2) {
+			t.Fatalf("encoding is not a fixed point: %d vs %d bytes", len(e1), len(e2))
+		}
+	})
+}

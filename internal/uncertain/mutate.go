@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"github.com/probdb/topkclean/internal/numeric"
 )
@@ -13,9 +12,10 @@ import (
 // rank order once; real serving workloads then mutate continuously — new
 // sensor readings arrive (InsertXTuple), entities disappear (DeleteXTuple),
 // distributions are revised (Reweight), and cleaning operations resolve an
-// x-tuple to one alternative (Collapse). Each mutation maintains the sorted
-// rank array incrementally (ordered insertion / splicing that repairs rank
-// positions in the same pass, no re-sort), bumps the version counter that
+// x-tuple to one alternative (Collapse). Each mutation maintains the
+// chunked rank order incrementally (an ordered splice of one chunk that
+// repairs rank positions in the same pass, no re-sort; see chunks.go),
+// bumps the version counter that
 // version-aware consumers key their memoized state by, and records a
 // dirty-rank watermark — the lowest rank position the mutation may have
 // changed — in the log DirtySince answers from, so those consumers can
@@ -359,32 +359,22 @@ func (db *Database) collapse(l, choice int) (int, error) {
 	return watermark, nil
 }
 
-// insertRanked places t into the sorted rank array (and the ID index) by
-// binary search on the total order ranksAbove defines, returning the
-// position it landed at. The suffix shift repairs rank positions as it
-// moves each tuple, so idx stays valid at all times — including between
-// the mutations of a Batch.
+// insertRanked places t into the chunked rank order (and the ID index) at
+// the position the total order ranksAbove defines, returning that
+// position. The chunk splice repairs the spine bookkeeping in the same
+// pass, so rank positions stay valid at all times — including between the
+// mutations of a Batch. O(C + n/C) instead of the flat array's O(n).
 func (db *Database) insertRanked(t *Tuple) int {
-	i := sort.Search(len(db.sorted), func(i int) bool {
-		return ranksAbove(t, db.sorted[i])
-	})
-	db.sorted = append(db.sorted, nil)
-	for j := len(db.sorted) - 1; j > i; j-- {
-		moved := db.sorted[j-1]
-		moved.idx = j
-		db.sorted[j] = moved
-	}
-	db.sorted[i] = t
-	t.idx = i
+	pos := db.rs.insert(t)
 	db.byID[t.ID] = t
-	return i
+	return pos
 }
 
-// insertRankedAll places several tuples into the rank array with a single
-// backward merge: one suffix shift (and one fused rank-position repair)
-// regardless of how many alternatives arrive, instead of one O(n) shift
-// per alternative. Returns the lowest landing position — the insert's
-// dirty-rank watermark.
+// insertRankedAll places several tuples into the rank order, highest rank
+// first, so each lands without displacing an earlier arrival. Returns the
+// lowest landing position — the insert's dirty-rank watermark (the first
+// insert's position: every later tuple ranks below it and lands strictly
+// after it).
 func (db *Database) insertRankedAll(ts []*Tuple) int {
 	if len(ts) == 1 {
 		return db.insertRanked(ts[0])
@@ -398,75 +388,36 @@ func (db *Database) insertRankedAll(ts []*Tuple) int {
 			ins[j], ins[j-1] = ins[j-1], ins[j]
 		}
 	}
-	old := db.sorted
-	n := len(old)
-	pos := make([]int, len(ins))
-	for i, t := range ins {
-		pos[i] = sort.Search(n, func(j int) bool { return ranksAbove(t, old[j]) })
-	}
-	db.sorted = append(db.sorted, make([]*Tuple, len(ins))...)
-	// Shift the gaps open back to front with bulk copies, then drop each
-	// new tuple into its slot.
-	for j := len(ins) - 1; j >= 0; j-- {
-		end := n
-		if j+1 < len(ins) {
-			end = pos[j+1]
+	watermark := math.MaxInt
+	for _, t := range ins {
+		if at := db.insertRanked(t); at < watermark {
+			watermark = at
 		}
-		copy(db.sorted[pos[j]+j+1:end+j+1], old[pos[j]:end])
-		t := ins[j]
-		db.sorted[pos[j]+j] = t
-		db.byID[t.ID] = t
 	}
-	for i := pos[0]; i < len(db.sorted); i++ {
-		db.sorted[i].idx = i
-	}
-	return pos[0]
+	return watermark
 }
 
-// removeSorted splices the given tuples out of the rank array (and the ID
+// removeSorted splices the given tuples out of the rank order (and the ID
 // index), preserving the order of the rest, and returns the position of
-// the first removed tuple (len(sorted) when drop matched nothing). The
-// dropped positions come straight from idx — always valid under the
-// fused-repair invariant — and the survivors are compacted with one
-// sequential pass that repairs their positions as it moves them:
-// O(d log d + n - first) rather than a per-position membership test over
-// the whole array plus a second fixup pass.
+// the first removed tuple (NumTuples() when drop matched nothing). The
+// dropped positions come straight from the chunk back-pointers — always
+// valid under the fused-repair invariant — and each touched chunk is
+// compacted with one sequential pass that repairs offsets as it moves
+// tuples: O(d log d + span + n/C) rather than O(n).
 func (db *Database) removeSorted(drop []*Tuple) int {
-	n := len(db.sorted)
-	pos := make([]int, 0, len(drop))
+	watermark := db.rs.remove(drop)
 	for _, t := range drop {
-		if t.idx < n && db.sorted[t.idx] == t {
-			pos = append(pos, t.idx)
-		}
 		delete(db.byID, t.ID)
 	}
-	if len(pos) == 0 {
-		return n
-	}
-	sort.Ints(pos)
-	out := pos[0]
-	for j, p := range pos {
-		end := n
-		if j+1 < len(pos) {
-			end = pos[j+1]
-		}
-		out += copy(db.sorted[out:], db.sorted[p+1:end])
-	}
-	for i := out; i < n; i++ {
-		db.sorted[i] = nil // release for GC
-	}
-	db.sorted = db.sorted[:out]
-	for i := pos[0]; i < out; i++ {
-		db.sorted[i].idx = i
-	}
-	return pos[0]
+	return watermark
 }
 
-// rankIndexOf returns t's current position in the rank array. Every
-// mutation primitive repairs positions as part of its own splice pass, so
-// idx is valid at all times — including between the mutations of a Batch.
+// rankIndexOf returns t's current position in the rank order, O(1) from
+// the chunk back-pointers. Every mutation primitive repairs them as part
+// of its own splice pass, so the answer is valid at all times — including
+// between the mutations of a Batch.
 func (db *Database) rankIndexOf(t *Tuple) int {
-	return t.idx
+	return t.home.start + t.idx
 }
 
 // finishMutation commits one mutation (or one batch): it bumps the
@@ -480,8 +431,8 @@ func (db *Database) finishMutation(watermark int) {
 	if watermark < 0 {
 		watermark = 0
 	}
-	if watermark > len(db.sorted) {
-		watermark = len(db.sorted)
+	if watermark > db.rs.n {
+		watermark = db.rs.n
 	}
 	db.version++
 	if len(db.marks) >= maxMarks {

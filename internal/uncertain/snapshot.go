@@ -15,33 +15,39 @@ package uncertain
 // The writer keeps snapshots valid by never writing to memory a published
 // epoch can reach:
 //
-//   - Containers (the rank array, the groups slice, the watermark log) are
+//   - Containers (the rank spine, the groups slice, the watermark log) are
 //     unshared lazily: the first mutation after a publish copies them once
 //     (unshare), and every later mutation in the same unpublished epoch
 //     splices the private copies in place exactly as the pre-snapshot code
 //     did. The ID index is never shared in the first place, so it is
 //     mutated in place without copies.
+//   - Rank chunks are copied at chunk granularity: the first splice into a
+//     chunk in an unpublished epoch clones its tuple slice
+//     (rankStore.dirty; see chunks.go), so a commit copies only the chunks
+//     it actually touched — O(changed chunks), not O(n).
 //   - Tuples and x-tuples are copied at x-tuple granularity: a mutation
 //     that would write a tuple field readers consume (Prob on Reweight and
 //     Collapse, Group on delete renumbering, the alternatives slice on null
 //     maintenance) first clones the owning x-tuple and its tuple slab
 //     (cowGroup) and redirects the working containers to the clones. The
 //     original x-tuple stays frozen in every older epoch.
-//   - The one exception is Tuple.idx, the rank-position cache the splice
-//     passes repair as they shift tuples. It is written in place on shared
-//     tuples, so it is a *writer-epoch* field: it is always correct for the
-//     newest epoch, and no snapshot reader consumes it (the query and
-//     quality scans derive positions from their own iteration index; see
-//     Tuple.Index for the caller-facing contract). It lives in its own
-//     word, so the in-place write does not race with readers of the frozen
-//     fields around it.
+//   - The exceptions are Tuple.home/Tuple.idx (the chunk back-pointers the
+//     splice passes repair as they shift tuples) and the chunks' own
+//     pos/start/priv caches. They are written in place on shared objects,
+//     so they are *writer-epoch* fields: always correct for the newest
+//     epoch, and no snapshot reader consumes them (cursors and seeks
+//     navigate an epoch's own chunks/starts slices; the query and quality
+//     scans derive positions from their own iteration index; see
+//     Tuple.Index for the caller-facing contract). Each lives in its own
+//     word, so the in-place writes do not race with readers of the frozen
+//     fields around them.
 //
 // Readers therefore never block and never observe renumbering, and the
-// writer's per-commit overhead is O(n) pointer/map-entry copies on the
-// first mutation of an epoch (amortized across a Batch) plus O(|group|)
-// per x-tuple actually touched — compared against the O(k·n) query pass
-// this protects, see DESIGN.md ("Snapshot serving") for why this beats a
-// reader-writer lock here.
+// writer's per-commit overhead is O(n/C) spine-pointer copies on the first
+// mutation of an epoch (amortized across a Batch) plus O(C) per rank chunk
+// and O(|group|) per x-tuple actually touched — compared against the
+// O(k·n) query pass this protects, see DESIGN.md ("Snapshot serving") for
+// why this beats a reader-writer lock here.
 
 // Snapshot returns the current epoch: an immutable, fully built *Database
 // view that is safe to read concurrently with any number of mutations on
@@ -90,7 +96,7 @@ func (db *Database) publish() {
 	s := &Database{
 		groups:  db.groups,
 		rank:    db.rank,
-		sorted:  db.sorted,
+		rs:      db.rs,
 		built:   true,
 		nReal:   db.nReal,
 		version: db.version,
@@ -103,19 +109,26 @@ func (db *Database) publish() {
 	db.snap.Store(s)
 	db.shared = true
 	db.cowed = nil
+	// Advance the chunk epoch: every chunk is now shared with the epoch
+	// just published, so the next in-place chunk write must COW it first
+	// (rankStore.dirty). This replaces the flat array's O(n) copy with
+	// O(1) — the commit-time cost is paid per chunk actually touched.
+	db.rs.epoch++
 }
 
 // unshare gives the writer private copies of the containers shared with
-// the last published epoch: the rank array, the groups slice, and the
-// watermark log. Mutation cores call it before their first in-place
-// container write; within one unpublished epoch it runs at most once, so
-// a Batch pays the O(n) copy a single time however many mutations it
-// groups.
+// the last published epoch: the rank spine (the chunk-pointer and starts
+// slices — the chunks themselves stay shared until individually dirtied),
+// the groups slice, and the watermark log. Mutation cores call it before
+// their first in-place container write; within one unpublished epoch it
+// runs at most once, so a Batch pays the O(n/C) spine copy a single time
+// however many mutations it groups.
 func (db *Database) unshare() {
 	if !db.shared {
 		return
 	}
-	db.sorted = append([]*Tuple(nil), db.sorted...)
+	db.rs.chunks = append([]*chunk(nil), db.rs.chunks...)
+	db.rs.starts = append([]int(nil), db.rs.starts...)
 	db.groups = append([]*XTuple(nil), db.groups...)
 	db.marks = append([]versionMark(nil), db.marks...)
 	db.shared = false
@@ -142,7 +155,14 @@ func (db *Database) cowGroup(gi int) *XTuple {
 		backing[i] = *t
 		c := &backing[i]
 		nx.Tuples[i] = c
-		db.sorted[c.idx] = c
+		// Redirect the rank order to the clone: COW the owning chunk (the
+		// chunk-granular analogue of the old O(n) array copy) and swap the
+		// clone in at the same offset. The back-pointers copied from t are
+		// re-aimed at the dirty chunk, which dirty() may itself have
+		// replaced.
+		hc := db.rs.dirty(t.home.pos)
+		hc.tuples[t.idx] = c
+		c.home = hc
 		db.byID[c.ID] = c
 	}
 	db.groups[gi] = nx

@@ -29,19 +29,31 @@ type Tuple struct {
 	Null  bool    // true for the materialized null alternative
 
 	ord int // insertion order, used to break score ties deterministically
-	idx int // position in the global rank order (0 = highest rank)
+
+	// home/idx locate the tuple inside the chunked rank structure
+	// (chunks.go): home is the owning chunk of the newest epoch and idx
+	// the offset within it, so the global rank position is
+	// home.start + idx. Both are writer-epoch fields, repaired in place
+	// on tuples shared with older snapshots (see snapshot.go).
+	home *chunk
+	idx  int
 }
 
 // Index returns the tuple's position in the database's rank order, where 0
 // is the highest-ranked tuple. It is only meaningful after Database.Build.
 //
-// Index reflects the *newest* epoch: mutation splice passes repair it in
-// place, including on tuples shared with older snapshots, so it must not
-// be read concurrently with mutations and is not part of a snapshot's
-// frozen state. Code reading through a pinned snapshot derives positions
-// from the snapshot's Sorted order instead (answers additionally carry
-// answer-time Rank fields for exactly this reason).
-func (t *Tuple) Index() int { return t.idx }
+// Index reflects the *newest* epoch: mutation passes repair the underlying
+// chunk back-pointers in place, including on tuples shared with older
+// snapshots, so it must not be read concurrently with mutations and is not
+// part of a snapshot's frozen state. Code reading through a pinned snapshot
+// derives positions from the snapshot's iteration order instead (answers
+// additionally carry answer-time Rank fields for exactly this reason).
+func (t *Tuple) Index() int {
+	if t.home == nil {
+		return 0 // not yet placed in a rank order (pre-Build staging)
+	}
+	return t.home.start + t.idx
+}
 
 // String renders the tuple for logs and examples.
 func (t *Tuple) String() string {

@@ -68,18 +68,22 @@ type wireTuple struct {
 }
 
 // EncodeWire serializes a built database (or a snapshot of one) into the
-// stable wire form. Rank positions are derived from the frozen rank array,
-// not from Tuple.Index (a writer-epoch field), so encoding a pinned
-// Snapshot is safe while the live database keeps mutating — which is how
-// the store checkpoints. Encoding a live database directly must not run
-// concurrently with mutations, like any other read of it.
+// stable wire form. Rank positions are derived by walking the epoch's own
+// frozen chunks, not from Tuple.Index (a writer-epoch field), so encoding
+// a pinned Snapshot is safe while the live database keeps mutating — which
+// is how the store checkpoints. Encoding a live database directly must not
+// run concurrently with mutations, like any other read of it.
 func EncodeWire(db *Database) ([]byte, error) {
 	if !db.built {
 		return nil, ErrNotBuilt
 	}
-	pos := make(map[*Tuple]int, len(db.sorted))
-	for i, t := range db.sorted {
-		pos[t] = i
+	pos := make(map[*Tuple]int, db.rs.n)
+	i := 0
+	for _, c := range db.rs.chunks {
+		for _, t := range c.tuples {
+			pos[t] = i
+			i++
+		}
 	}
 	doc := wireDB{
 		Format:  WireFormat,
@@ -131,7 +135,7 @@ func DecodeWire(data []byte, rank RankFunc) (*Database, error) {
 		total += len(wg.Tuples)
 	}
 	db.groups = make([]*XTuple, len(doc.XTuples))
-	db.sorted = make([]*Tuple, total)
+	sorted := make([]*Tuple, total)
 	db.byID = make(map[string]*Tuple, total)
 	for gi, wg := range doc.XTuples {
 		if len(wg.Tuples) == 0 {
@@ -141,7 +145,7 @@ func DecodeWire(data []byte, rank RankFunc) (*Database, error) {
 		backing := make([]Tuple, len(wg.Tuples)) // one slab per x-tuple, as in Build
 		for ti, wt := range wg.Tuples {
 			t := &backing[ti]
-			*t = Tuple{ID: wt.ID, Prob: wt.Prob, Group: gi, Null: wt.Null, ord: wt.Ord, idx: wt.Pos}
+			*t = Tuple{ID: wt.ID, Prob: wt.Prob, Group: gi, Null: wt.Null, ord: wt.Ord}
 			if !wt.Null {
 				t.Attrs = append([]float64(nil), wt.Attrs...)
 				t.Score = rank(t.Attrs)
@@ -153,22 +157,25 @@ func DecodeWire(data []byte, rank RankFunc) (*Database, error) {
 			if db.byID[t.ID] != nil {
 				return nil, fmt.Errorf("tuple %q: %w", t.ID, ErrDuplicateID)
 			}
-			if wt.Pos < 0 || wt.Pos >= total || db.sorted[wt.Pos] != nil {
+			if wt.Pos < 0 || wt.Pos >= total || sorted[wt.Pos] != nil {
 				return nil, fmt.Errorf("uncertain: wire decode: tuple %q: rank position %d invalid or duplicated", t.ID, wt.Pos)
 			}
 			db.byID[t.ID] = t
 			x.Tuples[ti] = t
-			db.sorted[wt.Pos] = t
+			sorted[wt.Pos] = t
 		}
 		if err := x.validate(); err != nil {
 			return nil, err
 		}
 		db.groups[gi] = x
 	}
-	// The rank array is rebuilt from the persisted positions, then verified
-	// against the recomputed scores: Validate walks adjacent pairs under
-	// ranksAbove, so a database encoded under a different ranking function
-	// fails here instead of being served with a silently wrong order.
+	// The rank order is rebuilt from the persisted positions (chunked
+	// afresh — chunk boundaries are an in-memory detail, not wire state),
+	// then verified against the recomputed scores: Validate walks adjacent
+	// pairs under ranksAbove, so a database encoded under a different
+	// ranking function fails here instead of being served with a silently
+	// wrong order.
+	db.rs = newRankStore(sorted)
 	if err := db.Validate(); err != nil {
 		return nil, errors.Join(ErrWireOrder, err)
 	}

@@ -85,7 +85,12 @@ func TopK(db *uncertain.Database, w World, k int) []*uncertain.Tuple {
 		k = len(groups)
 	}
 	out := make([]*uncertain.Tuple, 0, k)
-	for _, t := range db.Sorted() {
+	// Chunk cursor rather than db.Sorted(): Monte-Carlo verification calls
+	// TopK once per sampled world, and materializing the whole rank order
+	// per call would be an O(n) allocation for a scan that usually stops
+	// after the top few positions.
+	cur := db.CursorAt(0)
+	for t := cur.Next(); t != nil; t = cur.Next() {
 		if groups[t.Group].Tuples[w.Choices[t.Group]] == t {
 			out = append(out, t)
 			if len(out) == k {

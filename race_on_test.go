@@ -1,0 +1,7 @@
+//go:build race
+
+package topkclean
+
+// raceEnabled reports whether the race detector is compiled in; allocation
+// pins skip under it, since instrumentation changes allocation counts.
+const raceEnabled = true
