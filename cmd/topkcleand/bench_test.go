@@ -12,6 +12,7 @@ import (
 
 	topkclean "github.com/probdb/topkclean"
 	"github.com/probdb/topkclean/internal/gen"
+	"github.com/probdb/topkclean/internal/shard"
 )
 
 // startWriter streams batched mutations at the live database — one batch
@@ -131,4 +132,104 @@ func benchServe(b *testing.B, mutating bool) {
 func BenchmarkServeUnderMutation(b *testing.B) {
 	b.Run("idle", func(b *testing.B) { benchServe(b, false) })
 	b.Run("mutating", func(b *testing.B) { benchServe(b, true) })
+}
+
+// startShardWriter streams insert commits at a sharded cluster — the
+// router/rebalance path under load — until stopped. Reweights need group
+// handles the cluster does not expose, so the sharded writer works in
+// fresh x-tuples at random scores (every shard's range gets hit).
+func startShardWriter(c *shard.Cluster) (stop func() (commits int)) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	commits := 0
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(99))
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+			}
+			err := c.Batch(func(b *shard.Batch) error {
+				return b.InsertXTuple(fmt.Sprintf("w%d", i), topkclean.Tuple{
+					ID: fmt.Sprintf("w%d.a", i), Attrs: []float64{rng.Float64() * 100}, Prob: 0.5})
+			})
+			if err != nil {
+				panic(err)
+			}
+			commits++
+		}
+	}()
+	return func() int {
+		close(done)
+		wg.Wait()
+		return commits
+	}
+}
+
+// benchServeSharded is benchServe over a range-sharded default database:
+// /topk throughput through the merge coordinator, optionally with a
+// background writer streaming commits through the router.
+func benchServeSharded(b *testing.B, shards int, mutating bool) {
+	db, err := gen.SyntheticSized(1500, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := newServer(serverConfig{k: 15, threshold: 0.1, seed: 42, synthetic: 100, shards: shards})
+	def, err := srv.addTenant(defaultDB, db, tenantConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	url := ts.URL + "/topk"
+
+	if resp, err := http.Get(url); err != nil {
+		b.Fatal(err)
+	} else {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	var commits int
+	if mutating {
+		stop := startShardWriter(def.clu)
+		defer func() {
+			commits = stop()
+			b.ReportMetric(float64(commits)/b.Elapsed().Seconds(), "commits/s")
+		}()
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		client := &http.Client{}
+		for pb.Next() {
+			resp, err := client.Get(url)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Errorf("status %d", resp.StatusCode)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+	b.ReportMetric(float64(def.coal.coalesced.Load()), "coalesced")
+}
+
+// BenchmarkShardedServeUnderMutation is the sharded counterpart of
+// BenchmarkServeUnderMutation: reader qps over a 4-shard coordinator with
+// and without a concurrent commit stream. CI records both series in
+// BENCH_PR10.json next to the single-cluster mutate/requery numbers.
+func BenchmarkShardedServeUnderMutation(b *testing.B) {
+	b.Run("shards=4/idle", func(b *testing.B) { benchServeSharded(b, 4, false) })
+	b.Run("shards=4/mutating", func(b *testing.B) { benchServeSharded(b, 4, true) })
 }

@@ -85,6 +85,8 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		polly     = fs.Duration("replica-poll", 25*time.Millisecond, "journal poll interval in -follower mode")
 		fsync     = fs.Bool("fsync", true, "fsync the journal after every commit (with -store)")
 		ckptEvery = fs.Int("checkpoint-every", 256, "journal records between automatic checkpoints (with -store)")
+		shards    = fs.Int("shards", 1, "range-shard each database across N shards behind a merge coordinator (1 = unsharded)")
+		rescan    = fs.Duration("follower-rescan", time.Second, "how often a follower rescans the store root for new databases")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -98,6 +100,12 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	}
 	if *follower != "" && *backend != "file" {
 		return fmt.Errorf("-follower requires -store-backend file: following needs a store another process can share")
+	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards %d: need at least 1", *shards)
+	}
+	if *follower != "" && *shards != 1 {
+		return fmt.Errorf("-follower and -shards are mutually exclusive: sharded databases cannot be followed yet")
 	}
 
 	root := *storeDir
@@ -115,14 +123,17 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		checkpointEvery: *ckptEvery,
 		follower:        *follower != "",
 		replicaPoll:     *polly,
+		shards:          *shards,
 	})
 	if *follower != "" {
 		// Follower startup: open every persisted database read-only, sync
 		// to the journal tail, start tailing. Nothing is created — the
-		// leader owns the data; this daemon only serves it.
+		// leader owns the data; this daemon only serves it. The rescan loop
+		// then picks up databases the leader creates later.
 		if err := srv.recoverFollowers(logger.Printf); err != nil {
 			return err
 		}
+		go srv.followerRescanLoop(ctx, *rescan, logger.Printf)
 	} else {
 		// The file backend persists across restarts; recover what it holds.
 		// (The mem backend is process-local: a fresh daemon has nothing to
@@ -153,7 +164,7 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	// not the slow one; other tenants warm on first query. A follower may
 	// legitimately have no default database — warm nothing then.
 	if def, err := srv.tenant(defaultDB); err == nil {
-		if _, err := def.engine().Answers(ctx); err != nil {
+		if err := def.warm(ctx); err != nil {
 			return err
 		}
 	} else if *follower == "" {

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	topkclean "github.com/probdb/topkclean"
+	"github.com/probdb/topkclean/internal/shard"
 	"github.com/probdb/topkclean/internal/store"
 	"github.com/probdb/topkclean/internal/uncertain"
 )
@@ -32,6 +33,7 @@ type server struct {
 	mu       sync.RWMutex
 	tenants  map[string]*tenant
 	creating map[string]bool // names reserved by in-flight creations
+	draining atomic.Bool     // set at shutdown: the follower rescan must not attach more
 	mux      *http.ServeMux
 	started  time.Time
 }
@@ -49,6 +51,7 @@ type serverConfig struct {
 	checkpointEvery int
 	follower        bool          // serve replicated epochs; refuse writes
 	replicaPoll     time.Duration // follower journal poll interval
+	shards          int           // default shard count for new tenants (1 = unsharded)
 }
 
 func newServer(cfg serverConfig) *server {
@@ -268,21 +271,22 @@ type mutateResponse struct {
 }
 
 type statsResponse struct {
-	Name          string           `json:"name"`
-	Role          string           `json:"role"` // leader | follower
-	Version       uint64           `json:"version"`
-	XTuples       int              `json:"xtuples"`
-	Tuples        int              `json:"tuples"`
-	RealTuples    int              `json:"real_tuples"`
-	K             int              `json:"k"`
-	Threshold     float64          `json:"threshold"`
-	Durable       bool             `json:"durable"`
-	WALRecords    int              `json:"wal_records_since_checkpoint"`
-	CheckpointVer uint64           `json:"checkpoint_version"`
-	Coalesced     int64            `json:"coalesced_queries"`
-	DBs           int              `json:"dbs"`
-	UptimeSeconds float64          `json:"uptime_seconds"`
-	Replication   *replicationJSON `json:"replication,omitempty"` // followers only
+	Name          string            `json:"name"`
+	Role          string            `json:"role"` // leader | follower
+	Version       uint64            `json:"version"`
+	XTuples       int               `json:"xtuples"`
+	Tuples        int               `json:"tuples"`
+	RealTuples    int               `json:"real_tuples"`
+	K             int               `json:"k"`
+	Threshold     float64           `json:"threshold"`
+	Durable       bool              `json:"durable"`
+	WALRecords    int               `json:"wal_records_since_checkpoint"`
+	CheckpointVer uint64            `json:"checkpoint_version"`
+	Coalesced     int64             `json:"coalesced_queries"`
+	DBs           int               `json:"dbs"`
+	UptimeSeconds float64           `json:"uptime_seconds"`
+	Replication   *replicationJSON  `json:"replication,omitempty"` // followers only
+	Shards        []shard.ShardStat `json:"shards,omitempty"`      // sharded tenants: per-shard version/size/scan/lag
 }
 
 // replicationJSON is the follower's lag block in /stats.
@@ -302,6 +306,7 @@ type dbInfoJSON struct {
 	Tuples    int     `json:"tuples"`
 	K         int     `json:"k"`
 	Threshold float64 `json:"threshold"`
+	Shards    int     `json:"shards,omitempty"` // > 1: range-sharded
 	Durable   bool    `json:"durable"`
 }
 
@@ -312,6 +317,7 @@ type createRequest struct {
 	Seed      int64          `json:"seed,omitempty"`      // engine seed; default: daemon -seed
 	Synthetic int            `json:"synthetic,omitempty"` // x-tuples to generate when no xtuples given
 	GenSeed   int64          `json:"gen_seed,omitempty"`  // generator seed (default: daemon -seed)
+	Shards    int            `json:"shards,omitempty"`    // > 1: range-sharded serving (default: daemon -shards)
 	XTuples   []createXTuple `json:"xtuples,omitempty"`   // inline dataset (wins over synthetic)
 }
 
@@ -356,6 +362,18 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (t *tenant) info() dbInfoJSON {
+	if t.clu != nil {
+		return dbInfoJSON{
+			Name:      t.name,
+			Version:   t.clu.Version(),
+			XTuples:   t.clu.NumGroups(),
+			Tuples:    t.clu.NumTuples(),
+			K:         t.clu.K(),
+			Threshold: t.clu.Threshold(),
+			Shards:    t.clu.Shards(),
+			Durable:   t.durable(),
+		}
+	}
 	eng := t.engine()
 	snap := eng.DB().Snapshot()
 	return dbInfoJSON{
@@ -397,7 +415,7 @@ func (s *server) handleCreateDB(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	t, err := s.addTenant(req.Name, db, tenantConfig{K: req.K, Threshold: req.Threshold, Seed: req.Seed})
+	t, err := s.addTenant(req.Name, db, tenantConfig{K: req.K, Threshold: req.Threshold, Seed: req.Seed, Shards: req.Shards})
 	if err != nil {
 		status := http.StatusBadRequest
 		if errors.Is(err, errTenantExists) {
@@ -463,25 +481,40 @@ func (s *server) handleDeleteDB(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request, t *tenant) {
-	eng := t.engine()
-	snap := eng.DB().Snapshot()
 	role := "leader"
 	if s.cfg.follower {
 		role = "follower"
 	}
-	resp := statsResponse{
-		Name:          t.name,
-		Role:          role,
-		Version:       snap.Version(),
-		XTuples:       snap.NumGroups(),
-		Tuples:        snap.NumTuples(),
-		RealTuples:    snap.NumRealTuples(),
-		K:             eng.K(),
-		Threshold:     eng.Threshold(),
-		Durable:       t.durable(),
-		Coalesced:     t.coal.coalesced.Load(),
-		UptimeSeconds: time.Since(s.started).Seconds(),
+	var resp statsResponse
+	if t.clu != nil {
+		resp = statsResponse{
+			Name:       t.name,
+			Role:       role,
+			Version:    t.clu.Version(),
+			XTuples:    t.clu.NumGroups(),
+			Tuples:     t.clu.NumTuples(),
+			RealTuples: t.clu.NumRealTuples(),
+			K:          t.clu.K(),
+			Threshold:  t.clu.Threshold(),
+			Shards:     t.clu.Stats(),
+		}
+	} else {
+		eng := t.engine()
+		snap := eng.DB().Snapshot()
+		resp = statsResponse{
+			Name:       t.name,
+			Role:       role,
+			Version:    snap.Version(),
+			XTuples:    snap.NumGroups(),
+			Tuples:     snap.NumTuples(),
+			RealTuples: snap.NumRealTuples(),
+			K:          eng.K(),
+			Threshold:  eng.Threshold(),
+		}
 	}
+	resp.Durable = t.durable()
+	resp.Coalesced = t.coal.coalesced.Load()
+	resp.UptimeSeconds = time.Since(s.started).Seconds()
 	if t.sdb != nil {
 		resp.WALRecords, resp.CheckpointVer = t.sdb.SinceCheckpoint()
 	}
@@ -506,8 +539,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request, t *tenant) 
 }
 
 func (s *server) handleTopK(w http.ResponseWriter, r *http.Request, t *tenant) {
-	eng := t.engine()
-	threshold := eng.Threshold()
+	threshold := t.threshold()
 	if q := r.URL.Query().Get("threshold"); q != "" {
 		v, err := strconv.ParseFloat(q, 64)
 		// Reject non-finite values outright: beyond being meaningless as
@@ -523,12 +555,12 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request, t *tenant) {
 	// requests share one engine call and one JSON encoding. If a commit
 	// lands between keying and answering, the shared answer is simply the
 	// newer version's (reported in its body) — still one consistent epoch.
-	key := coalKey{version: eng.DB().Snapshot().Version(), threshold: threshold}
+	key := coalKey{version: t.version(), threshold: threshold}
 	body, err := t.coal.do(key, func() ([]byte, error) {
 		// Compute detached from the leader's request context: followers
 		// with live connections share this result, and the leader's client
 		// hanging up must not fail them all with its cancellation.
-		res, err := eng.AnswersThreshold(context.WithoutCancel(r.Context()), threshold)
+		res, err := t.answersThreshold(context.WithoutCancel(r.Context()), threshold)
 		if err != nil {
 			return nil, err
 		}
@@ -561,8 +593,7 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request, t *tenant) {
 }
 
 func (s *server) handleQuality(w http.ResponseWriter, r *http.Request, t *tenant) {
-	eng := t.engine()
-	k := eng.K()
+	k := t.k()
 	if q := r.URL.Query().Get("k"); q != "" {
 		v, err := strconv.Atoi(q)
 		if err != nil || v < 1 {
@@ -571,7 +602,7 @@ func (s *server) handleQuality(w http.ResponseWriter, r *http.Request, t *tenant
 		}
 		k = v
 	}
-	quality, version, err := eng.QualityAtVersion(r.Context(), k)
+	quality, version, err := t.qualityAtVersion(r.Context(), k)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -630,7 +661,16 @@ func wireToPlan(m map[string]int) (topkclean.CleaningPlan, error) {
 	return p, nil
 }
 
+// errShardedCleaning: the budgeted-cleaning planners evaluate candidate
+// collapses against one engine's cleaning context; the sharded layer does
+// not thread that yet.
+var errShardedCleaning = errors.New("budgeted cleaning is not supported on sharded databases yet; create the database with shards=1")
+
 func (s *server) handlePlan(w http.ResponseWriter, r *http.Request, t *tenant) {
+	if t.clu != nil {
+		writeErr(w, http.StatusBadRequest, errShardedCleaning)
+		return
+	}
 	var req planRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -662,6 +702,10 @@ func (s *server) handlePlan(w http.ResponseWriter, r *http.Request, t *tenant) {
 }
 
 func (s *server) handleApply(w http.ResponseWriter, r *http.Request, t *tenant) {
+	if t.clu != nil {
+		writeErr(w, http.StatusBadRequest, errShardedCleaning)
+		return
+	}
 	var req applyRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -815,20 +859,36 @@ func (s *server) handleMutate(w http.ResponseWriter, r *http.Request, t *tenant)
 	// sizes and versions read below cannot be another writer's.
 	t.writeMu.Lock()
 	defer t.writeMu.Unlock()
-	db := t.eng.DB()
-	base := db.Version()
 	var applied int
 	var err error
-	if t.sdb != nil {
-		err = t.sdb.Batch(func(b *store.Batch) error {
+	var base uint64
+	var groups, tuples int
+	if t.clu != nil {
+		// Sharded tenants: the cluster's batch has the same
+		// prefix-on-failure, one-epoch-per-request semantics (the shard
+		// package's differential battery pins the parity, error texts
+		// included), with the router splitting ops across shards.
+		base = t.clu.Version()
+		err = t.clu.Batch(func(b *shard.Batch) error {
 			applied, err = applyReqOps(b, req.Ops)
 			return err
 		})
+		groups, tuples = t.clu.NumGroups(), t.clu.NumTuples()
 	} else {
-		err = db.Batch(func(b *topkclean.Batch) error {
-			applied, err = applyReqOps(b, req.Ops)
-			return err
-		})
+		db := t.eng.DB()
+		base = db.Version()
+		if t.sdb != nil {
+			err = t.sdb.Batch(func(b *store.Batch) error {
+				applied, err = applyReqOps(b, req.Ops)
+				return err
+			})
+		} else {
+			err = db.Batch(func(b *topkclean.Batch) error {
+				applied, err = applyReqOps(b, req.Ops)
+				return err
+			})
+		}
+		groups, tuples = db.NumGroups(), db.NumTuples()
 	}
 	version := base
 	if applied > 0 {
@@ -836,7 +896,7 @@ func (s *server) handleMutate(w http.ResponseWriter, r *http.Request, t *tenant)
 	}
 	if err != nil {
 		status := http.StatusBadRequest
-		if errors.Is(err, uncertain.ErrFrozenSnapshot) || errors.Is(err, store.ErrPoisoned) {
+		if errors.Is(err, uncertain.ErrFrozenSnapshot) || errors.Is(err, store.ErrPoisoned) || errors.Is(err, shard.ErrPoisoned) {
 			status = http.StatusInternalServerError
 		}
 		writeJSON(w, status, map[string]any{
@@ -849,7 +909,7 @@ func (s *server) handleMutate(w http.ResponseWriter, r *http.Request, t *tenant)
 	writeJSON(w, http.StatusOK, mutateResponse{
 		Version:    version,
 		OpsApplied: applied,
-		XTuples:    db.NumGroups(),
-		Tuples:     db.NumTuples(),
+		XTuples:    groups,
+		Tuples:     tuples,
 	})
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -14,6 +15,7 @@ import (
 
 	topkclean "github.com/probdb/topkclean"
 	"github.com/probdb/topkclean/internal/replica"
+	"github.com/probdb/topkclean/internal/shard"
 	"github.com/probdb/topkclean/internal/store"
 )
 
@@ -21,24 +23,97 @@ import (
 // (queries, planning), the optional persistence handle (nil = ephemeral),
 // the replica handle on follower daemons, the per-tenant query coalescer,
 // and the write mutex that keeps WAL order equal to commit order across
-// /mutate and /apply.
+// /mutate and /apply. A sharded tenant (created with shards > 1) serves
+// through clu instead of eng: the range-sharded cluster owns its own
+// per-shard stores and merge coordinator (see DESIGN.md "Sharded
+// serving").
 type tenant struct {
-	name    string
-	eng     *topkclean.Engine
-	sdb     *store.DB        // nil when the daemon runs without -store
-	rep     *replica.Replica // non-nil on follower daemons
-	cfg     tenantConfig
-	coal    coalescer
-	applies atomic.Int64 // per-apply rng decorrelation counter
-	writeMu sync.Mutex   // serializes journaled writes; queries never take it
-	engMu   sync.Mutex   // follower only: guards the engine rebuild below
-	engGen  uint64       // replica generation the current engine was built on
-	created time.Time
+	name       string
+	eng        *topkclean.Engine
+	clu        *shard.Cluster   // non-nil: sharded serving (leaders only)
+	cluDurable bool             // the cluster journals its shards under -store
+	sdb        *store.DB        // nil when the daemon runs without -store
+	rep        *replica.Replica // non-nil on follower daemons
+	cfg        tenantConfig
+	coal       coalescer
+	applies    atomic.Int64 // per-apply rng decorrelation counter
+	writeMu    sync.Mutex   // serializes journaled writes; queries never take it
+	engMu      sync.Mutex   // follower only: guards the engine rebuild below
+	engGen     uint64       // replica generation the current engine was built on
+	created    time.Time
 }
 
 // durable reports whether the tenant survives restarts (its own journal,
 // or — on a follower — the leader's).
-func (t *tenant) durable() bool { return t.sdb != nil || t.rep != nil }
+func (t *tenant) durable() bool { return t.sdb != nil || t.rep != nil || t.cluDurable }
+
+// version is the tenant's current committed version, whichever layer
+// serves it.
+func (t *tenant) version() uint64 {
+	if t.clu != nil {
+		return t.clu.Version()
+	}
+	return t.engine().DB().Snapshot().Version()
+}
+
+// k and threshold are the tenant's query defaults.
+func (t *tenant) k() int {
+	if t.clu != nil {
+		return t.clu.K()
+	}
+	return t.engine().K()
+}
+
+func (t *tenant) threshold() float64 {
+	if t.clu != nil {
+		return t.clu.Threshold()
+	}
+	return t.engine().Threshold()
+}
+
+// answersThreshold answers the three top-k semantics plus quality from
+// one pinned epoch — through the merge coordinator on sharded tenants,
+// the engine otherwise. Both layers produce bit-identical answers (the
+// shard package's differential battery pins this), so callers never know
+// which served them.
+func (t *tenant) answersThreshold(ctx context.Context, threshold float64) (*topkclean.Result, error) {
+	if t.clu == nil {
+		return t.engine().AnswersThreshold(ctx, threshold)
+	}
+	r, err := t.clu.AnswersThreshold(ctx, threshold)
+	if err != nil {
+		return nil, err
+	}
+	return &topkclean.Result{
+		K:          r.K,
+		Threshold:  r.Threshold,
+		Version:    r.Version,
+		UKRanks:    r.UKRanks,
+		PTK:        r.PTK,
+		GlobalTopK: r.GlobalTopK,
+		Quality:    r.Quality,
+	}, nil
+}
+
+// qualityAtVersion evaluates the PWS-quality at an explicit k.
+func (t *tenant) qualityAtVersion(ctx context.Context, k int) (float64, uint64, error) {
+	if t.clu != nil {
+		return t.clu.QualityAtVersion(ctx, k)
+	}
+	return t.engine().QualityAtVersion(ctx, k)
+}
+
+// warm runs the tenant's memoized answer pass once, so the first request
+// is not the slow one.
+func (t *tenant) warm(ctx context.Context) error {
+	var err error
+	if t.clu != nil {
+		_, err = t.clu.Answers(ctx)
+	} else {
+		_, err = t.engine().Answers(ctx)
+	}
+	return err
+}
 
 // engine returns the engine to serve queries from. On a leader it is the
 // tenant's engine, fixed for the tenant's lifetime. On a follower the
@@ -79,6 +154,7 @@ type tenantConfig struct {
 	Threshold float64 `json:"threshold"`
 	Seed      int64   `json:"seed"`
 	Rank      string  `json:"rank,omitempty"`
+	Shards    int     `json:"shards,omitempty"` // > 1: range-sharded serving
 }
 
 // rankFunc resolves the persisted ranking-function name through the
@@ -148,6 +224,12 @@ func (s *server) addTenant(name string, db *topkclean.Database, cfg tenantConfig
 	if cfg.Seed == 0 {
 		cfg.Seed = s.cfg.seed
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = s.cfg.shards
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
 	s.mu.Lock()
 	if _, ok := s.tenants[name]; ok || s.creating[name] {
 		s.mu.Unlock()
@@ -160,6 +242,17 @@ func (s *server) addTenant(name string, db *topkclean.Database, cfg tenantConfig
 		delete(s.creating, name)
 		s.mu.Unlock()
 	}()
+
+	if cfg.Shards > 1 {
+		t, err := s.addShardTenant(name, db, cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		s.tenants[name] = t
+		s.mu.Unlock()
+		return t, nil
+	}
 
 	var sdb *store.DB
 	if s.cfg.storeRoot != "" {
@@ -197,6 +290,54 @@ func (s *server) addTenant(name string, db *topkclean.Database, cfg tenantConfig
 	s.tenants[name] = t
 	s.mu.Unlock()
 	return t, nil
+}
+
+// addShardTenant splits a built database across cfg.Shards range shards
+// behind a merge coordinator. With -store, the cluster journals each
+// shard (plus its placement directory) under the tenant directory; the
+// per-shard layout is the shard package's, not the flat single-journal
+// one, so tenant.json's shards field is what recovery dispatches on.
+func (s *server) addShardTenant(name string, db *topkclean.Database, cfg tenantConfig) (*tenant, error) {
+	scfg := shard.Config{Shards: cfg.Shards, K: cfg.K, Threshold: cfg.Threshold, Rank: db.Rank()}
+	durable := s.cfg.storeRoot != ""
+	if durable {
+		scfg.Backend = s.cfg.storeBackend
+		scfg.Path = s.tenantPath(name)
+		scfg.StoreOpts = s.storeOptions()
+	}
+	clu, err := shard.FromDatabase(db, scfg)
+	if err != nil {
+		if durable {
+			s.dropShardStorage(name, cfg.Shards)
+		}
+		return nil, err
+	}
+	if durable && s.cfg.storeBackend == "file" {
+		if err := writeTenantConfig(s.tenantPath(name), cfg); err != nil {
+			clu.Close()
+			s.dropShardStorage(name, cfg.Shards)
+			return nil, err
+		}
+	}
+	t := &tenant{name: name, clu: clu, cluDurable: durable, cfg: cfg, created: time.Now()}
+	t.coal.inflight = make(map[coalKey]*coalCall)
+	return t, nil
+}
+
+// dropShardStorage removes a sharded tenant's persisted state: the whole
+// directory on the file backend, each shard journal plus the meta journal
+// on mem.
+func (s *server) dropShardStorage(name string, shards int) {
+	dir := s.tenantPath(name)
+	switch s.cfg.storeBackend {
+	case "file":
+		os.RemoveAll(dir)
+	case "mem":
+		for i := 0; i < shards; i++ {
+			store.DropMem(filepath.Join(dir, fmt.Sprintf("shard-%d", i)))
+		}
+		store.DropMem(filepath.Join(dir, "meta"))
+	}
 }
 
 // tenantPath is where a tenant's journal lives: a directory for the file
@@ -254,6 +395,26 @@ func (s *server) recoverTenants(logf func(format string, args ...any)) error {
 			logf("recover %s: %v (skipped)", name, err)
 			continue
 		}
+		if cfg.Shards > 1 {
+			// Sharded layout: per-shard journals plus the placement
+			// directory, recovered and cross-checked by the shard package.
+			clu, err := shard.Open(shard.Config{
+				Shards: cfg.Shards, K: cfg.K, Threshold: cfg.Threshold, Rank: rank,
+				Backend: s.cfg.storeBackend, Path: dir, StoreOpts: s.storeOptions(),
+			})
+			if err != nil {
+				logf("recover %s: %v (skipped)", name, err)
+				continue
+			}
+			t := &tenant{name: name, clu: clu, cluDurable: true, cfg: cfg, created: time.Now()}
+			t.coal.inflight = make(map[coalKey]*coalCall)
+			s.mu.Lock()
+			s.tenants[name] = t
+			s.mu.Unlock()
+			logf("recovered %s at version %d (%d x-tuples, k=%d threshold=%g, %d shards)",
+				name, clu.Version(), clu.NumGroups(), cfg.K, cfg.Threshold, cfg.Shards)
+			continue
+		}
 		backend, err := store.OpenBackend(s.cfg.storeBackend, dir)
 		if err != nil {
 			logf("recover %s: %v (skipped)", name, err)
@@ -294,42 +455,100 @@ func (s *server) recoverFollowers(logf func(format string, args ...any)) error {
 		if !e.IsDir() || !tenantNameRE.MatchString(e.Name()) {
 			continue
 		}
-		name := e.Name()
-		dir := filepath.Join(s.cfg.storeRoot, name)
-		cfg := readTenantConfig(dir, tenantConfig{K: s.cfg.k, Threshold: s.cfg.threshold, Seed: s.cfg.seed})
-		rank, err := cfg.rankFunc()
-		if err != nil {
-			logf("follow %s: %v (skipped)", name, err)
-			continue
-		}
-		backend, err := store.OpenBackendReadOnly(s.cfg.storeBackend, dir)
-		if err != nil {
-			logf("follow %s: %v (skipped)", name, err)
-			continue
-		}
-		rep, err := replica.Open(backend, rank, replica.WithPollInterval(s.cfg.replicaPoll))
-		if err != nil {
-			backend.Close()
-			logf("follow %s: %v (skipped)", name, err)
-			continue
-		}
-		t, err := s.newTenant(name, rep.DB(), nil, rep, cfg)
-		if err != nil {
-			rep.Close()
-			logf("follow %s: %v (skipped)", name, err)
-			continue
-		}
-		rep.Start()
-		s.mu.Lock()
-		s.tenants[name] = t
-		s.mu.Unlock()
-		logf("following %s at version %d (%d x-tuples, k=%d threshold=%g)",
-			name, rep.Version(), rep.DB().NumGroups(), cfg.K, cfg.Threshold)
+		s.followTenant(e.Name(), logf)
 	}
 	if len(s.tenantList()) == 0 {
 		return fmt.Errorf("follower: %s holds no databases to follow (is it a leader's -store root?)", s.cfg.storeRoot)
 	}
 	return nil
+}
+
+// followTenant attaches one of the leader's databases as a read-only
+// replica. Failures are logged and skipped (the directory may be a
+// half-created tenant the leader is still writing; the rescan loop will
+// retry it).
+func (s *server) followTenant(name string, logf func(format string, args ...any)) {
+	dir := filepath.Join(s.cfg.storeRoot, name)
+	cfg := readTenantConfig(dir, tenantConfig{K: s.cfg.k, Threshold: s.cfg.threshold, Seed: s.cfg.seed})
+	if cfg.Shards > 1 {
+		logf("follow %s: sharded databases cannot be followed yet (skipped)", name)
+		return
+	}
+	rank, err := cfg.rankFunc()
+	if err != nil {
+		logf("follow %s: %v (skipped)", name, err)
+		return
+	}
+	backend, err := store.OpenBackendReadOnly(s.cfg.storeBackend, dir)
+	if err != nil {
+		logf("follow %s: %v (skipped)", name, err)
+		return
+	}
+	rep, err := replica.Open(backend, rank, replica.WithPollInterval(s.cfg.replicaPoll))
+	if err != nil {
+		backend.Close()
+		logf("follow %s: %v (skipped)", name, err)
+		return
+	}
+	t, err := s.newTenant(name, rep.DB(), nil, rep, cfg)
+	if err != nil {
+		rep.Close()
+		logf("follow %s: %v (skipped)", name, err)
+		return
+	}
+	rep.Start()
+	s.mu.Lock()
+	if _, ok := s.tenants[name]; ok || s.draining.Load() {
+		// Raced with another attach, or the daemon is shutting down: this
+		// replica has no owner to close it later, so close it now.
+		s.mu.Unlock()
+		rep.Close()
+		return
+	}
+	s.tenants[name] = t
+	s.mu.Unlock()
+	logf("following %s at version %d (%d x-tuples, k=%d threshold=%g)",
+		name, rep.Version(), rep.DB().NumGroups(), cfg.K, cfg.Threshold)
+}
+
+// rescanFollowers picks up databases the leader created after this
+// follower started — the dynamic half of follower mode. Directories
+// already being followed are skipped; new ones attach exactly like the
+// startup scan.
+func (s *server) rescanFollowers(logf func(format string, args ...any)) {
+	entries, err := os.ReadDir(s.cfg.storeRoot)
+	if err != nil {
+		logf("follower rescan: %v", err)
+		return
+	}
+	for _, e := range entries {
+		if !e.IsDir() || !tenantNameRE.MatchString(e.Name()) {
+			continue
+		}
+		name := e.Name()
+		s.mu.RLock()
+		_, known := s.tenants[name]
+		s.mu.RUnlock()
+		if known {
+			continue
+		}
+		s.followTenant(name, logf)
+	}
+}
+
+// followerRescanLoop runs rescanFollowers on a ticker until ctx is
+// cancelled (daemon shutdown).
+func (s *server) followerRescanLoop(ctx context.Context, every time.Duration, logf func(format string, args ...any)) {
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			s.rescanFollowers(logf)
+		}
+	}
 }
 
 // deleteTenant unregisters a database and, when durable, deletes its
@@ -369,6 +588,15 @@ func (s *server) deleteTenant(name string) error {
 		delete(s.creating, name)
 		s.mu.Unlock()
 	}()
+	if t.clu != nil {
+		t.writeMu.Lock()
+		defer t.writeMu.Unlock()
+		_ = t.clu.Close()
+		if t.cluDurable {
+			s.dropShardStorage(name, t.cfg.Shards)
+		}
+		return nil
+	}
 	if t.sdb != nil {
 		t.writeMu.Lock()
 		defer t.writeMu.Unlock()
@@ -391,11 +619,19 @@ func (s *server) deleteTenant(name string) error {
 // stops follower replicas — the graceful-drain counterpart of
 // recoverTenants/recoverFollowers.
 func (s *server) closeStores(logf func(format string, args ...any)) {
+	s.draining.Store(true) // stop the follower rescan from attaching more
 	for _, t := range s.tenantList() {
 		if t.rep != nil {
 			if err := t.rep.Close(); err != nil {
 				logf("stop replica %s: %v", t.name, err)
 			}
+		}
+		if t.clu != nil {
+			t.writeMu.Lock()
+			if err := t.clu.Close(); err != nil {
+				logf("flush %s: %v", t.name, err)
+			}
+			t.writeMu.Unlock()
 		}
 		if t.sdb == nil {
 			continue

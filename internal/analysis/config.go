@@ -68,9 +68,11 @@ func DefaultConfig(dir string) (*Config, error) {
 		FrozenTypes:  []string{"Database", "XTuple", "Tuple"},
 		// The writer epoch: the files that construct, mutate, and publish
 		// databases (chunks.go carries the chunked rank structure's splice
-		// passes). Everything else — including uncertain's own reader
-		// files and tests — must treat published tuples as frozen.
-		WriterFiles: []string{"database.go", "mutate.go", "batch.go", "snapshot.go", "wire.go", "chunks.go"},
+		// passes; seq.go the explicit tie-break staging entry points the
+		// shard router stamps through). Everything else — including
+		// uncertain's own reader files and tests — must treat published
+		// tuples as frozen.
+		WriterFiles: []string{"database.go", "mutate.go", "batch.go", "snapshot.go", "wire.go", "chunks.go", "seq.go"},
 		IdxFields:   []string{"idx", "home"},
 		// Tuple.idx and Tuple.home are writer-epoch fields (PR 4, chunked
 		// in PR 9): splice passes repair the chunk back-pointers in place
@@ -108,6 +110,7 @@ func DefaultConfig(dir string) (*Config, error) {
 			modPath + "/internal/cleaning",
 			modPath + "/internal/store",
 			modPath + "/internal/replica",
+			modPath + "/internal/shard",
 			modPath + "/cmd/topkcleand",
 		},
 		// The replay path: wire codec, store recovery/journal, query
@@ -118,6 +121,7 @@ func DefaultConfig(dir string) (*Config, error) {
 			modPath + "/internal/topkq",
 			modPath + "/internal/store",
 			modPath + "/internal/replica",
+			modPath + "/internal/shard",
 		},
 		CtxExempt: []string{modPath + "/cmd/", modPath + "/examples/"},
 	}, nil

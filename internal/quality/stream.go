@@ -1,0 +1,54 @@
+package quality
+
+import (
+	"fmt"
+
+	"github.com/probdb/topkclean/internal/numeric"
+	"github.com/probdb/topkclean/internal/topkq"
+)
+
+// TPFromStream is TPFromInfo over a merged stream scan (the sharded
+// engine's path): the prefix captured by topkq.ScanStream stands in for
+// the database cursor, with each tuple's global group index coming from
+// the stream rather than the tuple's shard-local Group field. m and n are
+// the global group and alternative counts. The float64 operation sequence
+// — the E recurrence, the omega evaluation, the Kahan accumulation, the
+// final clamp — is exactly TPFromInfo's, so the score is bit-identical to
+// the unsharded evaluation.
+func TPFromStream(si *topkq.StreamInfo, m, n int) (*Evaluation, error) {
+	info := si.RankInfo
+	if info == nil || info.N != n {
+		return nil, fmt.Errorf("quality: rank info does not match database")
+	}
+	limit := info.Processed
+	if limit > n {
+		limit = n
+	}
+	ev := &Evaluation{
+		Omega:     make([]float64, limit),
+		GroupGain: make([]float64, m),
+		Info:      info,
+	}
+	E := scratchE(m)
+	defer eScratch.Put(E)
+	var s numeric.Kahan
+	for i := 0; i < limit; i++ {
+		t := si.Prefix[i].T
+		l := si.Prefix[i].Group
+		E[l] += t.Prob
+		p := info.P(i)
+		if p == 0 {
+			continue
+		}
+		w := omega(t.Prob, E[l])
+		ev.Omega[i] = w
+		term := w * p
+		ev.GroupGain[l] += term
+		s.Add(term)
+	}
+	ev.S = s.Sum()
+	if ev.S > 0 {
+		ev.S = 0
+	}
+	return ev, nil
+}

@@ -1,0 +1,79 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/probdb/topkclean/internal/uncertain"
+)
+
+// benchDB builds a randomized uncertain database of the given size: 1-3
+// alternatives per x-tuple, scores spread over [0, 1000).
+func benchDB(b *testing.B, groups int) *uncertain.Database {
+	b.Helper()
+	rng := rand.New(rand.NewSource(7))
+	db := uncertain.New()
+	for g := 0; g < groups; g++ {
+		alts := 1 + rng.Intn(3)
+		ts := make([]uncertain.Tuple, alts)
+		budget := 1.0
+		for a := range ts {
+			p := budget * (0.2 + 0.6*rng.Float64()) / float64(alts-a)
+			budget -= p
+			ts[a] = uncertain.Tuple{
+				ID:    fmt.Sprintf("g%d.%d", g, a),
+				Attrs: []float64{rng.Float64() * 1000},
+				Prob:  p,
+			}
+		}
+		if err := db.AddXTuple(fmt.Sprintf("g%d", g), ts...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := db.Build(uncertain.ByFirstAttr); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+// BenchmarkShardedMutateRequery measures the full serving cycle — one
+// insert commit (routed, possibly rebalanced) followed by a fresh merged
+// answer pass — at shard counts 1 and 4 over the same database. The
+// shards=1 series is the coordination-overhead baseline: a single-shard
+// cluster pays the router and merge plumbing without any fan-out to
+// amortize it. CI records both series in BENCH_PR10.json.
+func BenchmarkShardedMutateRequery(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			db := benchDB(b, 1200)
+			c, err := FromDatabase(db, Config{Shards: shards, K: 15, Threshold: 0.25})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			ctx := context.Background()
+			if _, err := c.Answers(ctx); err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(9))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				err := c.Batch(func(sb *Batch) error {
+					return sb.InsertXTuple(fmt.Sprintf("b%d", i), uncertain.Tuple{
+						ID:    fmt.Sprintf("b%d.a", i),
+						Attrs: []float64{rng.Float64() * 1000},
+						Prob:  0.5,
+					})
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := c.Answers(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

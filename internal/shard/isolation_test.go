@@ -1,0 +1,146 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"github.com/probdb/topkclean/internal/uncertain"
+)
+
+// certainLadder builds a cluster (and its unsharded mirror) of `groups`
+// certain x-tuples with strictly descending scores: the PSR scan reaches
+// k full groups after exactly k pulls, so a top-k query must resolve
+// entirely inside the top shard.
+func certainLadder(t *testing.T, shards, k, groups int) (*Cluster, *uncertain.Database) {
+	t.Helper()
+	c, err := New(Config{Shards: shards, K: k, Threshold: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := uncertain.New()
+	for i := 0; i < groups; i++ {
+		tu := uncertain.Tuple{ID: fmt.Sprintf("c%d", i), Attrs: []float64{float64(1000 - i)}, Prob: 1}
+		name := fmt.Sprintf("lg%d", i)
+		if err := c.AddXTuple(name, tu); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.AddXTuple(name, tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Build(uncertain.ByFirstAttr); err != nil {
+		t.Fatal(err)
+	}
+	return c, db
+}
+
+// TestEarlyTerminationNeverTouchesLowerShards proves the coordinator's
+// isolation guarantee with the per-shard scan counters: a top-k query
+// whose PSR scan terminates inside shard 0 pulls exactly k tuples from
+// shard 0 and zero from every other shard — their cursors are never even
+// opened.
+func TestEarlyTerminationNeverTouchesLowerShards(t *testing.T) {
+	const shards, k = 4, 3
+	c, db := certainLadder(t, shards, k, 40)
+	compareAll(t, c, db)
+	checkInvariant(t, c)
+	stats := c.Stats()
+	if got := stats[0].Scanned; got != k {
+		t.Fatalf("shard 0 scanned %d tuples; Lemma 2 terminates after exactly %d", got, k)
+	}
+	for s := 1; s < shards; s++ {
+		if got := stats[s].Scanned; got != 0 {
+			t.Fatalf("shard %d scanned %d tuples; early termination must never open lower shards", s, got)
+		}
+	}
+
+	// Repeated queries at the same version hit the memoized evaluation:
+	// no additional scan work anywhere.
+	if _, err := c.Answers(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for s, st := range c.Stats() {
+		if st.Scanned != stats[s].Scanned {
+			t.Fatalf("shard %d scanned grew on a memoized query", s)
+		}
+	}
+}
+
+// TestMutationInvalidatesExactlyTouchedShards pins which shard-local
+// versions move under each mutation: a reweight commits only on the
+// owning shard, and a boundary-straddling insert commits on exactly the
+// shards its rebalance closure touches.
+func TestMutationInvalidatesExactlyTouchedShards(t *testing.T) {
+	const shards = 4
+	c, db := certainLadder(t, shards, 3, 40)
+
+	versions := func() []uint64 {
+		vs := make([]uint64, shards)
+		for i, st := range c.Stats() {
+			vs[i] = st.Version
+		}
+		return vs
+	}
+
+	// A reweight of a group owned by the bottom shard commits there only.
+	before := versions()
+	bottom := c.dir.entries[39] // lowest-scored group
+	if bottom.shard != shards-1 {
+		t.Fatalf("ladder bottom lives on shard %d, want %d", bottom.shard, shards-1)
+	}
+	if err := c.Reweight(39, []float64{0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Reweight(39, []float64{0.5}); err != nil {
+		t.Fatal(err)
+	}
+	after := versions()
+	for s := 0; s < shards; s++ {
+		bumped := after[s] != before[s]
+		if want := s == shards-1; bumped != want {
+			t.Fatalf("reweight: shard %d version bumped=%v, want %v", s, bumped, want)
+		}
+	}
+	compareAll(t, c, db)
+
+	// An insert straddling the shard 0 / shard 1 boundary: its top key
+	// routes to shard 0, its bottom key reaches into shard 1's range, so
+	// the closure pulls shard 1 groups up. Shards 2 and 3 hold strictly
+	// lower keys and must not commit.
+	min0, _ := c.shardMinKey(0)
+	min1, _ := c.shardMinKey(1)
+	hi := min0.score + 0.5              // above shard 0's minimum: routes there
+	lo := (min1.score + min0.score) / 2 // inside shard 1's range: forces pull-ups
+	if !(hi < min0.score+1) || !(lo > min1.score) || !(lo < min0.score) {
+		t.Fatalf("ladder geometry unexpected: min0=%v min1=%v hi=%v lo=%v", min0.score, min1.score, hi, lo)
+	}
+	straddle := []uncertain.Tuple{
+		{ID: "sp-hi", Attrs: []float64{hi}, Prob: 0.5},
+		{ID: "sp-lo", Attrs: []float64{lo}, Prob: 0.5},
+	}
+	before = versions()
+	if err := c.InsertXTuple("straddle", straddle...); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.InsertXTuple("straddle", straddle...); err != nil {
+		t.Fatal(err)
+	}
+	after = versions()
+	if after[0] == before[0] {
+		t.Fatal("straddling insert did not commit on shard 0")
+	}
+	if after[1] == before[1] {
+		t.Fatal("straddling insert did not rebalance shard 1")
+	}
+	for s := 2; s < shards; s++ {
+		if after[s] != before[s] {
+			t.Fatalf("straddling insert committed on untouched shard %d", s)
+		}
+	}
+	compareAll(t, c, db)
+	checkInvariant(t, c)
+}

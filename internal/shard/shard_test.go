@@ -1,0 +1,405 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/probdb/topkclean/internal/quality"
+	"github.com/probdb/topkclean/internal/topkq"
+	"github.com/probdb/topkclean/internal/uncertain"
+)
+
+// The differential battery: a cluster and an unsharded database replay
+// the same randomized mutation script, and after every step every answer
+// — U-kRanks, PT-k, Global-topk, quality — is compared bit-for-bit
+// (math.Float64bits), along with versions, counts, and error parity.
+// The cluster's internal range invariant is checked after every step too,
+// so a routing bug fails at the step that introduces it, not at the
+// (possibly much later) step whose answers it skews.
+
+// mirror drives both engines through the same script.
+type mirror struct {
+	t   *testing.T
+	c   *Cluster
+	db  *uncertain.Database
+	rng *rand.Rand
+	idc int // tuple ID counter
+	gc  int // group name counter
+}
+
+func newMirror(t *testing.T, seed int64, shards, k, startGroups int) *mirror {
+	t.Helper()
+	return newMirrorCfg(t, seed, Config{Shards: shards, K: k, Threshold: 0.25}, startGroups)
+}
+
+func newMirrorCfg(t *testing.T, seed int64, cfg Config, startGroups int) *mirror {
+	t.Helper()
+	m := &mirror{t: t, db: uncertain.New(), rng: rand.New(rand.NewSource(seed))}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.c = c
+	for i := 0; i < startGroups; i++ {
+		if m.rng.Intn(12) == 0 {
+			name := m.groupName()
+			m.mustBoth(c.AddAbsentXTuple(name), m.db.AddAbsentXTuple(name))
+			continue
+		}
+		name := m.groupName()
+		ts := m.genTuples()
+		m.mustBoth(c.AddXTuple(name, ts...), m.db.AddXTuple(name, ts...))
+	}
+	m.mustBoth(c.Build(), m.db.Build(uncertain.ByFirstAttr))
+	return m
+}
+
+func (m *mirror) groupName() string { m.gc++; return fmt.Sprintf("g%d", m.gc) }
+
+// genTuples generates alternatives with scores from a tiny integer
+// domain, so ties are everywhere and new groups constantly straddle
+// shard boundaries.
+func (m *mirror) genTuples() []uncertain.Tuple {
+	alts := 1 + m.rng.Intn(4)
+	ts := make([]uncertain.Tuple, alts)
+	budget := 1.0
+	for a := range ts {
+		p := budget * (0.1 + 0.8*m.rng.Float64()) / float64(alts-a)
+		if a == alts-1 && m.rng.Intn(3) == 0 {
+			p = budget // full mass: exercises the fullGroups path
+		}
+		budget -= p
+		m.idc++
+		ts[a] = uncertain.Tuple{
+			ID:    fmt.Sprintf("t%d", m.idc),
+			Attrs: []float64{float64(m.rng.Intn(8)), m.rng.Float64()},
+			Prob:  p,
+		}
+	}
+	return ts
+}
+
+func (m *mirror) mustBoth(errC, errP error) {
+	m.t.Helper()
+	m.errParity(errC, errP)
+	if errP != nil {
+		m.t.Fatalf("setup failed: %v", errP)
+	}
+}
+
+// errParity requires the cluster and the plain database to accept or
+// reject an operation identically, with the identical error text.
+func (m *mirror) errParity(errC, errP error) {
+	m.t.Helper()
+	switch {
+	case errC == nil && errP == nil:
+	case errC == nil || errP == nil:
+		m.t.Fatalf("error parity: cluster=%v plain=%v", errC, errP)
+	case errC.Error() != errP.Error():
+		m.t.Fatalf("error text: cluster=%q plain=%q", errC, errP)
+	}
+}
+
+// step applies one random operation to both sides.
+func (m *mirror) step() {
+	t := m.t
+	t.Helper()
+	mg := m.db.NumGroups()
+	switch r := m.rng.Intn(100); {
+	case r < 30: // insert
+		name := m.groupName()
+		ts := m.genTuples()
+		if m.rng.Intn(6) == 0 && len(ts) >= 2 {
+			// Force a boundary-straddling group: maximum score spread.
+			ts[0].Attrs[0] = 7
+			ts[len(ts)-1].Attrs[0] = 0
+		}
+		m.errParity(m.c.InsertXTuple(name, ts...), m.db.InsertXTuple(name, ts...))
+	case r < 35: // absent insert
+		name := m.groupName()
+		m.errParity(m.c.InsertAbsentXTuple(name), m.db.InsertAbsentXTuple(name))
+	case r < 55: // reweight
+		l := m.rng.Intn(mg)
+		probs := m.genProbs(len(m.db.Groups()[l].RealTuples()))
+		m.errParity(m.c.Reweight(l, probs), m.db.Reweight(l, probs))
+	case r < 67: // collapse
+		l := m.rng.Intn(mg)
+		choice := m.rng.Intn(len(m.db.Groups()[l].Tuples))
+		m.errParity(m.c.Collapse(l, choice), m.db.Collapse(l, choice))
+	case r < 80: // delete (keep m comfortably above k)
+		if mg <= m.c.K()+2 {
+			return
+		}
+		l := m.rng.Intn(mg)
+		m.errParity(m.c.DeleteXTuple(l), m.db.DeleteXTuple(l))
+	case r < 90: // batch of 2-3 ops, sometimes with a failing tail
+		m.stepBatch()
+	default: // invalid operations: error parity, no state change
+		m.stepInvalid()
+	}
+}
+
+func (m *mirror) genProbs(n int) []float64 {
+	probs := make([]float64, n)
+	for i := range probs {
+		probs[i] = (0.05 + 0.9*m.rng.Float64()) / float64(n)
+	}
+	return probs
+}
+
+// stepBatch applies the same multi-op batch to both sides; an optional
+// final duplicate-ID insert exercises prefix-on-failure parity.
+func (m *mirror) stepBatch() {
+	type ins struct {
+		name string
+		ts   []uncertain.Tuple
+	}
+	var inss []ins
+	nops := 2 + m.rng.Intn(2)
+	for i := 0; i < nops; i++ {
+		inss = append(inss, ins{name: m.groupName(), ts: m.genTuples()})
+	}
+	failTail := m.rng.Intn(3) == 0
+	if failTail {
+		bad := m.genTuples()
+		bad[0].ID = inss[0].ts[0].ID // duplicates an ID the batch just inserted
+		inss = append(inss, ins{name: m.groupName(), ts: bad})
+	}
+	run := func(insert func(name string, ts ...uncertain.Tuple) error) error {
+		for _, op := range inss {
+			if err := insert(op.name, op.ts...); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errC := m.c.Batch(func(b *Batch) error { return run(b.InsertXTuple) })
+	errP := m.db.Batch(func(b *uncertain.Batch) error { return run(b.InsertXTuple) })
+	m.errParity(errC, errP)
+}
+
+// stepInvalid issues operations that must be rejected identically and
+// leave both sides unchanged.
+func (m *mirror) stepInvalid() {
+	mg := m.db.NumGroups()
+	switch m.rng.Intn(4) {
+	case 0: // duplicate tuple ID
+		ts := m.genTuples()
+		ts[0].ID = "t1"
+		name := m.groupName()
+		m.errParity(m.c.InsertXTuple(name, ts...), m.db.InsertXTuple(name, ts...))
+	case 1: // out-of-range group index
+		l := mg + 3
+		m.errParity(m.c.DeleteXTuple(l), m.db.DeleteXTuple(l))
+	case 2: // reweight count mismatch
+		l := m.rng.Intn(mg)
+		probs := m.genProbs(len(m.db.Groups()[l].RealTuples()) + 1)
+		m.errParity(m.c.Reweight(l, probs), m.db.Reweight(l, probs))
+	case 3: // collapse choice out of range
+		l := m.rng.Intn(mg)
+		choice := len(m.db.Groups()[l].Tuples)
+		m.errParity(m.c.Collapse(l, choice), m.db.Collapse(l, choice))
+	}
+}
+
+// compare verifies bit-identity of every answer at the current state.
+func (m *mirror) compare() {
+	t := m.t
+	t.Helper()
+	compareAll(t, m.c, m.db)
+	checkInvariant(t, m.c)
+}
+
+// compareAll checks the cluster's full answer surface bit-for-bit against
+// the unsharded evaluation of db.
+func compareAll(t *testing.T, c *Cluster, db *uncertain.Database) {
+	t.Helper()
+	if got, want := c.Version(), db.Version(); got != want {
+		t.Fatalf("version: cluster %d, plain %d", got, want)
+	}
+	if got, want := c.NumGroups(), db.NumGroups(); got != want {
+		t.Fatalf("groups: cluster %d, plain %d", got, want)
+	}
+	if got, want := c.NumTuples(), db.NumTuples(); got != want {
+		t.Fatalf("tuples: cluster %d, plain %d", got, want)
+	}
+	k := c.K()
+	info, errP := topkq.RankProbabilities(db, k)
+	res, errC := c.AnswersThreshold(context.Background(), 0.25)
+	if (errC == nil) != (errP == nil) {
+		t.Fatalf("answers error parity: cluster=%v plain=%v", errC, errP)
+	}
+	if errP != nil {
+		if errC.Error() != errP.Error() {
+			t.Fatalf("answers error text: cluster=%q plain=%q", errC, errP)
+		}
+		return
+	}
+	wantUK, err := topkq.UKRanks(db, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareRanked(t, "UKRanks", res.UKRanks, wantUK)
+	compareScored(t, "GlobalTopK", res.GlobalTopK, topkq.GlobalTopK(db, info))
+	ev, err := quality.TPFromInfo(db, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(res.Quality) != math.Float64bits(ev.S) {
+		t.Fatalf("quality bits: cluster %v, plain %v", res.Quality, ev.S)
+	}
+	for _, th := range []float64{0, 0.25, 0.6} {
+		resT, err := c.AnswersThreshold(context.Background(), th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareScored(t, fmt.Sprintf("PTK(%g)", th), resT.PTK, topkq.PTK(db, info, th))
+	}
+}
+
+func compareRanked(t *testing.T, what string, got, want []topkq.RankedAnswer) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s length %d != %d", what, len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.H != w.H || g.ID != w.ID || g.Rank != w.Rank ||
+			math.Float64bits(g.Prob) != math.Float64bits(w.Prob) ||
+			math.Float64bits(g.Score) != math.Float64bits(w.Score) {
+			t.Fatalf("%s[%d]: %+v != %+v", what, i, g, w)
+		}
+	}
+}
+
+func compareScored(t *testing.T, what string, got, want []topkq.ScoredAnswer) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s length %d != %d", what, len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.ID != w.ID || g.Rank != w.Rank ||
+			math.Float64bits(g.Prob) != math.Float64bits(w.Prob) ||
+			math.Float64bits(g.Score) != math.Float64bits(w.Score) {
+			t.Fatalf("%s[%d]: %+v != %+v", what, i, g, w)
+		}
+	}
+}
+
+// checkInvariant verifies the cluster's internal coherence: directory
+// indices, stamp counts, and the range invariant between shards.
+func checkInvariant(t *testing.T, c *Cluster) {
+	t.Helper()
+	for gi, e := range c.dir.entries {
+		if e.global != gi {
+			t.Fatalf("entry %d records global %d", gi, e.global)
+		}
+		if c.dir.locals[e.shard][e.local-1] != e {
+			t.Fatalf("entry %d not at locals[%d][%d]", gi, e.shard, e.local-1)
+		}
+		x := c.shards[e.shard].live().Groups()[e.local]
+		if len(x.RealTuples()) != len(e.gseqs) {
+			t.Fatalf("entry %d: %d reals, %d stamps", gi, len(x.RealTuples()), len(e.gseqs))
+		}
+	}
+	var lastMin *key
+	for s := range c.shards {
+		db := c.shards[s].live()
+		if db.NumRealTuples() == 0 {
+			continue
+		}
+		top := db.AtRank(0)
+		e := c.dir.locals[s][top.Group-1]
+		maxK := key{score: top.Score, seq: e.gseqs[realIndexOf(db, e, top)]}
+		if lastMin != nil && !above(*lastMin, maxK) {
+			t.Fatalf("range invariant: shard above holds min %+v, shard %d holds max %+v", *lastMin, s, maxK)
+		}
+		mk, _ := c.shardMinKey(s)
+		lastMin = &mk
+	}
+}
+
+// runScript replays steps mutations with a full comparison after every one.
+func runScript(t *testing.T, seed int64, shards, k, startGroups, steps int) {
+	t.Helper()
+	m := newMirror(t, seed, shards, k, startGroups)
+	m.compare()
+	for i := 0; i < steps; i++ {
+		m.step()
+		m.compare()
+	}
+}
+
+// TestShardDifferentialQuick is the always-on slice of the battery.
+func TestShardDifferentialQuick(t *testing.T) {
+	for _, shards := range []int{1, 2, 3} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			runScript(t, int64(100+shards), shards, 4, 30, 60)
+		})
+	}
+}
+
+// TestShardDifferentialBattery is the full cross-shard bit-identity
+// battery: N in {1, 2, 4, 8}, 200-step scripts, every answer compared
+// after every step. Skipped under -short (CI runs it under -race).
+func TestShardDifferentialBattery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential battery: long; run without -short")
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		for seed := int64(1); seed <= 2; seed++ {
+			shards, seed := shards, seed
+			t.Run(fmt.Sprintf("shards=%d/seed=%d", shards, seed), func(t *testing.T) {
+				runScript(t, seed, shards, 5, 40, 200)
+			})
+		}
+	}
+}
+
+// TestFromDatabase checks that a cluster lifted from a live unsharded
+// database answers bit-identically, and keeps doing so under mutation.
+func TestFromDatabase(t *testing.T) {
+	db := uncertain.New()
+	rng := rand.New(rand.NewSource(7))
+	idc := 0
+	for g := 0; g < 25; g++ {
+		alts := 1 + rng.Intn(3)
+		ts := make([]uncertain.Tuple, alts)
+		budget := 1.0
+		for a := range ts {
+			p := budget * (0.2 + 0.6*rng.Float64()) / float64(alts-a)
+			budget -= p
+			idc++
+			ts[a] = uncertain.Tuple{ID: fmt.Sprintf("f%d", idc), Attrs: []float64{float64(rng.Intn(6))}, Prob: p}
+		}
+		if err := db.AddXTuple(fmt.Sprintf("fg%d", g), ts...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Build(uncertain.ByFirstAttr); err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 4} {
+		c, err := FromDatabase(db, Config{Shards: shards, K: 3, Threshold: 0.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareAll(t, c, db)
+		checkInvariant(t, c)
+		// Mutate both sides and re-compare: stamps must stay aligned.
+		ts := []uncertain.Tuple{{ID: fmt.Sprintf("fx%d", shards), Attrs: []float64{3}, Prob: 0.5}}
+		if err := db.InsertXTuple(fmt.Sprintf("fgx%d", shards), ts...); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.InsertXTuple(fmt.Sprintf("fgx%d", shards), ts...); err != nil {
+			t.Fatal(err)
+		}
+		compareAll(t, c, db)
+		checkInvariant(t, c)
+	}
+}

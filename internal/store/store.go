@@ -40,6 +40,12 @@ type Op struct {
 	Group  int       `json:"group"`
 	Probs  []float64 `json:"probs,omitempty"`
 	Choice int       `json:"choice"`
+
+	// Seqs holds explicit tie-break stamps for an "insert" issued through
+	// InsertXTupleSeq (the sharded engine's path); nil for plain inserts.
+	// Replay must restore them: a shard's rank order depends on the global
+	// stamps, not on local arrival order.
+	Seqs []int `json:"seqs,omitempty"`
 }
 
 // OpTuple is the caller-supplied part of an inserted alternative.
@@ -260,6 +266,9 @@ func applyOp(b *uncertain.Batch, op Op) error {
 		ts := make([]uncertain.Tuple, len(op.Tuples))
 		for i, ot := range op.Tuples {
 			ts[i] = uncertain.Tuple{ID: ot.ID, Attrs: ot.Attrs, Prob: ot.Prob}
+		}
+		if op.Seqs != nil {
+			return b.InsertXTupleSeq(op.Name, op.Seqs, ts...)
 		}
 		return b.InsertXTuple(op.Name, ts...)
 	case "insert_absent":
@@ -483,6 +492,21 @@ func (b *Batch) InsertXTuple(name string, tuples ...uncertain.Tuple) error {
 		ots[i] = OpTuple{ID: t.ID, Attrs: append([]float64(nil), t.Attrs...), Prob: t.Prob}
 	}
 	b.ops = append(b.ops, Op{Op: "insert", Name: name, Tuples: ots})
+	return nil
+}
+
+// InsertXTupleSeq inserts with explicit tie-break stamps and journals
+// them, so replay reproduces the same rank order (the sharded engine's
+// insert path; see uncertain.InsertXTupleSeq).
+func (b *Batch) InsertXTupleSeq(name string, seqs []int, tuples ...uncertain.Tuple) error {
+	if err := b.ub.InsertXTupleSeq(name, seqs, tuples...); err != nil {
+		return err
+	}
+	ots := make([]OpTuple, len(tuples))
+	for i, t := range tuples {
+		ots[i] = OpTuple{ID: t.ID, Attrs: append([]float64(nil), t.Attrs...), Prob: t.Prob}
+	}
+	b.ops = append(b.ops, Op{Op: "insert", Name: name, Tuples: ots, Seqs: append([]int(nil), seqs...)})
 	return nil
 }
 

@@ -1,0 +1,173 @@
+package topkq
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/probdb/topkclean/internal/uncertain"
+)
+
+// streamFromDB adapts a database's own cursor into a scan stream: the
+// degenerate one-shard merge. Feeding it to ScanStream must reproduce
+// compute bit-for-bit.
+func streamFromDB(db *uncertain.Database) func() (*uncertain.Tuple, int, bool) {
+	cur := db.CursorAt(0)
+	return func() (*uncertain.Tuple, int, bool) {
+		t := cur.Next()
+		if t == nil {
+			return nil, 0, false
+		}
+		return t, t.Group, true
+	}
+}
+
+// randomStreamDB builds a database with heavy score ties and mixed masses,
+// the regime that stresses every branch of the scan switch.
+func randomStreamDB(t *testing.T, seed int64, groups int) *uncertain.Database {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	db := uncertain.New()
+	id := 0
+	for g := 0; g < groups; g++ {
+		if rng.Intn(12) == 0 {
+			if err := db.AddAbsentXTuple(tname(rng, g)); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		alts := 1 + rng.Intn(4)
+		ts := make([]uncertain.Tuple, alts)
+		budget := 1.0
+		for a := range ts {
+			p := budget * (0.1 + 0.85*rng.Float64()) / float64(alts-a)
+			if a == alts-1 && rng.Intn(2) == 0 {
+				p = budget // full mass: exercises the fullGroups path
+			}
+			budget -= p
+			ts[a] = uncertain.Tuple{
+				ID:    idName(&id),
+				Attrs: []float64{float64(rng.Intn(8))}, // few distinct scores: ties everywhere
+				Prob:  p,
+			}
+		}
+		if err := db.AddXTuple(tname(rng, g), ts...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Build(uncertain.ByFirstAttr); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func tname(rng *rand.Rand, g int) string { return "g" + string(rune('a'+g%26)) + itoa(g) }
+
+func idName(id *int) string { *id++; return "t" + itoa(*id) }
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func TestScanStreamBitIdenticalToCompute(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		db := randomStreamDB(t, seed, 40)
+		for _, k := range []int{1, 3, 7} {
+			want, err := RankProbabilities(db, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			si, err := ScanStream(k, db.NumGroups(), db.NumTuples(), streamFromDB(db), true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if si.Processed != want.Processed {
+				t.Fatalf("seed %d k %d: Processed %d != %d", seed, k, si.Processed, want.Processed)
+			}
+			if si.Rebuilds != want.Rebuilds {
+				t.Fatalf("seed %d k %d: Rebuilds %d != %d", seed, k, si.Rebuilds, want.Rebuilds)
+			}
+			for i := 0; i < want.Processed; i++ {
+				if math.Float64bits(si.P(i)) != math.Float64bits(want.P(i)) {
+					t.Fatalf("seed %d k %d: p[%d] bits differ: %v vs %v", seed, k, i, si.P(i), want.P(i))
+				}
+				for h := 1; h <= k; h++ {
+					if math.Float64bits(si.Rho(i, h)) != math.Float64bits(want.Rho(i, h)) {
+						t.Fatalf("seed %d k %d: rho[%d][%d] bits differ", seed, k, i, h)
+					}
+				}
+			}
+
+			// The stream semantics must agree with the database-backed ones.
+			wantUK, err := UKRanks(db, want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotUK, err := UKRanksStream(si)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareRanked(t, gotUK, wantUK)
+			compareScored(t, PTKStream(si, 0.3), PTK(db, want, 0.3))
+			compareScored(t, GlobalTopKStream(si), GlobalTopK(db, want))
+		}
+	}
+}
+
+func compareRanked(t *testing.T, got, want []RankedAnswer) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("UKRanks length %d != %d", len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.H != w.H || g.ID != w.ID || g.Rank != w.Rank ||
+			math.Float64bits(g.Prob) != math.Float64bits(w.Prob) ||
+			math.Float64bits(g.Score) != math.Float64bits(w.Score) {
+			t.Fatalf("UKRanks[%d]: %+v != %+v", i, g, w)
+		}
+	}
+}
+
+func compareScored(t *testing.T, got, want []ScoredAnswer) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("scored length %d != %d", len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.ID != w.ID || g.Rank != w.Rank ||
+			math.Float64bits(g.Prob) != math.Float64bits(w.Prob) ||
+			math.Float64bits(g.Score) != math.Float64bits(w.Score) {
+			t.Fatalf("scored[%d]: %+v != %+v", i, g, w)
+		}
+	}
+}
+
+func TestScanStreamArgErrors(t *testing.T) {
+	db := randomStreamDB(t, 99, 5)
+	if _, err := ScanStream(0, db.NumGroups(), db.NumTuples(), streamFromDB(db), false); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := ScanStream(db.NumGroups()+1, db.NumGroups(), db.NumTuples(), streamFromDB(db), false); err == nil {
+		t.Fatal("k>m accepted")
+	}
+	// A stream info never resumes.
+	si, err := ScanStream(2, db.NumGroups(), db.NumTuples(), streamFromDB(db), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if si.CanResume() {
+		t.Fatal("stream info claims to be resumable")
+	}
+}

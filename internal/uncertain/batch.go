@@ -68,7 +68,7 @@ func (db *Database) Batch(fn func(*Batch) error) error {
 
 // InsertXTuple is Database.InsertXTuple under the batch's single commit.
 func (b *Batch) InsertXTuple(name string, tuples ...Tuple) error {
-	wm, err := b.db.insertXTuple(name, tuples)
+	wm, err := b.db.insertXTuple(name, tuples, nil)
 	return b.note(wm, err)
 }
 

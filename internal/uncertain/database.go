@@ -138,7 +138,7 @@ func (db *Database) Build(rank RankFunc) error {
 		if err := x.validate(); err != nil {
 			return err
 		}
-		for _, t := range x.Tuples {
+		for ti, t := range x.Tuples {
 			if seen[t.ID] {
 				return fmt.Errorf("tuple %q: %w", t.ID, ErrDuplicateID)
 			}
@@ -150,10 +150,21 @@ func (db *Database) Build(rank RankFunc) error {
 				// corrupt the total rank order every algorithm relies on.
 				return fmt.Errorf("tuple %q: %w", t.ID, ErrBadScore)
 			}
-			t.ord = ord
-			ord++
+			if x.stagedOrds != nil {
+				// Explicit tie-break stamp (AddXTupleSeq); keep the
+				// sequential counter past it so later implicit stamps stay
+				// unique.
+				t.ord = x.stagedOrds[ti]
+				if t.ord >= ord {
+					ord = t.ord + 1
+				}
+			} else {
+				t.ord = ord
+				ord++
+			}
 			total++
 		}
+		x.stagedOrds = nil
 		if deficit := 1 - x.RealMass(); deficit > nullThreshold {
 			null := &Tuple{
 				ID:    fmt.Sprintf("null:%s", x.Name),

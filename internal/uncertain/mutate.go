@@ -54,7 +54,7 @@ func (db *Database) InsertXTuple(name string, tuples ...Tuple) error {
 	if db.frozen {
 		return ErrFrozenSnapshot
 	}
-	wm, err := db.insertXTuple(name, tuples)
+	wm, err := db.insertXTuple(name, tuples, nil)
 	if err != nil {
 		return err
 	}
@@ -62,7 +62,10 @@ func (db *Database) InsertXTuple(name string, tuples ...Tuple) error {
 	return nil
 }
 
-func (db *Database) insertXTuple(name string, tuples []Tuple) (int, error) {
+// insertXTuple is the insert core. seqs, when non-nil, supplies explicit
+// tie-break stamps (one per tuple; see seq.go) instead of arrival-order
+// stamps.
+func (db *Database) insertXTuple(name string, tuples []Tuple, seqs []int) (int, error) {
 	if !db.built {
 		return 0, ErrNotBuilt
 	}
@@ -104,14 +107,22 @@ func (db *Database) insertXTuple(name string, tuples []Tuple) (int, error) {
 		seen[t.ID] = true
 	}
 	// All checks passed; commit. Ord stamps continue past the build-time
-	// ones so score ties keep breaking by arrival order.
+	// ones so score ties keep breaking by arrival order; explicit stamps
+	// (seqs) advance the counter past themselves instead.
 	db.unshare()
 	x.uid = db.newUID()
 	db.markPrivate(x)
-	for _, t := range x.Tuples {
+	for i, t := range x.Tuples {
 		if !t.Null {
-			t.ord = db.nextOrd
-			db.nextOrd++
+			if seqs != nil {
+				t.ord = seqs[i]
+				if t.ord >= db.nextOrd {
+					db.nextOrd = t.ord + 1
+				}
+			} else {
+				t.ord = db.nextOrd
+				db.nextOrd++
+			}
 			db.nReal++
 		}
 	}

@@ -1,0 +1,96 @@
+package uncertain
+
+import "errors"
+
+// This file is the explicit tie-break API used by the sharded engine
+// (internal/shard). Score ties in the total rank order break by the ord
+// stamp Build and InsertXTuple assign in arrival order. A shard database
+// holds a subset of a logically global database, so its locally assigned
+// stamps would order tied tuples by *shard-local* arrival — which diverges
+// from the global arrival order as soon as a rebalance re-inserts a group
+// that globally arrived earlier. The *Seq variants below let the caller
+// supply the stamps instead (the router stamps every real alternative with
+// a global sequence number once, at its first insert, and moves carry the
+// stamps along), so a shard's local rank order is exactly the global order
+// restricted to the shard — the invariant the coordinator's bit-identical
+// merge rests on.
+//
+// Stamps share the ord counter's space: Build and insert advance the
+// sequential counter past the largest explicit stamp they see, so mixed
+// use keeps later implicit stamps unique. Callers are responsible for
+// keeping explicit stamps unique among tuples that can tie on score (the
+// shard router's global sequence trivially is).
+
+// ErrBadSeq is returned by the *Seq staging and mutation variants when the
+// number of tie-break stamps does not match the number of tuples.
+var ErrBadSeq = errors.New("uncertain: need one tie-break stamp per tuple")
+
+// AddXTupleSeq is AddXTuple with explicit tie-break stamps: seqs[i] becomes
+// the ord stamp of tuples[i] at Build time, instead of the staging-order
+// stamp Build would assign.
+func (db *Database) AddXTupleSeq(name string, seqs []int, tuples ...Tuple) error {
+	if len(seqs) != len(tuples) {
+		return wrapGroup(ErrBadSeq, name)
+	}
+	if err := db.AddXTuple(name, tuples...); err != nil {
+		return err
+	}
+	db.groups[len(db.groups)-1].stagedOrds = append([]int(nil), seqs...)
+	return nil
+}
+
+// InsertXTupleSeq is InsertXTuple with explicit tie-break stamps, one per
+// supplied tuple (the materialized null, if any, takes no stamp — nulls
+// order by group index, not by ord).
+func (db *Database) InsertXTupleSeq(name string, seqs []int, tuples ...Tuple) error {
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
+	if db.frozen {
+		return ErrFrozenSnapshot
+	}
+	if len(seqs) != len(tuples) {
+		return wrapGroup(ErrBadSeq, name)
+	}
+	wm, err := db.insertXTuple(name, tuples, seqs)
+	if err != nil {
+		return err
+	}
+	db.finishMutation(wm)
+	return nil
+}
+
+// InsertXTupleSeq is Database.InsertXTupleSeq under the batch's single
+// commit.
+func (b *Batch) InsertXTupleSeq(name string, seqs []int, tuples ...Tuple) error {
+	if len(seqs) != len(tuples) {
+		return wrapGroup(ErrBadSeq, name)
+	}
+	wm, err := b.db.insertXTuple(name, tuples, seqs)
+	return b.note(wm, err)
+}
+
+// CheckAlternatives validates caller-supplied alternatives exactly as the
+// insert path does — every probability in (0, 1], total mass at most 1
+// within the insert tolerance — returning the identical wrapped errors.
+// The shard router uses it to reject an invalid insert before performing
+// any destructive rebalance move.
+func CheckAlternatives(name string, tuples []Tuple) error {
+	x := XTuple{Name: name, Tuples: make([]*Tuple, len(tuples))}
+	for i := range tuples {
+		x.Tuples[i] = &tuples[i]
+	}
+	return x.validate()
+}
+
+// NullDeficit returns the mass deficit 1 - sum(probs) (Kahan-summed in
+// tuple order, exactly as RealMass computes it) and whether the insert
+// path would materialize a null alternative for it. The shard router uses
+// it to predict the null's ID for its cluster-wide duplicate check.
+func NullDeficit(tuples []Tuple) (float64, bool) {
+	x := XTuple{Tuples: make([]*Tuple, len(tuples))}
+	for i := range tuples {
+		x.Tuples[i] = &tuples[i]
+	}
+	d := 1 - x.RealMass()
+	return d, d > nullThreshold
+}

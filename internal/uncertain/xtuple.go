@@ -15,6 +15,11 @@ type XTuple struct {
 	// copy-on-write cloning and Clone. Two XTuple objects with the same uid
 	// are the same logical x-tuple observed in different epochs; see Is.
 	uid uint64
+
+	// stagedOrds holds explicit tie-break stamps supplied by AddXTupleSeq,
+	// one per staged tuple; Build consumes and clears them. Nil for groups
+	// staged with AddXTuple (Build assigns staging-order stamps).
+	stagedOrds []int
 }
 
 // Is reports whether x and y are the same logical x-tuple, possibly
